@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared helpers for the experiment benches: scale knobs via the
+ * environment and the standard paper-vs-measured table header.
+ *
+ * Scale note (see EXPERIMENTS.md): the paper ran 880 instructions x up
+ * to 8192 paths on EC2 (~545 CPU-hours of generation). These benches
+ * default to the full VX86 instruction table with a smaller path cap
+ * so the whole suite finishes in minutes; POKEEMU_PATHS / POKEEMU_INSNS
+ * scale it up.
+ */
+#ifndef POKEEMU_BENCH_COMMON_H
+#define POKEEMU_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "pokeemu/pipeline.h"
+
+namespace pokeemu::bench {
+
+inline u64
+env_u64(const char *name, u64 fallback)
+{
+    const char *value = std::getenv(name);
+    return value ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+/** Pipeline options for a full-table sweep at bench scale. */
+inline PipelineOptions
+sweep_options()
+{
+    PipelineOptions options;
+    options.max_paths_per_insn = env_u64("POKEEMU_PATHS", 48);
+    // The sweep selects every table row directly (canonical
+    // encodings); bench_insn_exploration reproduces stage 1 itself.
+    for (std::size_t i = 0; i < arch::insn_table().size(); ++i)
+        options.instruction_filter.push_back(static_cast<int>(i));
+    const u64 max_insns = env_u64("POKEEMU_INSNS", 0);
+    if (max_insns)
+        options.max_instructions = max_insns;
+    return options;
+}
+
+/** Run (and memoize per process) the standard sweep. */
+inline Pipeline &
+sweep_pipeline()
+{
+    static Pipeline *instance = [] {
+        auto *p = new Pipeline(sweep_options());
+        p->run();
+        return p;
+    }();
+    return *instance;
+}
+
+inline void
+header(const char *experiment, const char *paper_artifact)
+{
+    std::printf("==================================================\n");
+    std::printf("%s — reproduces %s\n", experiment, paper_artifact);
+    std::printf("==================================================\n");
+}
+
+} // namespace pokeemu::bench
+
+#endif // POKEEMU_BENCH_COMMON_H

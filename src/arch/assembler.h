@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A small VX86 assembler: emits the instruction encodings the test
+ * generator needs (baseline initializer, test-state initializer
+ * gadgets, and example programs). Every emitter produces bytes the
+ * decoder round-trips; a property test enforces this.
+ */
+#ifndef POKEEMU_ARCH_ASSEMBLER_H
+#define POKEEMU_ARCH_ASSEMBLER_H
+
+#include <initializer_list>
+#include <vector>
+
+#include "arch/state.h"
+
+namespace pokeemu::arch {
+
+/** See file comment. */
+class Assembler
+{
+  public:
+    /** @param base virtual address the code will execute at. */
+    explicit Assembler(u32 base) : base_(base) {}
+
+    /** Address of the next emitted byte. */
+    u32 pc() const { return base_ + static_cast<u32>(code_.size()); }
+
+    const std::vector<u8> &bytes() const { return code_; }
+
+    void raw(std::initializer_list<u8> bs)
+    {
+        code_.insert(code_.end(), bs);
+    }
+
+    void append(const std::vector<u8> &bs)
+    {
+        code_.insert(code_.end(), bs.begin(), bs.end());
+    }
+
+    /// @name Data movement.
+    /// @{
+    void mov_r32_imm32(Gpr r, u32 imm);          ///< b8+r imm32
+    void mov_sreg_r16(Seg s, Gpr r);             ///< 8e /r (mod=3)
+    void mov_mem_imm32(u32 addr, u32 imm);       ///< c7 05 disp imm
+    void mov_mem_imm8(u32 addr, u8 imm);         ///< c6 05 disp imm
+    void mov_mem_r32(u32 addr, Gpr r);           ///< 89 /r disp32
+    void mov_r32_mem(Gpr r, u32 addr);           ///< 8b /r disp32
+    /// @}
+
+    /// @name Stack / flags.
+    /// @{
+    void push_imm32(u32 imm);                    ///< 68
+    void push_r32(Gpr r);                        ///< 50+r
+    void pop_r32(Gpr r);                         ///< 58+r
+    void pushfd();                               ///< 9c
+    void popfd();                                ///< 9d
+    /// @}
+
+    /// @name System.
+    /// @{
+    void lgdt(u32 addr);                         ///< 0f 01 /2 disp32
+    void lidt(u32 addr);                         ///< 0f 01 /3 disp32
+    void mov_cr_r32(unsigned crn, Gpr r);        ///< 0f 22 /crn
+    void mov_r32_cr(Gpr r, unsigned crn);        ///< 0f 20 /crn
+    void wrmsr();                                ///< 0f 30
+    void hlt();                                  ///< f4
+    /// @}
+
+    /// @name Control flow.
+    /// @{
+    void jmp_abs(u32 target);                    ///< e9 rel32
+    void nop();                                  ///< 90
+    /// @}
+
+  private:
+    void imm32(u32 v);
+
+    u32 base_;
+    std::vector<u8> code_;
+};
+
+} // namespace pokeemu::arch
+
+#endif // POKEEMU_ARCH_ASSEMBLER_H

@@ -1,0 +1,293 @@
+#include "arch/decoder.h"
+
+#include <sstream>
+
+namespace pokeemu::arch {
+
+bool
+op_requires_memory(Op op)
+{
+    switch (op) {
+      case Op::Lea:
+      case Op::Les:
+      case Op::Lds:
+      case Op::Lss:
+      case Op::Lfs:
+      case Op::Lgs:
+      case Op::Sgdt:
+      case Op::Sidt:
+      case Op::Lgdt:
+      case Op::Lidt:
+      case Op::Invlpg:
+        return true;
+      default:
+        return false;
+    }
+}
+
+namespace {
+
+bool
+is_prefix(u8 b)
+{
+    switch (b) {
+      case 0x26: case 0x2e: case 0x36: case 0x3e: case 0x64: case 0x65:
+      case 0xf0: case 0xf2: case 0xf3:
+        return true;
+      default:
+        return false;
+    }
+}
+
+s8
+prefix_segment(u8 b)
+{
+    switch (b) {
+      case 0x26: return kEs;
+      case 0x2e: return kCs;
+      case 0x36: return kSs;
+      case 0x3e: return kDs;
+      case 0x64: return kFs;
+      case 0x65: return kGs;
+      default: return -1;
+    }
+}
+
+} // namespace
+
+DecodeStatus
+decode(const u8 *bytes, std::size_t len, DecodedInsn &out)
+{
+    out = DecodedInsn{};
+    std::size_t pos = 0;
+
+    auto fetch = [&](u8 &b) -> bool {
+        if (pos >= len || pos >= kMaxInsnLength)
+            return false;
+        b = bytes[pos];
+        out.bytes[pos] = b;
+        ++pos;
+        return true;
+    };
+
+    // Prefixes (at most kMaxPrefixes; see insn_table.h).
+    unsigned num_prefixes = 0;
+    u8 b = 0;
+    for (;;) {
+        if (!fetch(b))
+            return DecodeStatus::TooLong;
+        if (!is_prefix(b))
+            break;
+        if (++num_prefixes > kMaxPrefixes)
+            return DecodeStatus::Invalid;
+        const s8 seg = prefix_segment(b);
+        if (seg >= 0)
+            out.seg_override = seg;
+        else if (b == 0xf0)
+            out.lock = true;
+        else if (b == 0xf3)
+            out.rep = true;
+        else if (b == 0xf2)
+            out.repne = true;
+    }
+
+    // Opcode (one or two bytes).
+    if (b == 0x0f) {
+        u8 b2;
+        if (!fetch(b2))
+            return DecodeStatus::TooLong;
+        out.opcode = static_cast<u16>(0x0f00 | b2);
+    } else {
+        out.opcode = b;
+    }
+    const InsnDesc *probe = first_entry(out.opcode);
+    if (!probe)
+        return DecodeStatus::Invalid;
+    // All entries of one opcode share has_modrm.
+    const bool opcode_has_modrm = probe->has_modrm;
+
+    // ModRM / SIB / displacement.
+    if (opcode_has_modrm) {
+        if (!fetch(out.modrm))
+            return DecodeStatus::TooLong;
+        out.has_modrm = true;
+        out.mod = out.modrm >> 6;
+        out.reg = (out.modrm >> 3) & 7;
+        out.rm = out.modrm & 7;
+        if (out.mod != 3) {
+            if (out.rm == 4) {
+                if (!fetch(out.sib))
+                    return DecodeStatus::TooLong;
+                out.has_sib = true;
+                out.scale = out.sib >> 6;
+                out.index = (out.sib >> 3) & 7;
+                out.base = out.sib & 7;
+            }
+            unsigned disp_size = 0;
+            if (out.mod == 1) {
+                disp_size = 1;
+            } else if (out.mod == 2) {
+                disp_size = 4;
+            } else { // mod == 0
+                if (out.rm == 5 ||
+                    (out.has_sib && out.base == 5)) {
+                    disp_size = 4;
+                }
+            }
+            if (disp_size > 0) {
+                out.has_disp = true;
+                u32 disp = 0;
+                for (unsigned i = 0; i < disp_size; ++i) {
+                    u8 db;
+                    if (!fetch(db))
+                        return DecodeStatus::TooLong;
+                    disp |= static_cast<u32>(db) << (8 * i);
+                }
+                if (disp_size == 1)
+                    disp = static_cast<u32>(
+                        static_cast<s32>(static_cast<s8>(disp)));
+                out.disp = disp;
+            }
+        }
+    }
+
+    // Resolve the table row (group sub-opcode now known).
+    out.table_index = lookup_insn(out.opcode, out.reg);
+    if (out.table_index < 0)
+        return DecodeStatus::Invalid;
+    out.desc = &insn_table()[out.table_index];
+
+    // Structural legality checks (before immediate consumption, in
+    // lock-step with the IR decoder in hifi/decoder_ir.cpp).
+    if (op_requires_memory(out.desc->op) && out.mod == 3)
+        return DecodeStatus::Invalid;
+    // Segment-register moves: reg field must name a real segment
+    // register, and CS cannot be a destination.
+    if (out.desc->op == Op::MovRm16Sreg && out.reg > 5)
+        return DecodeStatus::Invalid;
+    if (out.desc->op == Op::MovSregRm16 &&
+        (out.reg > 5 || out.reg == kCs)) {
+        return DecodeStatus::Invalid;
+    }
+    // mov to/from control registers: only CR0/CR2/CR3/CR4 exist, and
+    // the subset requires the register form.
+    if ((out.desc->op == Op::MovR32Cr || out.desc->op == Op::MovCrR32) &&
+        (out.mod != 3 || out.reg == 1 || out.reg > 4)) {
+        return DecodeStatus::Invalid;
+    }
+    if (out.lock &&
+        (!out.desc->lockable || !out.is_memory_operand())) {
+        return DecodeStatus::Invalid;
+    }
+    if ((out.rep || out.repne) && !out.desc->is_string)
+        return DecodeStatus::Invalid;
+    if (out.repne && out.desc->op != Op::Cmps8 &&
+        out.desc->op != Op::Cmps32 && out.desc->op != Op::Scas8 &&
+        out.desc->op != Op::Scas32) {
+        return DecodeStatus::Invalid;
+    }
+
+    // Immediate bytes.
+    unsigned imm_size = 0;
+    switch (out.desc->imm) {
+      case ImmKind::None: break;
+      case ImmKind::Imm8: case ImmKind::Rel8: imm_size = 1; break;
+      case ImmKind::Imm16: imm_size = 2; break;
+      case ImmKind::Imm32: case ImmKind::Rel32:
+      case ImmKind::Moffs32: imm_size = 4; break;
+      case ImmKind::FarPtr: imm_size = 4; break; // + selector below.
+    }
+    u32 imm = 0;
+    for (unsigned i = 0; i < imm_size; ++i) {
+        u8 ib;
+        if (!fetch(ib))
+            return DecodeStatus::TooLong;
+        imm |= static_cast<u32>(ib) << (8 * i);
+    }
+    out.imm = imm;
+    if (out.desc->imm == ImmKind::FarPtr) {
+        u16 sel = 0;
+        for (unsigned i = 0; i < 2; ++i) {
+            u8 ib;
+            if (!fetch(ib))
+                return DecodeStatus::TooLong;
+            sel |= static_cast<u16>(ib) << (8 * i);
+        }
+        out.imm_sel = sel;
+    }
+    out.length = static_cast<u8>(pos);
+    return DecodeStatus::Ok;
+}
+
+std::vector<u8>
+canonical_encoding(int table_index)
+{
+    const InsnDesc &d = insn_table().at(table_index);
+
+    // Memory operand forms exercise the segmentation and paging state
+    // space, matching what decoder-exploration representatives tend to
+    // pick; fall back to the register form where memory is illegal.
+    auto build = [&](bool memory_form) {
+        std::vector<u8> bytes;
+        if (d.opcode >= 0x100)
+            bytes.push_back(0x0f);
+        bytes.push_back(static_cast<u8>(d.opcode & 0xff));
+        if (d.has_modrm) {
+            const u8 reg =
+                d.group_reg >= 0 ? static_cast<u8>(d.group_reg) : 0;
+            if (memory_form) {
+                // mod=00 rm=101: absolute [disp32], zero displacement.
+                bytes.push_back(static_cast<u8>(0x05 | (reg << 3)));
+                bytes.insert(bytes.end(), 4, 0);
+            } else {
+                bytes.push_back(static_cast<u8>(0xc0 | (reg << 3)));
+            }
+        }
+        unsigned imm = 0;
+        switch (d.imm) {
+          case ImmKind::None: break;
+          case ImmKind::Imm8: case ImmKind::Rel8: imm = 1; break;
+          case ImmKind::Imm16: imm = 2; break;
+          case ImmKind::Imm32: case ImmKind::Rel32:
+          case ImmKind::Moffs32: imm = 4; break;
+          case ImmKind::FarPtr: imm = 6; break;
+        }
+        bytes.insert(bytes.end(), imm, 0);
+        bytes.resize(kMaxInsnLength, 0);
+        return bytes;
+    };
+
+    for (bool memory_form : {true, false}) {
+        std::vector<u8> bytes = build(memory_form);
+        DecodedInsn check;
+        if (decode(bytes.data(), bytes.size(), check) ==
+                DecodeStatus::Ok &&
+            check.table_index == table_index) {
+            return bytes;
+        }
+    }
+    panic("canonical_encoding does not round-trip");
+}
+
+std::string
+to_string(const DecodedInsn &insn)
+{
+    std::ostringstream os;
+    if (insn.lock)
+        os << "lock ";
+    if (insn.rep)
+        os << "rep ";
+    if (insn.repne)
+        os << "repne ";
+    os << (insn.desc ? insn.desc->mnemonic : "<bad>");
+    os << " [";
+    for (unsigned i = 0; i < insn.length; ++i) {
+        char buf[4];
+        std::snprintf(buf, sizeof buf, "%02x", insn.bytes[i]);
+        os << (i ? " " : "") << buf;
+    }
+    os << "]";
+    return os.str();
+}
+
+} // namespace pokeemu::arch

@@ -1,0 +1,59 @@
+#include "arch/descriptors.h"
+
+namespace pokeemu::arch {
+
+Descriptor
+decode_descriptor(const u8 *b)
+{
+    Descriptor d;
+    d.limit_raw = static_cast<u32>(b[0]) | (static_cast<u32>(b[1]) << 8) |
+                  ((static_cast<u32>(b[6]) & 0x0f) << 16);
+    d.base = static_cast<u32>(b[2]) | (static_cast<u32>(b[3]) << 8) |
+             (static_cast<u32>(b[4]) << 16) |
+             (static_cast<u32>(b[7]) << 24);
+    d.access = b[5];
+    d.granularity = (b[6] & 0x80) != 0;
+    d.db = (b[6] & 0x40) != 0;
+    return d;
+}
+
+void
+encode_descriptor(const Descriptor &d, u8 *out)
+{
+    out[0] = static_cast<u8>(d.limit_raw);
+    out[1] = static_cast<u8>(d.limit_raw >> 8);
+    out[2] = static_cast<u8>(d.base);
+    out[3] = static_cast<u8>(d.base >> 8);
+    out[4] = static_cast<u8>(d.base >> 16);
+    out[5] = d.access;
+    out[6] = static_cast<u8>(((d.limit_raw >> 16) & 0x0f) |
+                             (d.db ? 0x40 : 0) |
+                             (d.granularity ? 0x80 : 0));
+    out[7] = static_cast<u8>(d.base >> 24);
+}
+
+Descriptor
+make_flat_descriptor(u8 access)
+{
+    Descriptor d;
+    d.base = 0;
+    d.limit_raw = 0xfffff;
+    d.access = access;
+    d.granularity = true;
+    d.db = true;
+    return d;
+}
+
+SegmentReg
+make_segment_reg(u16 selector, const Descriptor &desc)
+{
+    SegmentReg s;
+    s.selector = selector;
+    s.base = desc.base;
+    s.limit = desc.effective_limit();
+    s.access = desc.access;
+    s.db = desc.db ? 1 : 0;
+    return s;
+}
+
+} // namespace pokeemu::arch

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * GDT segment-descriptor encoding and decoding.
+ *
+ * The 8-byte descriptor format is the real x86 one:
+ *   byte 0-1  limit[15:0]
+ *   byte 2-4  base[23:0]
+ *   byte 5    access: P | DPL(2) | S | Type(4)
+ *   byte 6    G | D/B | L | AVL | limit[19:16]
+ *   byte 7    base[31:24]
+ * The paper's Figure 5 example pokes bytes 5 and 6 of GDT entry 10 to
+ * flip the stack segment's type and default-operation-size — this
+ * module is what makes that byte-level view meaningful here.
+ */
+#ifndef POKEEMU_ARCH_DESCRIPTORS_H
+#define POKEEMU_ARCH_DESCRIPTORS_H
+
+#include "arch/state.h"
+
+namespace pokeemu::arch {
+
+/** A parsed segment descriptor. */
+struct Descriptor
+{
+    u32 base = 0;
+    u32 limit_raw = 0;  ///< 20-bit limit field as stored.
+    u8 access = 0;      ///< P/DPL/S/Type byte.
+    bool granularity = false;
+    bool db = false;
+
+    bool present() const { return (access & kDescPresent) != 0; }
+    bool is_code_data() const { return (access & kDescS) != 0; }
+    bool is_code() const { return (access & kDescCode) != 0; }
+    bool writable() const { return (access & kDescRw) != 0; }
+    bool expand_down() const
+    {
+        return !is_code() && (access & kDescDc) != 0;
+    }
+    unsigned dpl() const { return (access >> kDescDplShift) & 3; }
+
+    /** Byte-granular effective limit (G-expanded). */
+    u32
+    effective_limit() const
+    {
+        return granularity ? ((limit_raw << 12) | 0xfff) : limit_raw;
+    }
+};
+
+/** Decode the 8 descriptor bytes. */
+Descriptor decode_descriptor(const u8 *bytes);
+
+/** Encode into 8 bytes (inverse of decode for canonical values). */
+void encode_descriptor(const Descriptor &desc, u8 *out);
+
+/**
+ * Convenience: build a flat 4-GiB code or data descriptor with the
+ * given access byte (present, G=1, D/B=1, base 0, limit 0xfffff).
+ */
+Descriptor make_flat_descriptor(u8 access);
+
+/** Load a descriptor into a segment register's cache. */
+SegmentReg make_segment_reg(u16 selector, const Descriptor &desc);
+
+} // namespace pokeemu::arch
+
+#endif // POKEEMU_ARCH_DESCRIPTORS_H

@@ -1,0 +1,349 @@
+#include "arch/insn_table.h"
+
+#include <unordered_map>
+
+namespace pokeemu::arch {
+
+namespace {
+
+/** Shorthand builder for table rows. */
+struct RowBuilder
+{
+    std::vector<InsnDesc> rows;
+
+    void
+    add(u16 opcode, s8 group_reg, bool modrm, ImmKind imm, Op op, u8 aux,
+        const char *mnemonic, bool lockable = false,
+        bool is_string = false, bool is_alias = false)
+    {
+        rows.push_back({opcode, group_reg, modrm, imm, op, aux, lockable,
+                        is_string, is_alias, mnemonic});
+    }
+};
+
+const char *kAluNames[] = {"add", "or", "adc", "sbb",
+                           "and", "sub", "xor", "cmp"};
+const char *kShiftNames[] = {"rol", "ror", "rcl", "rcr",
+                             "shl", "shr", "shl", "sar"};
+const char *kCcNames[] = {"o", "no", "b", "nb", "z", "nz", "be", "nbe",
+                          "s", "ns", "p", "np", "l", "nl", "le", "nle"};
+std::vector<InsnDesc>
+build_table()
+{
+    RowBuilder t;
+
+    // --- ALU families: 00..3d in blocks of 8 per operation. ---
+    for (u8 a = 0; a < 8; ++a) {
+        const u16 base = static_cast<u16>(a * 8);
+        const bool lk = a != static_cast<u8>(AluKind::Cmp);
+        t.add(base + 0, -1, true, ImmKind::None, Op::AluRm8R8, a,
+              kAluNames[a], lk);
+        t.add(base + 1, -1, true, ImmKind::None, Op::AluRm32R32, a,
+              kAluNames[a], lk);
+        t.add(base + 2, -1, true, ImmKind::None, Op::AluR8Rm8, a,
+              kAluNames[a]);
+        t.add(base + 3, -1, true, ImmKind::None, Op::AluR32Rm32, a,
+              kAluNames[a]);
+        t.add(base + 4, -1, false, ImmKind::Imm8, Op::AluAlImm8, a,
+              kAluNames[a]);
+        t.add(base + 5, -1, false, ImmKind::Imm32, Op::AluEaxImm32, a,
+              kAluNames[a]);
+    }
+
+    // --- inc/dec/push/pop register forms. ---
+    for (u8 r = 0; r < 8; ++r) {
+        t.add(0x40 + r, -1, false, ImmKind::None, Op::IncR32, r, "inc");
+        t.add(0x48 + r, -1, false, ImmKind::None, Op::DecR32, r, "dec");
+        t.add(0x50 + r, -1, false, ImmKind::None, Op::PushR32, r,
+              "push");
+        t.add(0x58 + r, -1, false, ImmKind::None, Op::PopR32, r, "pop");
+    }
+
+    t.add(0x68, -1, false, ImmKind::Imm32, Op::PushImm32, 0, "push");
+    t.add(0x6a, -1, false, ImmKind::Imm8, Op::PushImm8, 0, "push");
+
+    // --- Jcc rel8 / two-byte Jcc rel32 / SETcc / CMOVcc. ---
+    for (u8 cc = 0; cc < 16; ++cc) {
+        t.add(0x70 + cc, -1, false, ImmKind::Rel8, Op::JccRel8, cc,
+              kCcNames[cc]);
+        t.add(0x0f80 + cc, -1, false, ImmKind::Rel32, Op::JccRel32, cc,
+              kCcNames[cc]);
+        t.add(0x0f90 + cc, 0, true, ImmKind::None, Op::SetccRm8, cc,
+              kCcNames[cc]);
+        t.add(0x0f40 + cc, -1, true, ImmKind::None, Op::CmovccR32Rm32,
+              cc, kCcNames[cc]);
+    }
+
+    // --- Group 1: 80/81/83, one entry per ALU sub-opcode. ---
+    for (u8 a = 0; a < 8; ++a) {
+        const bool lk = a != static_cast<u8>(AluKind::Cmp);
+        t.add(0x80, a, true, ImmKind::Imm8, Op::Grp1Rm8Imm8, a,
+              kAluNames[a], lk);
+        t.add(0x81, a, true, ImmKind::Imm32, Op::Grp1Rm32Imm32, a,
+              kAluNames[a], lk);
+        t.add(0x83, a, true, ImmKind::Imm8, Op::Grp1Rm32Imm8, a,
+              kAluNames[a], lk);
+    }
+
+    t.add(0x84, -1, true, ImmKind::None, Op::TestRm8R8, 0, "test");
+    t.add(0x85, -1, true, ImmKind::None, Op::TestRm32R32, 0, "test");
+    t.add(0x86, -1, true, ImmKind::None, Op::XchgRm8R8, 0, "xchg", true);
+    t.add(0x87, -1, true, ImmKind::None, Op::XchgRm32R32, 0, "xchg",
+          true);
+    t.add(0x88, -1, true, ImmKind::None, Op::MovRm8R8, 0, "mov");
+    t.add(0x89, -1, true, ImmKind::None, Op::MovRm32R32, 0, "mov");
+    t.add(0x8a, -1, true, ImmKind::None, Op::MovR8Rm8, 0, "mov");
+    t.add(0x8b, -1, true, ImmKind::None, Op::MovR32Rm32, 0, "mov");
+    t.add(0x8c, -1, true, ImmKind::None, Op::MovRm16Sreg, 0, "mov");
+    t.add(0x8d, -1, true, ImmKind::None, Op::Lea, 0, "lea");
+    t.add(0x8e, -1, true, ImmKind::None, Op::MovSregRm16, 0, "mov");
+    t.add(0x8f, 0, true, ImmKind::None, Op::PopRm32, 0, "pop");
+
+    t.add(0x90, -1, false, ImmKind::None, Op::Nop, 0, "nop");
+    for (u8 r = 1; r < 8; ++r) {
+        t.add(0x90 + r, -1, false, ImmKind::None, Op::XchgEaxR32, r,
+              "xchg");
+    }
+    t.add(0x98, -1, false, ImmKind::None, Op::Cwde, 0, "cwde");
+    t.add(0x99, -1, false, ImmKind::None, Op::Cdq, 0, "cdq");
+    t.add(0x9c, -1, false, ImmKind::None, Op::Pushfd, 0, "pushfd");
+    t.add(0x9d, -1, false, ImmKind::None, Op::Popfd, 0, "popfd");
+    t.add(0x9e, -1, false, ImmKind::None, Op::Sahf, 0, "sahf");
+    t.add(0x9f, -1, false, ImmKind::None, Op::Lahf, 0, "lahf");
+
+    t.add(0xa0, -1, false, ImmKind::Moffs32, Op::MovAlMoffs, 0, "mov");
+    t.add(0xa1, -1, false, ImmKind::Moffs32, Op::MovEaxMoffs, 0, "mov");
+    t.add(0xa2, -1, false, ImmKind::Moffs32, Op::MovMoffsAl, 0, "mov");
+    t.add(0xa3, -1, false, ImmKind::Moffs32, Op::MovMoffsEax, 0, "mov");
+
+    t.add(0xa4, -1, false, ImmKind::None, Op::Movs8, 0, "movsb", false,
+          true);
+    t.add(0xa5, -1, false, ImmKind::None, Op::Movs32, 0, "movsd", false,
+          true);
+    t.add(0xa6, -1, false, ImmKind::None, Op::Cmps8, 0, "cmpsb", false,
+          true);
+    t.add(0xa7, -1, false, ImmKind::None, Op::Cmps32, 0, "cmpsd", false,
+          true);
+    t.add(0xa8, -1, false, ImmKind::Imm8, Op::TestAlImm8, 0, "test");
+    t.add(0xa9, -1, false, ImmKind::Imm32, Op::TestEaxImm32, 0, "test");
+    t.add(0xaa, -1, false, ImmKind::None, Op::Stos8, 0, "stosb", false,
+          true);
+    t.add(0xab, -1, false, ImmKind::None, Op::Stos32, 0, "stosd", false,
+          true);
+    t.add(0xac, -1, false, ImmKind::None, Op::Lods8, 0, "lodsb", false,
+          true);
+    t.add(0xad, -1, false, ImmKind::None, Op::Lods32, 0, "lodsd", false,
+          true);
+    t.add(0xae, -1, false, ImmKind::None, Op::Scas8, 0, "scasb", false,
+          true);
+    t.add(0xaf, -1, false, ImmKind::None, Op::Scas32, 0, "scasd", false,
+          true);
+
+    for (u8 r = 0; r < 8; ++r) {
+        t.add(0xb0 + r, -1, false, ImmKind::Imm8, Op::MovR8Imm8, r,
+              "mov");
+        t.add(0xb8 + r, -1, false, ImmKind::Imm32, Op::MovR32Imm32, r,
+              "mov");
+    }
+
+    // --- Shift groups: C0/C1 (imm8), D0/D1 (1), D2/D3 (CL). ---
+    for (u8 k = 0; k < 8; ++k) {
+        if (k == 2 || k == 3)
+            continue; // RCL/RCR omitted from the subset.
+        const bool alias = k == 6; // /6 is the undocumented SHL alias.
+        t.add(0xc0, k, true, ImmKind::Imm8, Op::ShiftRm8Imm8, k,
+              kShiftNames[k], false, false, alias);
+        t.add(0xc1, k, true, ImmKind::Imm8, Op::ShiftRm32Imm8, k,
+              kShiftNames[k], false, false, alias);
+        t.add(0xd0, k, true, ImmKind::None, Op::ShiftRm8One, k,
+              kShiftNames[k], false, false, alias);
+        t.add(0xd1, k, true, ImmKind::None, Op::ShiftRm32One, k,
+              kShiftNames[k], false, false, alias);
+        t.add(0xd2, k, true, ImmKind::None, Op::ShiftRm8Cl, k,
+              kShiftNames[k], false, false, alias);
+        t.add(0xd3, k, true, ImmKind::None, Op::ShiftRm32Cl, k,
+              kShiftNames[k], false, false, alias);
+    }
+
+    t.add(0xc2, -1, false, ImmKind::Imm16, Op::RetImm16, 0, "ret");
+    t.add(0xc3, -1, false, ImmKind::None, Op::Ret, 0, "ret");
+    t.add(0xc4, -1, true, ImmKind::None, Op::Les, 0, "les");
+    t.add(0xc5, -1, true, ImmKind::None, Op::Lds, 0, "lds");
+    t.add(0xc6, 0, true, ImmKind::Imm8, Op::MovRm8Imm8, 0, "mov");
+    t.add(0xc7, 0, true, ImmKind::Imm32, Op::MovRm32Imm32, 0, "mov");
+    t.add(0xc9, -1, false, ImmKind::None, Op::Leave, 0, "leave");
+    t.add(0xcc, -1, false, ImmKind::None, Op::Int3, 0, "int3");
+    t.add(0xcd, -1, false, ImmKind::Imm8, Op::IntImm8, 0, "int");
+    t.add(0xce, -1, false, ImmKind::None, Op::Into, 0, "into");
+    t.add(0xcf, -1, false, ImmKind::None, Op::Iret, 0, "iret");
+
+    t.add(0x9a, -1, false, ImmKind::FarPtr, Op::CallFar, 0, "callf");
+    t.add(0xea, -1, false, ImmKind::FarPtr, Op::JmpFar, 0, "jmpf");
+    t.add(0xe8, -1, false, ImmKind::Rel32, Op::CallRel32, 0, "call");
+    t.add(0xe9, -1, false, ImmKind::Rel32, Op::JmpRel32, 0, "jmp");
+    t.add(0xeb, -1, false, ImmKind::Rel8, Op::JmpRel8, 0, "jmp");
+
+    t.add(0xf4, -1, false, ImmKind::None, Op::Hlt, 0, "hlt");
+    t.add(0xf5, -1, false, ImmKind::None, Op::Cmc, 0, "cmc");
+
+    // --- Group 3: F6/F7. ---
+    t.add(0xf6, 0, true, ImmKind::Imm8, Op::Grp3TestRm8Imm8, 0, "test");
+    t.add(0xf6, 1, true, ImmKind::Imm8, Op::Grp3TestRm8Imm8, 0, "test",
+          false, false, true); // /1 is the undocumented TEST alias.
+    t.add(0xf6, 2, true, ImmKind::None, Op::Grp3NotRm8, 0, "not", true);
+    t.add(0xf6, 3, true, ImmKind::None, Op::Grp3NegRm8, 0, "neg", true);
+    t.add(0xf6, 4, true, ImmKind::None, Op::Grp3MulRm8, 0, "mul");
+    t.add(0xf6, 5, true, ImmKind::None, Op::Grp3ImulRm8, 0, "imul");
+    t.add(0xf6, 6, true, ImmKind::None, Op::Grp3DivRm8, 0, "div");
+    t.add(0xf6, 7, true, ImmKind::None, Op::Grp3IdivRm8, 0, "idiv");
+    t.add(0xf7, 0, true, ImmKind::Imm32, Op::Grp3TestRm32Imm32, 0,
+          "test");
+    t.add(0xf7, 1, true, ImmKind::Imm32, Op::Grp3TestRm32Imm32, 0,
+          "test", false, false, true);
+    t.add(0xf7, 2, true, ImmKind::None, Op::Grp3NotRm32, 0, "not", true);
+    t.add(0xf7, 3, true, ImmKind::None, Op::Grp3NegRm32, 0, "neg", true);
+    t.add(0xf7, 4, true, ImmKind::None, Op::Grp3MulRm32, 0, "mul");
+    t.add(0xf7, 5, true, ImmKind::None, Op::Grp3ImulRm32, 0, "imul");
+    t.add(0xf7, 6, true, ImmKind::None, Op::Grp3DivRm32, 0, "div");
+    t.add(0xf7, 7, true, ImmKind::None, Op::Grp3IdivRm32, 0, "idiv");
+
+    t.add(0xf8, -1, false, ImmKind::None, Op::Clc, 0, "clc");
+    t.add(0xf9, -1, false, ImmKind::None, Op::Stc, 0, "stc");
+    t.add(0xfa, -1, false, ImmKind::None, Op::Cli, 0, "cli");
+    t.add(0xfb, -1, false, ImmKind::None, Op::Sti, 0, "sti");
+    t.add(0xfc, -1, false, ImmKind::None, Op::Cld, 0, "cld");
+    t.add(0xfd, -1, false, ImmKind::None, Op::Std, 0, "std");
+
+    t.add(0xfe, 0, true, ImmKind::None, Op::IncRm8, 0, "inc", true);
+    t.add(0xfe, 1, true, ImmKind::None, Op::DecRm8, 0, "dec", true);
+    t.add(0xff, 0, true, ImmKind::None, Op::IncRm32, 0, "inc", true);
+    t.add(0xff, 1, true, ImmKind::None, Op::DecRm32, 0, "dec", true);
+    t.add(0xff, 2, true, ImmKind::None, Op::CallRm32, 0, "call");
+    t.add(0xff, 4, true, ImmKind::None, Op::JmpRm32, 0, "jmp");
+    t.add(0xff, 6, true, ImmKind::None, Op::PushRm32, 0, "push");
+
+    // --- Two-byte opcodes. ---
+    t.add(0x0f01, 0, true, ImmKind::None, Op::Sgdt, 0, "sgdt");
+    t.add(0x0f01, 1, true, ImmKind::None, Op::Sidt, 0, "sidt");
+    t.add(0x0f01, 2, true, ImmKind::None, Op::Lgdt, 0, "lgdt");
+    t.add(0x0f01, 3, true, ImmKind::None, Op::Lidt, 0, "lidt");
+    t.add(0x0f01, 7, true, ImmKind::None, Op::Invlpg, 0, "invlpg");
+    t.add(0x0f06, -1, false, ImmKind::None, Op::Clts, 0, "clts");
+    t.add(0x0f20, -1, true, ImmKind::None, Op::MovR32Cr, 0, "mov");
+    t.add(0x0f22, -1, true, ImmKind::None, Op::MovCrR32, 0, "mov");
+    t.add(0x0f30, -1, false, ImmKind::None, Op::Wrmsr, 0, "wrmsr");
+    t.add(0x0f31, -1, false, ImmKind::None, Op::Rdtsc, 0, "rdtsc");
+    t.add(0x0f32, -1, false, ImmKind::None, Op::Rdmsr, 0, "rdmsr");
+    t.add(0x0fa2, -1, false, ImmKind::None, Op::Cpuid, 0, "cpuid");
+
+    t.add(0x0fa3, -1, true, ImmKind::None, Op::BtRm32R32, 0, "bt");
+    t.add(0x0fab, -1, true, ImmKind::None, Op::BtsRm32R32, 0, "bts",
+          true);
+    t.add(0x0fb3, -1, true, ImmKind::None, Op::BtrRm32R32, 0, "btr",
+          true);
+    t.add(0x0fbb, -1, true, ImmKind::None, Op::BtcRm32R32, 0, "btc",
+          true);
+    t.add(0x0fba, 4, true, ImmKind::Imm8, Op::Grp8BtImm8, 0, "bt");
+    t.add(0x0fba, 5, true, ImmKind::Imm8, Op::Grp8BtsImm8, 0, "bts",
+          true);
+    t.add(0x0fba, 6, true, ImmKind::Imm8, Op::Grp8BtrImm8, 0, "btr",
+          true);
+    t.add(0x0fba, 7, true, ImmKind::Imm8, Op::Grp8BtcImm8, 0, "btc",
+          true);
+
+    t.add(0x0fa4, -1, true, ImmKind::Imm8, Op::ShldImm8, 0, "shld");
+    t.add(0x0fa5, -1, true, ImmKind::None, Op::ShldCl, 0, "shld");
+    t.add(0x0fac, -1, true, ImmKind::Imm8, Op::ShrdImm8, 0, "shrd");
+    t.add(0x0fad, -1, true, ImmKind::None, Op::ShrdCl, 0, "shrd");
+    t.add(0x0faf, -1, true, ImmKind::None, Op::ImulR32Rm32, 0, "imul");
+    t.add(0x69, -1, true, ImmKind::Imm32, Op::ImulR32Rm32Imm32, 0,
+          "imul");
+    t.add(0x6b, -1, true, ImmKind::Imm8, Op::ImulR32Rm32Imm8, 0, "imul");
+
+    t.add(0x0fb0, -1, true, ImmKind::None, Op::CmpxchgRm8R8, 0,
+          "cmpxchg", true);
+    t.add(0x0fb1, -1, true, ImmKind::None, Op::CmpxchgRm32R32, 0,
+          "cmpxchg", true);
+    t.add(0x0fb2, -1, true, ImmKind::None, Op::Lss, 0, "lss");
+    t.add(0x0fb4, -1, true, ImmKind::None, Op::Lfs, 0, "lfs");
+    t.add(0x0fb5, -1, true, ImmKind::None, Op::Lgs, 0, "lgs");
+    t.add(0x0fb6, -1, true, ImmKind::None, Op::MovzxR32Rm8, 0, "movzx");
+    t.add(0x0fb7, -1, true, ImmKind::None, Op::MovzxR32Rm16, 0,
+          "movzx");
+    t.add(0x0fbe, -1, true, ImmKind::None, Op::MovsxR32Rm8, 0, "movsx");
+    t.add(0x0fbf, -1, true, ImmKind::None, Op::MovsxR32Rm16, 0,
+          "movsx");
+    t.add(0x0fbc, -1, true, ImmKind::None, Op::Bsf, 0, "bsf");
+    t.add(0x0fbd, -1, true, ImmKind::None, Op::Bsr, 0, "bsr");
+    t.add(0x0fc0, -1, true, ImmKind::None, Op::XaddRm8R8, 0, "xadd",
+          true);
+    t.add(0x0fc1, -1, true, ImmKind::None, Op::XaddRm32R32, 0, "xadd",
+          true);
+    for (u8 r = 0; r < 8; ++r) {
+        t.add(0x0fc8 + r, -1, false, ImmKind::None, Op::BswapR32, r,
+              "bswap");
+    }
+
+    return t.rows;
+}
+
+struct TableIndex
+{
+    std::vector<InsnDesc> rows;
+    /** opcode -> list of row indices. */
+    std::unordered_map<u16, std::vector<int>> by_opcode;
+
+    TableIndex() : rows(build_table())
+    {
+        for (std::size_t i = 0; i < rows.size(); ++i)
+            by_opcode[rows[i].opcode].push_back(static_cast<int>(i));
+    }
+};
+
+const TableIndex &
+table_index()
+{
+    static const TableIndex instance;
+    return instance;
+}
+
+} // namespace
+
+const std::vector<InsnDesc> &
+insn_table()
+{
+    return table_index().rows;
+}
+
+int
+lookup_insn(u16 opcode, u8 reg)
+{
+    const auto &idx = table_index().by_opcode;
+    auto it = idx.find(opcode);
+    if (it == idx.end())
+        return -1;
+    for (int row : it->second) {
+        const InsnDesc &d = table_index().rows[row];
+        if (d.group_reg < 0 || d.group_reg == static_cast<s8>(reg))
+            return row;
+    }
+    return -1;
+}
+
+bool
+opcode_known(u16 opcode)
+{
+    return table_index().by_opcode.count(opcode) != 0;
+}
+
+const InsnDesc *
+first_entry(u16 opcode)
+{
+    const auto &idx = table_index().by_opcode;
+    auto it = idx.find(opcode);
+    if (it == idx.end())
+        return nullptr;
+    return &table_index().rows[it->second.front()];
+}
+
+} // namespace pokeemu::arch

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The VX86 instruction table: the single source of truth that drives
+ * the C++ decoder (arch/decoder.h), the Hi-Fi emulator's symbolically
+ * explorable decoder (hifi/decoder_ir.h), the semantics generator, and
+ * the independent Lo-Fi / hardware implementations.
+ *
+ * One table entry corresponds to one "per-instruction code" in the
+ * paper's sense (§3.2): opcode groups (e.g. 0x80 /0../7) get one entry
+ * per sub-opcode, and +r register forms get one entry per register,
+ * exactly as interpreter dispatch tables do. The instruction-set
+ * exploration step therefore reports its unique-instruction count in
+ * terms of these entries.
+ *
+ * Encoding rules of the subset:
+ *  - legal prefixes: segment overrides (26/2e/36/3e/64/65), LOCK (f0),
+ *    REP/REPNE (f2/f3); at most four prefix bytes;
+ *  - the operand-size (66) and address-size (67) overrides are NOT part
+ *    of the subset and decode to #UD on every backend;
+ *  - LOCK is legal only on lockable instructions with a memory
+ *    destination; REP/REPNE only on the string instructions;
+ *  - standard 32-bit ModRM/SIB/displacement forms;
+ *  - instructions longer than 15 bytes raise #GP, as on hardware.
+ */
+#ifndef POKEEMU_ARCH_INSN_TABLE_H
+#define POKEEMU_ARCH_INSN_TABLE_H
+
+#include <vector>
+
+#include "arch/state.h"
+
+namespace pokeemu::arch {
+
+/** Semantic class of an instruction (shared generator per class). */
+enum class Op : u8 {
+    // ALU families (aux = AluKind).
+    AluRm8R8, AluRm32R32, AluR8Rm8, AluR32Rm32, AluAlImm8, AluEaxImm32,
+    Grp1Rm8Imm8,   ///< 80 /r (aux = AluKind from group).
+    Grp1Rm32Imm32, ///< 81 /r
+    Grp1Rm32Imm8,  ///< 83 /r (sign-extended imm8).
+    // inc/dec/push/pop/xchg register forms (aux = register).
+    IncR32, DecR32, PushR32, PopR32, XchgEaxR32, BswapR32,
+    MovR8Imm8, MovR32Imm32,
+    PushImm32, PushImm8,
+    // Conditional families (aux = condition code).
+    JccRel8, JccRel32, SetccRm8, CmovccR32Rm32,
+    // Moves and friends.
+    MovRm8R8, MovRm32R32, MovR8Rm8, MovR32Rm32,
+    MovRm8Imm8, MovRm32Imm32,
+    MovRm16Sreg, MovSregRm16, Lea, PopRm32,
+    MovAlMoffs, MovMoffsAl, MovEaxMoffs, MovMoffsEax,
+    TestRm8R8, TestRm32R32, TestAlImm8, TestEaxImm32,
+    XchgRm8R8, XchgRm32R32,
+    Nop, Cwde, Cdq, Pushfd, Popfd, Sahf, Lahf,
+    // String family (REP handled by semantics; aux unused).
+    Movs8, Movs32, Cmps8, Cmps32, Stos8, Stos32,
+    Lods8, Lods32, Scas8, Scas32,
+    // Shift/rotate groups (aux = ShiftKind from group).
+    ShiftRm8Imm8, ShiftRm32Imm8, ShiftRm8One, ShiftRm32One,
+    ShiftRm8Cl, ShiftRm32Cl,
+    // Control flow.
+    RetImm16, Ret, CallRel32, JmpRel32, JmpRel8, Leave, Iret,
+    Int3, IntImm8, Into, JmpFar, CallFar,
+    // Far pointer loads.
+    Les, Lds, Lss, Lfs, Lgs,
+    // Flag manipulation.
+    Hlt, Cmc, Clc, Stc, Cli, Sti, Cld, Std,
+    // Unary/mul/div group F6/F7 (aux = Grp3Kind).
+    Grp3TestRm8Imm8, Grp3TestRm32Imm32,
+    Grp3NotRm8, Grp3NotRm32, Grp3NegRm8, Grp3NegRm32,
+    Grp3MulRm8, Grp3MulRm32, Grp3ImulRm8, Grp3ImulRm32,
+    Grp3DivRm8, Grp3DivRm32, Grp3IdivRm8, Grp3IdivRm32,
+    // FE/FF groups.
+    IncRm8, DecRm8, IncRm32, DecRm32, CallRm32, JmpRm32, PushRm32,
+    // System (0F ...).
+    Sgdt, Sidt, Lgdt, Lidt, Invlpg, Clts,
+    MovR32Cr, MovCrR32,
+    Wrmsr, Rdtsc, Rdmsr, Cpuid,
+    // Bit operations.
+    BtRm32R32, BtsRm32R32, BtrRm32R32, BtcRm32R32,
+    Grp8BtImm8, Grp8BtsImm8, Grp8BtrImm8, Grp8BtcImm8,
+    ShldImm8, ShldCl, ShrdImm8, ShrdCl,
+    ImulR32Rm32, ImulR32Rm32Imm32, ImulR32Rm32Imm8,
+    CmpxchgRm8R8, CmpxchgRm32R32,
+    MovzxR32Rm8, MovzxR32Rm16, MovsxR32Rm8, MovsxR32Rm16,
+    Bsf, Bsr,
+    XaddRm8R8, XaddRm32R32,
+};
+
+/** ALU operation selector for Alu and Grp1 entries (x86 /r encoding). */
+enum class AluKind : u8 { Add = 0, Or, Adc, Sbb, And, Sub, Xor, Cmp };
+
+/** Shift/rotate selector for the shift groups (x86 /r encoding). */
+enum class ShiftKind : u8 {
+    Rol = 0, Ror, Rcl, Rcr, Shl, Shr, ShlAlias, Sar
+};
+
+/** Immediate / trailing-bytes field of an instruction. */
+enum class ImmKind : u8 {
+    None, Imm8, Imm16, Imm32, Rel8, Rel32, Moffs32,
+    FarPtr, ///< ptr16:32 — 4-byte offset then 2-byte selector.
+};
+
+/** One per-instruction-code entry; see file comment. */
+struct InsnDesc
+{
+    u16 opcode;      ///< 0x00..0xff, or 0x0f00 | second byte.
+    s8 group_reg;    ///< -1: any modrm.reg; else required value.
+    bool has_modrm;
+    ImmKind imm;
+    Op op;
+    u8 aux;          ///< AluKind / ShiftKind / cc / register index.
+    bool lockable;   ///< LOCK prefix legal with a memory destination.
+    bool is_string;  ///< REP/REPNE prefixes legal.
+    /**
+     * Undocumented-alias encoding (e.g. shift group /6 == SHL):
+     * hardware and the Hi-Fi emulator accept it; the Lo-Fi emulator's
+     * reject_valid_encodings bug refuses it.
+     */
+    bool is_alias;
+    const char *mnemonic;
+};
+
+/** The full table; index into it is the "unique instruction" id. */
+const std::vector<InsnDesc> &insn_table();
+
+/**
+ * Find the table entry for @p opcode (0x0f00|b for two-byte) and
+ * modrm.reg @p reg (ignored unless the opcode is grouped).
+ * @return table index, or -1 if no entry matches (#UD).
+ */
+int lookup_insn(u16 opcode, u8 reg);
+
+/** True if any entry exists for @p opcode (any reg). */
+bool opcode_known(u16 opcode);
+
+/**
+ * First table entry for @p opcode (any reg), or nullptr. All entries
+ * of one opcode share has_modrm, so this suffices for format probing.
+ */
+const InsnDesc *first_entry(u16 opcode);
+
+} // namespace pokeemu::arch
+
+#endif // POKEEMU_ARCH_INSN_TABLE_H

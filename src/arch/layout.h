@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Byte layout of the VX86 machine state image and the address-space
+ * map IR programs execute in.
+ *
+ * The Hi-Fi emulator keeps guest state in "host memory" exactly like
+ * Bochs keeps BX_CPU in its address space; PokeEMU marks parts of that
+ * memory symbolic by address (paper §3.3.1, Figure 3). This header is
+ * the single source of truth for those addresses.
+ *
+ * IR address space:
+ *   [kCpuBase,   kCpuBase + kCpuStateSize)   CPU state image
+ *   [kInsnBufBase, +16)                      instruction byte buffer
+ *   [kGuestPhysBase, + kPhysMemSize)         guest physical memory
+ *
+ * All fields are little-endian.
+ */
+#ifndef POKEEMU_ARCH_LAYOUT_H
+#define POKEEMU_ARCH_LAYOUT_H
+
+#include "arch/state.h"
+
+namespace pokeemu::arch::layout {
+
+constexpr u32 kCpuBase = 0x10000000;
+constexpr u32 kInsnBufBase = 0x11000000;
+constexpr u32 kGuestPhysBase = 0x20000000;
+
+/// @name Offsets within the CPU state image (relative to kCpuBase).
+/// @{
+constexpr u32 kOffGpr = 0x00;          ///< 8 x u32.
+constexpr u32 kOffEip = 0x20;
+constexpr u32 kOffEflags = 0x24;
+constexpr u32 kOffCr0 = 0x28;
+constexpr u32 kOffCr2 = 0x2c;
+constexpr u32 kOffCr3 = 0x30;
+constexpr u32 kOffCr4 = 0x34;
+constexpr u32 kOffGdtrBase = 0x38;
+constexpr u32 kOffGdtrLimit = 0x3c;    ///< u16 + 2 pad.
+constexpr u32 kOffIdtrBase = 0x40;
+constexpr u32 kOffIdtrLimit = 0x44;    ///< u16 + 2 pad.
+
+/** Per-segment record: 16 bytes, 6 segments in Seg order. */
+constexpr u32 kOffSeg = 0x48;
+constexpr u32 kSegStride = 16;
+constexpr u32 kSegSelector = 0;  ///< u16 + 2 pad.
+constexpr u32 kSegBase = 4;      ///< u32.
+constexpr u32 kSegLimit = 8;     ///< u32 (effective).
+constexpr u32 kSegAccess = 12;   ///< u8.
+constexpr u32 kSegDb = 13;       ///< u8 + 2 pad.
+
+constexpr u32 kOffMsrSysenterCs = 0xa8;
+constexpr u32 kOffMsrSysenterEsp = 0xac;
+constexpr u32 kOffMsrSysenterEip = 0xb0;
+
+constexpr u32 kOffExcVector = 0xb4;    ///< u8.
+constexpr u32 kOffExcHasError = 0xb5;  ///< u8 + 2 pad.
+constexpr u32 kOffExcError = 0xb8;     ///< u32.
+constexpr u32 kOffHalted = 0xbc;       ///< u8 + 3 pad.
+
+constexpr u32 kCpuStateSize = 0xc0;
+/// @}
+
+/// @name Absolute addresses of common fields in the IR address space.
+/// @{
+constexpr u32
+gpr_addr(unsigned r)
+{
+    return kCpuBase + kOffGpr + 4 * r;
+}
+
+constexpr u32
+seg_addr(unsigned s, u32 field_off)
+{
+    return kCpuBase + kOffSeg + kSegStride * s + field_off;
+}
+
+constexpr u32 kEipAddr = kCpuBase + kOffEip;
+constexpr u32 kEflagsAddr = kCpuBase + kOffEflags;
+constexpr u32 kCr0Addr = kCpuBase + kOffCr0;
+constexpr u32 kCr2Addr = kCpuBase + kOffCr2;
+constexpr u32 kCr3Addr = kCpuBase + kOffCr3;
+constexpr u32 kCr4Addr = kCpuBase + kOffCr4;
+constexpr u32 kGdtrBaseAddr = kCpuBase + kOffGdtrBase;
+constexpr u32 kGdtrLimitAddr = kCpuBase + kOffGdtrLimit;
+constexpr u32 kIdtrBaseAddr = kCpuBase + kOffIdtrBase;
+constexpr u32 kIdtrLimitAddr = kCpuBase + kOffIdtrLimit;
+constexpr u32 kExcVectorAddr = kCpuBase + kOffExcVector;
+constexpr u32 kExcHasErrorAddr = kCpuBase + kOffExcHasError;
+constexpr u32 kExcErrorAddr = kCpuBase + kOffExcError;
+constexpr u32 kHaltedAddr = kCpuBase + kOffHalted;
+/// @}
+
+/// @name Guest physical memory map (offsets into guest RAM).
+/// @{
+constexpr u32 kPhysPageDir = 0x1000;
+constexpr u32 kPhysPageTable = 0x2000;
+constexpr u32 kPhysIdt = 0x3000;
+constexpr u32 kPhysGdt = 0x8000;
+constexpr u32 kGdtEntries = 16;
+constexpr u32 kPhysHandlerStub = 0x9000;
+constexpr u32 kPhysBaselineCode = 0x10000;
+constexpr u32 kPhysDataArea = 0x200000;
+constexpr u32 kPhysTestCode = 0x201000;
+constexpr u32 kBaselineEsp = 0x1ff000;
+/// @}
+
+} // namespace pokeemu::arch::layout
+
+#endif // POKEEMU_ARCH_LAYOUT_H

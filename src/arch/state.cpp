@@ -1,0 +1,157 @@
+#include "arch/state.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "arch/layout.h"
+
+namespace pokeemu::arch {
+
+const char *
+gpr_name(unsigned r)
+{
+    static const char *names[] = {"eax", "ecx", "edx", "ebx",
+                                  "esp", "ebp", "esi", "edi"};
+    return r < kNumGprs ? names[r] : "?";
+}
+
+const char *
+seg_name(unsigned s)
+{
+    static const char *names[] = {"es", "cs", "ss", "ds", "fs", "gs"};
+    return s < kNumSegs ? names[s] : "?";
+}
+
+namespace {
+
+void
+put32(u8 *p, u32 off, u32 v)
+{
+    p[off] = static_cast<u8>(v);
+    p[off + 1] = static_cast<u8>(v >> 8);
+    p[off + 2] = static_cast<u8>(v >> 16);
+    p[off + 3] = static_cast<u8>(v >> 24);
+}
+
+void
+put16(u8 *p, u32 off, u16 v)
+{
+    p[off] = static_cast<u8>(v);
+    p[off + 1] = static_cast<u8>(v >> 8);
+}
+
+u32
+get32(const u8 *p, u32 off)
+{
+    return static_cast<u32>(p[off]) | (static_cast<u32>(p[off + 1]) << 8) |
+           (static_cast<u32>(p[off + 2]) << 16) |
+           (static_cast<u32>(p[off + 3]) << 24);
+}
+
+u16
+get16(const u8 *p, u32 off)
+{
+    return static_cast<u16>(p[off] | (p[off + 1] << 8));
+}
+
+} // namespace
+
+void
+pack_cpu_state(const CpuState &state, u8 *out)
+{
+    using namespace layout;
+    std::memset(out, 0, kCpuStateSize);
+    for (unsigned r = 0; r < kNumGprs; ++r)
+        put32(out, kOffGpr + 4 * r, state.gpr[r]);
+    put32(out, kOffEip, state.eip);
+    put32(out, kOffEflags, state.eflags);
+    put32(out, kOffCr0, state.cr0);
+    put32(out, kOffCr2, state.cr2);
+    put32(out, kOffCr3, state.cr3);
+    put32(out, kOffCr4, state.cr4);
+    put32(out, kOffGdtrBase, state.gdtr.base);
+    put16(out, kOffGdtrLimit, state.gdtr.limit);
+    put32(out, kOffIdtrBase, state.idtr.base);
+    put16(out, kOffIdtrLimit, state.idtr.limit);
+    for (unsigned s = 0; s < kNumSegs; ++s) {
+        const u32 base = kOffSeg + kSegStride * s;
+        put16(out, base + kSegSelector, state.seg[s].selector);
+        put32(out, base + kSegBase, state.seg[s].base);
+        put32(out, base + kSegLimit, state.seg[s].limit);
+        out[base + kSegAccess] = state.seg[s].access;
+        out[base + kSegDb] = state.seg[s].db;
+    }
+    put32(out, kOffMsrSysenterCs, state.msr.sysenter_cs);
+    put32(out, kOffMsrSysenterEsp, state.msr.sysenter_esp);
+    put32(out, kOffMsrSysenterEip, state.msr.sysenter_eip);
+    out[kOffExcVector] = state.exception.vector;
+    out[kOffExcHasError] = state.exception.has_error_code ? 1 : 0;
+    put32(out, kOffExcError, state.exception.error_code);
+    out[kOffHalted] = state.halted;
+}
+
+CpuState
+unpack_cpu_state(const u8 *bytes)
+{
+    using namespace layout;
+    CpuState state;
+    for (unsigned r = 0; r < kNumGprs; ++r)
+        state.gpr[r] = get32(bytes, kOffGpr + 4 * r);
+    state.eip = get32(bytes, kOffEip);
+    state.eflags = get32(bytes, kOffEflags);
+    state.cr0 = get32(bytes, kOffCr0);
+    state.cr2 = get32(bytes, kOffCr2);
+    state.cr3 = get32(bytes, kOffCr3);
+    state.cr4 = get32(bytes, kOffCr4);
+    state.gdtr.base = get32(bytes, kOffGdtrBase);
+    state.gdtr.limit = get16(bytes, kOffGdtrLimit);
+    state.idtr.base = get32(bytes, kOffIdtrBase);
+    state.idtr.limit = get16(bytes, kOffIdtrLimit);
+    for (unsigned s = 0; s < kNumSegs; ++s) {
+        const u32 base = kOffSeg + kSegStride * s;
+        state.seg[s].selector = get16(bytes, base + kSegSelector);
+        state.seg[s].base = get32(bytes, base + kSegBase);
+        state.seg[s].limit = get32(bytes, base + kSegLimit);
+        state.seg[s].access = bytes[base + kSegAccess];
+        state.seg[s].db = bytes[base + kSegDb];
+    }
+    state.msr.sysenter_cs = get32(bytes, kOffMsrSysenterCs);
+    state.msr.sysenter_esp = get32(bytes, kOffMsrSysenterEsp);
+    state.msr.sysenter_eip = get32(bytes, kOffMsrSysenterEip);
+    state.exception.vector = bytes[kOffExcVector];
+    state.exception.has_error_code = bytes[kOffExcHasError] != 0;
+    state.exception.error_code = get32(bytes, kOffExcError);
+    state.halted = bytes[kOffHalted];
+    return state;
+}
+
+std::string
+to_string(const CpuState &state)
+{
+    std::ostringstream os;
+    os << std::hex;
+    for (unsigned r = 0; r < kNumGprs; ++r)
+        os << gpr_name(r) << "=" << state.gpr[r] << " ";
+    os << "\neip=" << state.eip << " eflags=" << state.eflags
+       << " cr0=" << state.cr0 << " cr2=" << state.cr2
+       << " cr3=" << state.cr3 << " cr4=" << state.cr4 << "\n";
+    os << "gdtr=" << state.gdtr.base << "/" << state.gdtr.limit
+       << " idtr=" << state.idtr.base << "/" << state.idtr.limit << "\n";
+    for (unsigned s = 0; s < kNumSegs; ++s) {
+        os << seg_name(s) << "=" << state.seg[s].selector << "(base="
+           << state.seg[s].base << ",limit=" << state.seg[s].limit
+           << ",acc=" << static_cast<unsigned>(state.seg[s].access)
+           << ") ";
+    }
+    os << "\n";
+    if (state.exception.present()) {
+        os << "exception=" << static_cast<unsigned>(state.exception.vector);
+        if (state.exception.has_error_code)
+            os << " err=" << state.exception.error_code;
+        os << "\n";
+    }
+    os << "halted=" << static_cast<unsigned>(state.halted) << "\n";
+    return os.str();
+}
+
+} // namespace pokeemu::arch

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The VX86 guest architecture: machine state.
+ *
+ * VX86 is the from-scratch x86-32 subset this reproduction targets
+ * (see DESIGN.md §2 for the substitution rationale). It keeps the real
+ * encodings and the real protection machinery — segmentation with GDT
+ * descriptors, two-level paging, EFLAGS, control registers, faults —
+ * because that is where the paper's behaviour differences live.
+ *
+ * The machine state is defined twice, deliberately:
+ *  - as the C++ struct CpuState (used by the Lo-Fi emulator, the
+ *    hardware model, snapshots, and tests);
+ *  - as a flat little-endian byte image (layout.h) that IR programs
+ *    address, mirroring how FuzzBALL addresses Bochs' state in host
+ *    memory (paper §3.3.1).
+ * pack_cpu_state/unpack_cpu_state convert between the two and are
+ * round-trip tested.
+ */
+#ifndef POKEEMU_ARCH_STATE_H
+#define POKEEMU_ARCH_STATE_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "support/common.h"
+
+namespace pokeemu::arch {
+
+/** General-purpose register indices (x86 encoding order). */
+enum Gpr : u8 {
+    kEax = 0, kEcx, kEdx, kEbx, kEsp, kEbp, kEsi, kEdi, kNumGprs
+};
+
+/** Segment register indices (x86 sreg encoding order). */
+enum Seg : u8 { kEs = 0, kCs, kSs, kDs, kFs, kGs, kNumSegs };
+
+const char *gpr_name(unsigned r);
+const char *seg_name(unsigned s);
+
+/// @name EFLAGS bit positions.
+/// @{
+constexpr u32 kFlagCf = 1u << 0;
+constexpr u32 kFlagFixed1 = 1u << 1; ///< Always-one reserved bit.
+constexpr u32 kFlagPf = 1u << 2;
+constexpr u32 kFlagAf = 1u << 4;
+constexpr u32 kFlagZf = 1u << 6;
+constexpr u32 kFlagSf = 1u << 7;
+constexpr u32 kFlagTf = 1u << 8;
+constexpr u32 kFlagIf = 1u << 9;
+constexpr u32 kFlagDf = 1u << 10;
+constexpr u32 kFlagOf = 1u << 11;
+constexpr u32 kFlagIopl = 3u << 12;
+constexpr u32 kFlagNt = 1u << 14;
+constexpr u32 kFlagRf = 1u << 16;
+constexpr u32 kFlagVm = 1u << 17;
+constexpr u32 kFlagAc = 1u << 18;
+/** Status flags written by arithmetic instructions. */
+constexpr u32 kStatusFlags =
+    kFlagCf | kFlagPf | kFlagAf | kFlagZf | kFlagSf | kFlagOf;
+/// @}
+
+/// @name CR0 bit positions.
+/// @{
+constexpr u32 kCr0Pe = 1u << 0;
+constexpr u32 kCr0Mp = 1u << 1;
+constexpr u32 kCr0Em = 1u << 2;
+constexpr u32 kCr0Ts = 1u << 3;
+constexpr u32 kCr0Ne = 1u << 5;
+constexpr u32 kCr0Wp = 1u << 16;
+constexpr u32 kCr0Am = 1u << 18;
+constexpr u32 kCr0Pg = 1u << 31;
+/// @}
+
+/// @name Exception vectors.
+/// @{
+constexpr u8 kExcDe = 0;   ///< Divide error.
+constexpr u8 kExcDb = 1;   ///< Debug.
+constexpr u8 kExcBp = 3;   ///< Breakpoint (int3).
+constexpr u8 kExcOf = 4;   ///< Overflow (into).
+constexpr u8 kExcUd = 6;   ///< Invalid opcode.
+constexpr u8 kExcNm = 7;   ///< Device not available.
+constexpr u8 kExcTs = 10;  ///< Invalid TSS.
+constexpr u8 kExcNp = 11;  ///< Segment not present.
+constexpr u8 kExcSs = 12;  ///< Stack fault.
+constexpr u8 kExcGp = 13;  ///< General protection.
+constexpr u8 kExcPf = 14;  ///< Page fault.
+constexpr u8 kExcNone = 0xff;
+/// @}
+
+/// @name Segment-descriptor access-byte bits (x86 encoding).
+/// @{
+constexpr u8 kDescAccessed = 1u << 0;
+constexpr u8 kDescRw = 1u << 1;       ///< Data writable / code readable.
+constexpr u8 kDescDc = 1u << 2;       ///< Expand-down / conforming.
+constexpr u8 kDescCode = 1u << 3;     ///< 1 = code segment.
+constexpr u8 kDescS = 1u << 4;        ///< 1 = code/data (not system).
+constexpr u8 kDescDplShift = 5;
+constexpr u8 kDescPresent = 1u << 7;
+/// @}
+
+/**
+ * A segment register: the visible selector plus the hidden descriptor
+ * cache (base/limit/access), as on real hardware.
+ */
+struct SegmentReg
+{
+    u16 selector = 0;
+    u32 base = 0;
+    u32 limit = 0;   ///< Effective byte-granular limit (G expanded).
+    u8 access = 0;   ///< Access byte as in the descriptor.
+    u8 db = 0;       ///< Default-operand-size bit (D/B).
+
+    bool operator==(const SegmentReg &) const = default;
+};
+
+/** Descriptor-table register (GDTR / IDTR). */
+struct TableReg
+{
+    u32 base = 0;
+    u16 limit = 0;
+
+    bool operator==(const TableReg &) const = default;
+};
+
+/** Pending/delivered exception record. */
+struct ExceptionInfo
+{
+    u8 vector = kExcNone; ///< kExcNone when no exception occurred.
+    u32 error_code = 0;
+    bool has_error_code = false;
+
+    bool present() const { return vector != kExcNone; }
+    bool operator==(const ExceptionInfo &) const = default;
+};
+
+/** Model-specific registers the subset implements. */
+struct MsrFile
+{
+    u32 sysenter_cs = 0;  ///< MSR 0x174
+    u32 sysenter_esp = 0; ///< MSR 0x175
+    u32 sysenter_eip = 0; ///< MSR 0x176
+
+    bool operator==(const MsrFile &) const = default;
+};
+
+/** The complete VX86 CPU state. */
+struct CpuState
+{
+    std::array<u32, kNumGprs> gpr{};
+    u32 eip = 0;
+    u32 eflags = kFlagFixed1;
+    u32 cr0 = 0;
+    u32 cr2 = 0;
+    u32 cr3 = 0;
+    u32 cr4 = 0;
+    TableReg gdtr;
+    TableReg idtr;
+    std::array<SegmentReg, kNumSegs> seg{};
+    MsrFile msr;
+    ExceptionInfo exception;
+    u8 halted = 0;
+
+    bool operator==(const CpuState &) const = default;
+};
+
+/** Size of the guest physical memory on every backend. */
+constexpr u32 kPhysMemSize = 4u << 20; // 4 MiB
+
+/**
+ * Serialize @p state into the canonical little-endian byte image
+ * described in layout.h. @p out must have kCpuStateSize bytes.
+ */
+void pack_cpu_state(const CpuState &state, u8 *out);
+
+/** Inverse of pack_cpu_state. */
+CpuState unpack_cpu_state(const u8 *bytes);
+
+/** Human-readable multi-line dump (examples, failure messages). */
+std::string to_string(const CpuState &state);
+
+} // namespace pokeemu::arch
+
+#endif // POKEEMU_ARCH_STATE_H

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * A direct (non-IR) VX86 executor: the common core of the Lo-Fi
+ * emulator (lofi/) and the hardware model (hw/).
+ *
+ * Unlike the Hi-Fi emulator — which interprets IR programs and is the
+ * artifact the symbolic explorer walks — this is an ordinary C++
+ * switch interpreter. Every behaviour the paper's evaluation found to
+ * differ between QEMU, Bochs and hardware (§6.2) is an explicit knob
+ * in Behavior, so the hardware model runs with the "hardware" setting
+ * and the Lo-Fi emulator seeds the QEMU-class bugs. Having the knobs
+ * in one shared core means each bug is a *single, auditable
+ * divergence point*, while the Hi-Fi emulator remains a genuinely
+ * independent implementation for cross-validation.
+ *
+ * Atomicity discipline: each instruction executes against a working
+ * copy of the CPU state; guest faults are thrown as GuestFault after
+ * all checks and before RAM writes (string instructions commit per
+ * iteration, which is architectural). The seeded non-atomicity bugs
+ * deliberately mutate the working copy before a faultable access.
+ */
+#ifndef POKEEMU_BACKEND_DIRECT_CPU_H
+#define POKEEMU_BACKEND_DIRECT_CPU_H
+
+#include <unordered_map>
+
+#include "arch/decoder.h"
+#include "arch/snapshot.h"
+
+namespace pokeemu::backend {
+
+/** How documented-undefined flag/dest cases are resolved. */
+enum class UndefFlagStyle : u8 {
+    Hardware, ///< The hardware model's choices.
+    LoFi,     ///< The Lo-Fi emulator's divergent choices.
+};
+
+/** Divergence knobs; defaults are the hardware behaviour. */
+struct Behavior
+{
+    /** Enforce segment limit/type/null checks on data accesses. */
+    bool enforce_segment_checks = true;
+    /** leave: read the saved EBP before modifying ESP. */
+    bool leave_atomic = true;
+    /** cmpxchg: verify destination writability before any update. */
+    bool cmpxchg_checks_write_first = true;
+    /** iret: pop EIP,CS,EFLAGS innermost-first (hardware order). */
+    bool iret_pop_inner_first = true;
+    /** l[e,d,s,f,g]s: fetch offset before selector (hardware order). */
+    bool far_fetch_offset_first = true;
+    /** rdmsr/wrmsr of an unknown MSR raises #GP(0). */
+    bool rdmsr_gp_on_invalid = true;
+    /** Segment loads set the descriptor's accessed bit in memory. */
+    bool set_descriptor_accessed = true;
+    /** Accept undocumented alias encodings (shift /6, F6 /1). */
+    bool accept_alias_encodings = true;
+    /** Shifts leave AF unchanged (hardware); the Hi-Fi emulator's
+     *  Bochs-like behaviour clears it instead. */
+    bool shift_clears_af = false;
+    UndefFlagStyle undef_flags = UndefFlagStyle::Hardware;
+};
+
+/** The hardware model's configuration (all defaults). */
+Behavior hardware_behavior();
+
+/** The Lo-Fi emulator's configuration: every §6.2 bug seeded. */
+Behavior lofi_behavior();
+
+/** Why execution stopped (mirrors hifi::StopReason). */
+enum class StopReason : u8 { Halted, Exception, InsnLimit };
+
+/** A guest fault, thrown during instruction execution. */
+struct GuestFault
+{
+    u8 vector;
+    u32 error_code;
+    bool has_error_code;
+    bool set_cr2;
+    u32 cr2;
+};
+
+/** See file comment. */
+class DirectCpu
+{
+  public:
+    explicit DirectCpu(Behavior behavior);
+
+    void reset(const arch::CpuState &cpu, const std::vector<u8> &ram);
+
+    /** Execute one instruction; false when already stopped. */
+    bool step();
+
+    StopReason run(u64 max_insns = 1u << 20);
+
+    const arch::CpuState &cpu() const { return cpu_; }
+    arch::Snapshot snapshot() const { return {cpu_, ram_}; }
+
+    /** Snapshot into a reusable buffer (avoids a 4 MiB allocation per
+     *  test; the vector assignment reuses existing capacity). */
+    void
+    snapshot_into(arch::Snapshot &out) const
+    {
+        out.cpu = cpu_;
+        out.ram = ram_;
+    }
+
+    u64 insn_count() const { return insn_count_; }
+
+    /// @name Translation-cache statistics (the Lo-Fi "JIT" model).
+    /// @{
+    u64 cache_hits() const { return cache_hits_; }
+    u64 cache_misses() const { return cache_misses_; }
+    /// @}
+
+  private:
+    /** Per-step working state: registers are committed at the end of
+     *  the instruction (or at the fault point, for the seeded
+     *  non-atomicity bugs and string progress). */
+    struct Work
+    {
+        arch::CpuState c;
+    };
+
+    /// @name Memory through segmentation + paging.
+    /// @{
+    u32 seg_check(const Work &w, unsigned seg, u32 offset,
+                  unsigned size, bool write) const;
+    u32 translate(const Work &w, u32 linear, bool write);
+    u64 read_mem(Work &w, unsigned seg, u32 offset, unsigned size);
+    void write_mem(Work &w, unsigned seg, u32 offset, unsigned size,
+                   u64 value);
+    /** Check + translate for write; returns the physical address. */
+    u32 prepare_write(Work &w, unsigned seg, u32 offset, unsigned size);
+    void write_phys(u32 phys, unsigned size, u64 value);
+    u64 read_phys(u32 phys, unsigned size) const;
+    /// @}
+
+    /// @name Register / flag helpers.
+    /// @{
+    u64 get_reg(const Work &w, unsigned r, unsigned width) const;
+    void set_reg(Work &w, unsigned r, unsigned width, u64 value);
+    void set_flags_szp(Work &w, u64 res, unsigned width, u32 extra_set,
+                       u32 extra_clear);
+    void flags_add(Work &w, u64 a, u64 b, u64 cin, unsigned width);
+    void flags_sub(Work &w, u64 a, u64 b, u64 bin, unsigned width);
+    void flags_logic(Work &w, u64 res, unsigned width);
+    bool cond_cc(const Work &w, unsigned cc) const;
+    /// @}
+
+    /// @name Operand helpers.
+    /// @{
+    u32 effective_address(const Work &w,
+                          const arch::DecodedInsn &insn) const;
+    unsigned effective_segment(const arch::DecodedInsn &insn) const;
+    u64 read_rm(Work &w, const arch::DecodedInsn &insn, unsigned width);
+    void write_rm(Work &w, const arch::DecodedInsn &insn,
+                  unsigned width, u64 value);
+    /// @}
+
+    void push32(Work &w, u32 value);
+    u32 pop32(Work &w);
+
+    /** Full-check segment load (mov sreg, pop ss, far loads). */
+    void load_segment(Work &w, unsigned seg, u16 selector);
+
+    void execute(Work &w, const arch::DecodedInsn &insn);
+
+    Behavior behavior_;
+    arch::CpuState cpu_;
+    std::vector<u8> ram_;
+    /** Translation cache: physical address of first byte -> decoded
+     *  instruction + the bytes it was decoded from (re-validated on
+     *  hit, so self-modifying code cannot go stale). */
+    struct CacheEntry
+    {
+        std::vector<u8> bytes;
+        arch::DecodedInsn insn;
+    };
+    std::unordered_map<u32, CacheEntry> tcache_;
+    u64 insn_count_ = 0;
+    u64 cache_hits_ = 0;
+    u64 cache_misses_ = 0;
+};
+
+} // namespace pokeemu::backend
+
+#endif // POKEEMU_BACKEND_DIRECT_CPU_H

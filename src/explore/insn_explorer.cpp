@@ -1,0 +1,70 @@
+#include "explore/insn_explorer.h"
+
+#include "hifi/decoder_ir.h"
+#include "support/logging.h"
+
+namespace pokeemu::explore {
+
+namespace layout = arch::layout;
+namespace E = ir::E;
+
+InsnSetResult
+explore_instruction_set(const InsnSetOptions &options)
+{
+    const ir::Program decoder = hifi::build_decoder_program();
+
+    symexec::VarPool pool;
+    symexec::InitialByteFn initial =
+        [&pool, &options](u32 addr) -> ir::ExprRef {
+        if (addr >= layout::kInsnBufBase &&
+            addr < layout::kInsnBufBase + options.symbolic_bytes) {
+            return pool.get(
+                "insn_byte_" +
+                    std::to_string(addr - layout::kInsnBufBase),
+                8);
+        }
+        // Remaining buffer bytes and scratch: concrete zero
+        // (paper §6.1: "the remaining ones were set to zero").
+        return E::constant(8, 0);
+    };
+
+    symexec::ExplorerConfig config;
+    config.max_paths = options.max_paths;
+    config.seed = options.seed;
+
+    InsnSetResult result;
+    symexec::PathExplorer explorer(decoder, pool, initial, config);
+    result.stats = explorer.explore(
+        [&](const symexec::PathInfo &info, symexec::SymbolicMemory &) {
+            if (info.status != symexec::PathStatus::Halted)
+                return;
+            if (info.halt_code == hifi::kDecodeInvalid) {
+                ++result.invalid_sequences;
+                return;
+            }
+            if (info.halt_code == hifi::kDecodeTooLong) {
+                ++result.toolong_sequences;
+                return;
+            }
+            ++result.candidate_sequences;
+            const int index = static_cast<int>(info.halt_code);
+            if (!result.representatives.count(index)) {
+                std::vector<u8> bytes(arch::kMaxInsnLength, 0);
+                for (unsigned i = 0; i < options.symbolic_bytes; ++i) {
+                    const auto var = pool.get(
+                        "insn_byte_" + std::to_string(i), 8);
+                    bytes[i] = static_cast<u8>(
+                        info.assignment.get(var->var_id()));
+                }
+                result.representatives[index] = std::move(bytes);
+            }
+        });
+
+    log_info("instruction-set exploration: ",
+             result.candidate_sequences, " candidates, ",
+             result.representatives.size(), " unique instructions, ",
+             result.stats.paths, " paths");
+    return result;
+}
+
+} // namespace pokeemu::explore

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Instruction-set exploration (paper §3.2): symbolically execute the
+ * Hi-Fi emulator's decoder with the first bytes of the instruction
+ * buffer symbolic, enumerate the candidate byte sequences, and keep
+ * one representative per per-instruction code (table entry).
+ */
+#ifndef POKEEMU_EXPLORE_INSN_EXPLORER_H
+#define POKEEMU_EXPLORE_INSN_EXPLORER_H
+
+#include <map>
+
+#include "arch/decoder.h"
+#include "symexec/explorer.h"
+
+namespace pokeemu::explore {
+
+struct InsnSetOptions
+{
+    /** How many leading buffer bytes are symbolic (paper: 3). */
+    unsigned symbolic_bytes = 3;
+    u64 max_paths = 1u << 20;
+    u64 seed = 1;
+};
+
+struct InsnSetResult
+{
+    /** Decoder paths that selected per-instruction code. */
+    u64 candidate_sequences = 0;
+    /** Paths rejected as #UD / too-long. */
+    u64 invalid_sequences = 0;
+    u64 toolong_sequences = 0;
+    /** One representative byte sequence per selected table entry. */
+    std::map<int, std::vector<u8>> representatives;
+    symexec::ExploreStats stats;
+};
+
+/** Run the exploration; see file comment. */
+InsnSetResult explore_instruction_set(const InsnSetOptions &options = {});
+
+} // namespace pokeemu::explore
+
+#endif // POKEEMU_EXPLORE_INSN_EXPLORER_H

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Machine-state-space exploration (paper §3.3): for one decoded test
+ * instruction, symbolically execute the Hi-Fi emulator's semantics
+ * over the symbolic machine state (StateSpec) and produce one
+ * minimized test state per execution path.
+ */
+#ifndef POKEEMU_EXPLORE_STATE_EXPLORER_H
+#define POKEEMU_EXPLORE_STATE_EXPLORER_H
+
+#include <memory>
+
+#include "explore/state_spec.h"
+#include "hifi/semantics.h"
+#include "hifi/sequence.h"
+#include "symexec/minimize.h"
+
+namespace pokeemu::explore {
+
+struct StateExploreOptions
+{
+    /** Per-instruction path cap (the paper used 8192). */
+    u64 max_paths = 8192;
+    u64 max_steps = 1u << 16;
+    u64 seed = 1;
+    /** Use the descriptor-load summary in segment-load instructions
+     *  (paper §3.3.2); disabled by the summarization ablation. */
+    bool use_descriptor_summary = true;
+    /** Greedy state-difference minimization (paper §3.4); disabled by
+     *  the minimization ablation. */
+    bool minimize = true;
+    /** Hi-Fi far-pointer fetch order (see SemanticsOptions). */
+    bool hifi_far_fetch_order = true;
+};
+
+/** One explored path's test state. */
+struct ExploredPath
+{
+    u32 halt_code = 0; ///< hifi::kHaltOk / kHaltStop / exception code.
+    /** Satisfying (minimized) assignment over the spec's variables. */
+    solver::Assignment assignment;
+    u64 steps = 0;
+    bool step_limited = false;
+};
+
+struct StateExploreResult
+{
+    std::vector<ExploredPath> paths;
+    symexec::ExploreStats stats;
+    symexec::MinimizeStats minimize;
+    /** The variable pool the assignments are keyed by (id -> name),
+     *  needed to map test states back onto machine locations. */
+    symexec::VarPool pool;
+};
+
+/**
+ * Explore @p insn over @p spec. The @p summary must outlive the call
+ * and be the same object the spec was built with (or null).
+ */
+StateExploreResult
+explore_instruction(const arch::DecodedInsn &insn, const StateSpec &spec,
+                    const symexec::Summary *summary,
+                    const StateExploreOptions &options = {});
+
+/**
+ * Explore a straight-line multi-instruction sequence (the paper's §7
+ * extension): the composed semantics enumerate the joint path space.
+ * Halt codes are tagged per hifi/sequence.h.
+ */
+StateExploreResult
+explore_sequence(const std::vector<arch::DecodedInsn> &insns,
+                 const StateSpec &spec, const symexec::Summary *summary,
+                 const StateExploreOptions &options = {});
+
+} // namespace pokeemu::explore
+
+#endif // POKEEMU_EXPLORE_STATE_EXPLORER_H

@@ -1,0 +1,220 @@
+#include "harness/cluster.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "arch/layout.h"
+
+namespace pokeemu::harness {
+
+using arch::Op;
+
+namespace {
+
+bool
+has_field(const arch::SnapshotDiff &diff, const std::string &name)
+{
+    for (const auto &f : diff.cpu) {
+        if (f.field == name)
+            return true;
+    }
+    return false;
+}
+
+bool
+mem_only_in(const arch::SnapshotDiff &diff, u32 lo, u32 hi)
+{
+    if (diff.mem_total == 0 || diff.mem.size() < diff.mem_total)
+        return false; // Unknown addresses beyond the cap: be strict.
+    return std::all_of(diff.mem.begin(), diff.mem.end(),
+                       [&](u32 a) { return a >= lo && a < hi; });
+}
+
+bool
+is_far_load(Op op)
+{
+    return op == Op::Les || op == Op::Lds || op == Op::Lss ||
+           op == Op::Lfs || op == Op::Lgs;
+}
+
+bool
+is_string_op(Op op)
+{
+    switch (op) {
+      case Op::Movs8: case Op::Movs32: case Op::Cmps8: case Op::Cmps32:
+      case Op::Stos8: case Op::Stos32: case Op::Lods8: case Op::Lods32:
+      case Op::Scas8: case Op::Scas32:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+std::string
+classify_difference(const arch::DecodedInsn &insn,
+                    const arch::SnapshotDiff &diff,
+                    const arch::Snapshot &a, const arch::Snapshot &b)
+{
+    const Op op = insn.desc->op;
+    const bool exc_mismatch =
+        a.cpu.exception.vector != b.cpu.exception.vector;
+    const bool one_side_faults =
+        a.cpu.exception.present() != b.cpu.exception.present();
+
+    // Alias encodings: exactly one side decodes to #UD (the other may
+    // execute or fault on the instruction's real semantics).
+    if (insn.desc->is_alias &&
+        (a.cpu.exception.vector == arch::kExcUd) !=
+            (b.cpu.exception.vector == arch::kExcUd)) {
+        return "rejects-valid-encoding";
+    }
+    // rdmsr/wrmsr of invalid MSRs.
+    if ((op == Op::Rdmsr || op == Op::Wrmsr) && one_side_faults &&
+        (a.cpu.exception.vector == arch::kExcGp ||
+         b.cpu.exception.vector == arch::kExcGp)) {
+        return "rdmsr-no-gp-on-invalid-msr";
+    }
+    // Far-pointer fetch order: differing fault addresses, fault
+    // vectors, or page-table accessed bits on a far load.
+    if (is_far_load(op) &&
+        (has_field(diff, "cr2") || exc_mismatch ||
+         mem_only_in(diff, arch::layout::kPhysPageDir,
+                     arch::layout::kPhysPageTable + 0x1000))) {
+        return "far-pointer-fetch-order";
+    }
+    // iret pop order: the read order changes which check faults
+    // first, so any exception divergence (or differing CR2/page
+    // accesses under the same #PF) on iret lands here.
+    if (op == Op::Iret &&
+        (exc_mismatch ||
+         (a.cpu.exception.vector == arch::kExcPf &&
+          b.cpu.exception.vector == arch::kExcPf &&
+          (has_field(diff, "cr2") || diff.mem_total > 0)))) {
+        return "iret-pop-order";
+    }
+    // Segment checks: exactly one side raises #GP/#SS — the other
+    // either executes or faults later (e.g. #PF from the page walk the
+    // skipped check would have prevented). This precedes the atomicity
+    // rules: a skipped segment check on leave/cmpxchg is the
+    // segment-check bug, not the atomicity one.
+    {
+        auto is_seg_fault = [](const arch::Snapshot &s) {
+            return s.cpu.exception.vector == arch::kExcGp ||
+                   s.cpu.exception.vector == arch::kExcSs;
+        };
+        if (exc_mismatch && is_seg_fault(a) != is_seg_fault(b))
+            return "segment-limits-and-rights-not-enforced";
+    }
+    // leave atomicity: both fault but ESP disagrees.
+    if (op == Op::Leave && has_field(diff, "esp") &&
+        a.cpu.exception.present() && b.cpu.exception.present()) {
+        return "atomicity-violation-leave";
+    }
+    // cmpxchg atomicity: any surviving difference (fault mismatch,
+    // accumulator corruption, fault error-code/flags divergence from
+    // the reordered permission check).
+    if (op == Op::CmpxchgRm8R8 || op == Op::CmpxchgRm32R32)
+        return "atomicity-violation-cmpxchg";
+    if (one_side_faults) {
+        const u8 vec = a.cpu.exception.present()
+            ? a.cpu.exception.vector
+            : b.cpu.exception.vector;
+        if (vec == arch::kExcPf && !is_string_op(op))
+            return "page-protection-divergence";
+    }
+    // Accessed flag: differences confined to GDT bytes and/or the
+    // cached access field.
+    {
+        const u32 gdt_lo = arch::layout::kPhysGdt;
+        const u32 gdt_hi =
+            gdt_lo + 8 * arch::layout::kGdtEntries;
+        const bool mem_gdt_only =
+            diff.mem_total == 0 || mem_only_in(diff, gdt_lo, gdt_hi);
+        const bool all_access_fields = std::all_of(
+            diff.cpu.begin(), diff.cpu.end(),
+            [](const arch::FieldDiff &f) {
+                return f.field.rfind("seg.", 0) == 0 &&
+                       f.field.find(".access") != std::string::npos;
+            });
+        const bool nonempty =
+            !diff.cpu.empty() || diff.mem_total > 0;
+        if (nonempty && mem_gdt_only && all_access_fields)
+            return "segment-accessed-flag-not-set";
+    }
+    // Undefined flags that survived filtering would have been removed;
+    // a pure eflags diff here is a real flags divergence.
+    if (diff.mem_total == 0 && diff.cpu.size() == 1 &&
+        diff.cpu[0].field == "eflags") {
+        return "status-flags-divergence";
+    }
+    if (exc_mismatch)
+        return "exception-divergence";
+
+    // Fallback: signature bucket by differing field names.
+    std::string sig = "other:";
+    for (const auto &f : diff.cpu)
+        sig += f.field + ",";
+    if (diff.mem_total > 0)
+        sig += "mem";
+    return sig;
+}
+
+void
+RootCauseClusterer::add(u64 test_id, const arch::DecodedInsn &insn,
+                        const arch::SnapshotDiff &diff,
+                        const arch::Snapshot &a, const arch::Snapshot &b)
+{
+    const std::string cause = classify_difference(insn, diff, a, b);
+    Cluster &c = clusters_[cause];
+    if (c.count == 0) {
+        c.root_cause = cause;
+        c.example_test = test_id;
+    }
+    ++c.count;
+    c.mnemonics.insert(insn.desc->mnemonic);
+    ++total_;
+}
+
+std::vector<Cluster>
+RootCauseClusterer::clusters() const
+{
+    std::vector<Cluster> out;
+    out.reserve(clusters_.size());
+    for (const auto &[_, c] : clusters_)
+        out.push_back(c);
+    std::sort(out.begin(), out.end(),
+              [](const Cluster &x, const Cluster &y) {
+                  return x.count > y.count;
+              });
+    return out;
+}
+
+std::string
+RootCauseClusterer::to_string() const
+{
+    std::ostringstream os;
+    os << "root cause                                   tests  "
+          "instructions\n";
+    for (const Cluster &c : clusters()) {
+        os << "  " << c.root_cause;
+        for (std::size_t i = c.root_cause.size(); i < 43; ++i)
+            os << ' ';
+        os << c.count << "  {";
+        std::size_t shown = 0;
+        for (const auto &m : c.mnemonics) {
+            if (shown++)
+                os << " ";
+            if (shown > 8) {
+                os << "...";
+                break;
+            }
+            os << m;
+        }
+        os << "}\n";
+    }
+    return os.str();
+}
+
+} // namespace pokeemu::harness

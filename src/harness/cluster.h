@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Root-cause clustering of behaviour differences (paper §6.2: "we
+ * then clustered the differences according to root cause; this
+ * clustering identified different executed paths that triggered the
+ * same behavior difference").
+ *
+ * Classification is rule-based over the difference's shape (which
+ * fields differ, exception mismatches, where memory differences land)
+ * and the instruction class; differences that match no rule fall into
+ * signature buckets so nothing is silently dropped.
+ */
+#ifndef POKEEMU_HARNESS_CLUSTER_H
+#define POKEEMU_HARNESS_CLUSTER_H
+
+#include <map>
+#include <set>
+
+#include "harness/filter.h"
+
+namespace pokeemu::harness {
+
+/** One difference record fed to the clusterer. */
+struct Difference
+{
+    u64 test_id;
+    const arch::InsnDesc *desc;
+    std::string root_cause; ///< Set by classify().
+};
+
+/** One cluster in the final report (paper's root-cause analysis). */
+struct Cluster
+{
+    std::string root_cause;
+    u64 count = 0;
+    std::set<std::string> mnemonics;
+    u64 example_test = 0;
+};
+
+/** Classify one filtered difference; see file comment. */
+std::string classify_difference(const arch::DecodedInsn &insn,
+                                const arch::SnapshotDiff &diff,
+                                const arch::Snapshot &a,
+                                const arch::Snapshot &b);
+
+/** Accumulates differences into clusters. */
+class RootCauseClusterer
+{
+  public:
+    /** Record a (filtered, non-empty) difference. */
+    void add(u64 test_id, const arch::DecodedInsn &insn,
+             const arch::SnapshotDiff &diff, const arch::Snapshot &a,
+             const arch::Snapshot &b);
+
+    /** Clusters sorted by descending population. */
+    std::vector<Cluster> clusters() const;
+
+    u64 total() const { return total_; }
+
+    /** Render the cluster table (benches print this). */
+    std::string to_string() const;
+
+  private:
+    std::map<std::string, Cluster> clusters_;
+    u64 total_ = 0;
+};
+
+} // namespace pokeemu::harness
+
+#endif // POKEEMU_HARNESS_CLUSTER_H

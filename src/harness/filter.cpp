@@ -1,0 +1,75 @@
+#include "harness/filter.h"
+
+namespace pokeemu::harness {
+
+using arch::Op;
+
+u32
+undefined_flags_mask(Op op)
+{
+    switch (op) {
+      // Shifts and double shifts: AF always undefined; OF undefined
+      // for counts other than 1.
+      case Op::ShiftRm8Imm8: case Op::ShiftRm32Imm8:
+      case Op::ShiftRm8One: case Op::ShiftRm32One:
+      case Op::ShiftRm8Cl: case Op::ShiftRm32Cl:
+      case Op::ShldImm8: case Op::ShldCl:
+      case Op::ShrdImm8: case Op::ShrdCl:
+        return arch::kFlagAf | arch::kFlagOf;
+      // Multiplies: SF/ZF/AF/PF undefined.
+      case Op::Grp3MulRm8: case Op::Grp3MulRm32:
+      case Op::Grp3ImulRm8: case Op::Grp3ImulRm32:
+      case Op::ImulR32Rm32: case Op::ImulR32Rm32Imm32:
+      case Op::ImulR32Rm32Imm8:
+        return arch::kFlagSf | arch::kFlagZf | arch::kFlagAf |
+               arch::kFlagPf;
+      // Divides: all six status flags undefined.
+      case Op::Grp3DivRm8: case Op::Grp3DivRm32:
+      case Op::Grp3IdivRm8: case Op::Grp3IdivRm32:
+        return arch::kStatusFlags;
+      // bsf/bsr: CF/OF/SF/AF/PF undefined (ZF is defined).
+      case Op::Bsf: case Op::Bsr:
+        return arch::kFlagCf | arch::kFlagOf | arch::kFlagSf |
+               arch::kFlagAf | arch::kFlagPf;
+      default:
+        return 0;
+    }
+}
+
+FilterResult
+filter_undefined(const arch::DecodedInsn &insn, const arch::Snapshot &a,
+                 const arch::Snapshot &b,
+                 const arch::SnapshotDiff &diff)
+{
+    FilterResult result;
+    const u32 undef = undefined_flags_mask(insn.desc->op);
+
+    // BSF/BSR with a zero source leave the destination undefined; both
+    // sides setting ZF signals that case.
+    const bool bsx_zero_source =
+        (insn.desc->op == Op::Bsf || insn.desc->op == Op::Bsr) &&
+        (a.cpu.eflags & arch::kFlagZf) &&
+        (b.cpu.eflags & arch::kFlagZf);
+    const char *dest_name =
+        insn.has_modrm ? arch::gpr_name(insn.reg) : "";
+
+    for (const arch::FieldDiff &f : diff.cpu) {
+        if (f.field == "eflags" && undef != 0) {
+            const u32 delta = static_cast<u32>(f.a ^ f.b);
+            if ((delta & ~undef) == 0) {
+                result.removed_any = true;
+                continue;
+            }
+        }
+        if (bsx_zero_source && f.field == dest_name) {
+            result.removed_any = true;
+            continue;
+        }
+        result.remaining.cpu.push_back(f);
+    }
+    result.remaining.mem = diff.mem;
+    result.remaining.mem_total = diff.mem_total;
+    return result;
+}
+
+} // namespace pokeemu::harness

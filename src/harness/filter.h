@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Undefined-behaviour filtering (paper §6.2: "we used scripts to
+ * filter out differences due to undefined behaviors").
+ *
+ * x86 documents several flag results (and the BSF/BSR destination on a
+ * zero source) as undefined; different CPUs and emulators legitimately
+ * disagree there, so such differences are not bugs. The filter knows,
+ * per instruction class, which EFLAGS bits are documented-undefined
+ * and removes differences that are explained entirely by them.
+ */
+#ifndef POKEEMU_HARNESS_FILTER_H
+#define POKEEMU_HARNESS_FILTER_H
+
+#include "arch/decoder.h"
+#include "arch/snapshot.h"
+
+namespace pokeemu::harness {
+
+/** EFLAGS bits documented-undefined after @p op (0 if none). */
+u32 undefined_flags_mask(arch::Op op);
+
+struct FilterResult
+{
+    /** The difference with undefined-behaviour parts removed. */
+    arch::SnapshotDiff remaining;
+    /** True if anything was removed. */
+    bool removed_any = false;
+
+    /** The original diff was entirely undefined behaviour. */
+    bool fully_filtered() const
+    {
+        return removed_any && remaining.empty();
+    }
+};
+
+/**
+ * Filter @p diff (from comparing @p a and @p b after executing
+ * @p insn) down to the differences that indicate real divergence.
+ */
+FilterResult filter_undefined(const arch::DecodedInsn &insn,
+                              const arch::Snapshot &a,
+                              const arch::Snapshot &b,
+                              const arch::SnapshotDiff &diff);
+
+} // namespace pokeemu::harness
+
+#endif // POKEEMU_HARNESS_FILTER_H

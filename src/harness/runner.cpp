@@ -1,0 +1,86 @@
+#include "harness/runner.h"
+
+namespace pokeemu::harness {
+
+const char *
+backend_name(Backend backend)
+{
+    switch (backend) {
+      case Backend::HiFi: return "hifi";
+      case Backend::LoFi: return "lofi";
+      case Backend::Hardware: return "hardware";
+    }
+    return "?";
+}
+
+TestRunner::TestRunner() : TestRunner(Config{}) {}
+
+TestRunner::TestRunner(const Config &config)
+    : config_(config), hifi_(config.hifi_options),
+      lofi_(config.bugs)
+{
+}
+
+BackendRun
+TestRunner::run_one(Backend backend,
+                    const std::vector<u8> &test_program)
+{
+    BackendRun run;
+    run_one_into(backend, test_program, run);
+    return run;
+}
+
+void
+TestRunner::run_one_into(Backend backend,
+                         const std::vector<u8> &test_program,
+                         BackendRun &out)
+{
+    // Build the test image in the reusable buffer: copy the immutable
+    // baseline template, then install the test program.
+    const std::vector<u8> &tpl = testgen::baseline_ram_template();
+    image_.assign(tpl.begin(), tpl.end());
+    assert(arch::layout::kPhysTestCode + test_program.size() <=
+           image_.size());
+    std::copy(test_program.begin(), test_program.end(),
+              image_.begin() + arch::layout::kPhysTestCode);
+    const arch::CpuState reset = testgen::make_reset_state();
+
+    switch (backend) {
+      case Backend::HiFi: {
+        hifi_.reset(reset, image_);
+        const auto stop = hifi_.run(config_.max_insns);
+        out.timed_out = stop == hifi::StopReason::InsnLimit;
+        hifi_.snapshot_into(out.snapshot);
+        out.insns = hifi_.insn_count();
+        break;
+      }
+      case Backend::LoFi: {
+        lofi_.reset(reset, image_);
+        const auto stop = lofi_.run(config_.max_insns);
+        out.timed_out = stop == backend::StopReason::InsnLimit;
+        lofi_.snapshot_into(out.snapshot);
+        out.insns = lofi_.insn_count();
+        break;
+      }
+      case Backend::Hardware: {
+        vmm_.run_test_into(reset, image_, config_.max_insns,
+                           guest_run_);
+        out.timed_out = guest_run_.trap == hw::TrapKind::Timeout;
+        std::swap(out.snapshot, guest_run_.snapshot);
+        out.insns = guest_run_.insns_executed;
+        break;
+      }
+    }
+}
+
+ThreeWayResult
+TestRunner::run(const std::vector<u8> &test_program)
+{
+    ThreeWayResult result;
+    run_one_into(Backend::HiFi, test_program, result.hifi);
+    run_one_into(Backend::LoFi, test_program, result.lofi);
+    run_one_into(Backend::Hardware, test_program, result.hw);
+    return result;
+}
+
+} // namespace pokeemu::harness

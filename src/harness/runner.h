@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Test-program execution across the three backends (paper §5,
+ * Figure 1(4)): each test boots from the reset state with the test
+ * image installed, runs until hlt/exception/timeout, and yields a
+ * snapshot per backend.
+ */
+#ifndef POKEEMU_HARNESS_RUNNER_H
+#define POKEEMU_HARNESS_RUNNER_H
+
+#include "hifi/hifi_emulator.h"
+#include "hw/vmm.h"
+#include "lofi/lofi_emulator.h"
+#include "testgen/baseline.h"
+
+namespace pokeemu::harness {
+
+/** The systems under comparison. */
+enum class Backend : u8 { HiFi, LoFi, Hardware };
+
+const char *backend_name(Backend backend);
+
+/** One backend's view of one test. */
+struct BackendRun
+{
+    arch::Snapshot snapshot;
+    bool timed_out = false;
+    u64 insns = 0;
+};
+
+/** All three backends' views of one test. */
+struct ThreeWayResult
+{
+    BackendRun hifi;
+    BackendRun lofi;
+    BackendRun hw;
+};
+
+/** See file comment. */
+class TestRunner
+{
+  public:
+    struct Config
+    {
+        lofi::BugConfig bugs{};
+        hifi::SemanticsOptions hifi_options{};
+        u64 max_insns = 1u << 14;
+    };
+
+    TestRunner(); ///< Default configuration (all Lo-Fi bugs seeded).
+    explicit TestRunner(const Config &config);
+
+    /** Run @p test_program (bytes for kPhysTestCode) everywhere. */
+    ThreeWayResult run(const std::vector<u8> &test_program);
+
+    /** Run on a single backend (benches time these separately). */
+    BackendRun run_one(Backend backend,
+                       const std::vector<u8> &test_program);
+
+    /**
+     * Like run_one, but snapshots into @p out's reusable buffers.
+     * Tests run by the thousand and a fresh 4 MiB snapshot allocation
+     * per run would dominate the measured execution cost.
+     */
+    void run_one_into(Backend backend,
+                      const std::vector<u8> &test_program,
+                      BackendRun &out);
+
+    const hw::Vmm &vmm() const { return vmm_; }
+    const lofi::LoFiEmulator &lofi() const { return lofi_; }
+
+  private:
+    Config config_;
+    hifi::HiFiEmulator hifi_; ///< Reused: keeps its semantics cache.
+    lofi::LoFiEmulator lofi_;
+    hw::Vmm vmm_;
+    std::vector<u8> image_;   ///< Reusable test-image buffer.
+    hw::GuestRun guest_run_;  ///< Reusable hardware-run buffer.
+};
+
+} // namespace pokeemu::harness
+
+#endif // POKEEMU_HARNESS_RUNNER_H

@@ -1,0 +1,393 @@
+#include "hifi/decoder_ir.h"
+
+#include <map>
+
+#include "arch/decoder.h"
+#include "ir/builder.h"
+
+namespace pokeemu::hifi {
+
+using arch::ImmKind;
+using arch::InsnDesc;
+using arch::Op;
+using ir::ExprRef;
+using ir::IrBuilder;
+using ir::Label;
+namespace E = ir::E;
+namespace layout = arch::layout;
+namespace ds = decoder_scratch;
+
+namespace {
+
+ExprRef
+imm32(u64 v)
+{
+    return E::constant(32, v);
+}
+
+/** Generator state threaded through the blocks. */
+struct Gen
+{
+    IrBuilder b{"hifi_decoder"};
+    Label invalid;
+    Label too_long;
+
+    /**
+     * Fetch the next instruction byte: loads buf[POS], increments POS.
+     * POS is always a concrete value along any one path, so the bound
+     * check folds and adds no symbolic branches.
+     */
+    ExprRef
+    fetch()
+    {
+        ExprRef pos = b.assign(b.load(imm32(ds::kPos), 4), "pos");
+        b.if_goto(E::ule(imm32(arch::kMaxInsnLength), pos), too_long,
+                  "fetch bound");
+        ExprRef byte = b.load(
+            E::add(imm32(layout::kInsnBufBase), pos), 1, // NOLINT
+            ir::ConcretizePolicy::SingleRandom, "insn byte");
+        b.store(imm32(ds::kPos), 4, E::add(pos, imm32(1)));
+        return byte;
+    }
+
+    /** Skip @p n immediate/displacement bytes with bound checking. */
+    void
+    skip(unsigned n)
+    {
+        for (unsigned i = 0; i < n; ++i)
+            fetch();
+    }
+
+    /**
+     * Per-value dispatch on an 8-bit expression: balanced comparison
+     * tree over the sorted case values; anything else goes to
+     * @p fallback.
+     */
+    void
+    dispatch(const ExprRef &byte, const std::map<u8, Label> &cases,
+             Label fallback)
+    {
+        std::vector<std::pair<u8, Label>> sorted(cases.begin(),
+                                                 cases.end());
+        emit_dispatch(byte, sorted, 0, sorted.size(), fallback);
+    }
+
+    void
+    emit_dispatch(const ExprRef &byte,
+                  const std::vector<std::pair<u8, Label>> &cases,
+                  std::size_t lo, std::size_t hi, Label fallback)
+    {
+        if (lo == hi) {
+            b.jmp(fallback);
+            return;
+        }
+        if (hi - lo == 1) {
+            Label miss = b.label();
+            b.cjmp(E::eq(byte, E::constant(8, cases[lo].first)),
+                   cases[lo].second, miss, "dispatch leaf");
+            b.bind(miss);
+            b.jmp(fallback);
+            return;
+        }
+        const std::size_t mid = lo + (hi - lo) / 2;
+        Label left = b.label(), right = b.label();
+        b.cjmp(E::ult(byte, E::constant(8, cases[mid].first)), left,
+               right, "dispatch split");
+        b.bind(left);
+        emit_dispatch(byte, cases, lo, mid, fallback);
+        b.bind(right);
+        emit_dispatch(byte, cases, mid, hi, fallback);
+    }
+};
+
+unsigned
+imm_size_of(ImmKind k)
+{
+    switch (k) {
+      case ImmKind::None: return 0;
+      case ImmKind::Imm8: case ImmKind::Rel8: return 1;
+      case ImmKind::Imm16: return 2;
+      case ImmKind::Imm32: case ImmKind::Rel32:
+      case ImmKind::Moffs32: return 4;
+      case ImmKind::FarPtr: return 6;
+    }
+    return 0;
+}
+
+/**
+ * Emit the tail of one table row: structural legality checks shared
+ * with arch/decoder.cpp, immediate consumption, and the final halt
+ * with the row's table index. @p mod/@p reg are the ModRM fields
+ * (null for rows without ModRM).
+ */
+void
+emit_row_tail(Gen &g, int row_index, const ExprRef &mod,
+              const ExprRef &reg)
+{
+    const InsnDesc &d = arch::insn_table()[row_index];
+    IrBuilder &b = g.b;
+
+    if (d.has_modrm) {
+        assert(mod);
+        if (arch::op_requires_memory(d.op)) {
+            g.b.if_goto(E::eq(mod, E::constant(2, 3)), g.invalid,
+                        "memory-only form");
+        }
+        // Segment-register moves: reg constraints.
+        if (d.op == Op::MovRm16Sreg) {
+            b.if_goto(E::ult(E::constant(3, 5), reg), g.invalid,
+                      "no such sreg");
+        }
+        if (d.op == Op::MovSregRm16) {
+            b.if_goto(E::lor(E::ult(E::constant(3, 5), reg),
+                             E::eq(reg, E::constant(3, arch::kCs))),
+                      g.invalid, "bad sreg destination");
+        }
+        if (d.op == Op::MovR32Cr || d.op == Op::MovCrR32) {
+            b.if_goto(E::ne(mod, E::constant(2, 3)), g.invalid,
+                      "cr move needs register form");
+            b.if_goto(E::lor(E::eq(reg, E::constant(3, 1)),
+                             E::ult(E::constant(3, 4), reg)),
+                      g.invalid, "no such cr");
+        }
+    }
+
+    // LOCK legality: lockable with a memory destination only.
+    {
+        ExprRef lock = b.load(imm32(ds::kLock), 1);
+        ExprRef lock_set = E::ne(lock, E::constant(8, 0));
+        if (!d.lockable || !d.has_modrm) {
+            b.if_goto(lock_set, g.invalid, "lock illegal here");
+        } else {
+            b.if_goto(E::land(lock_set, E::eq(mod, E::constant(2, 3))),
+                      g.invalid, "lock needs memory");
+        }
+    }
+
+    // REP/REPNE legality.
+    {
+        ExprRef rep = b.load(imm32(ds::kRep), 1);
+        ExprRef repne = b.load(imm32(ds::kRepne), 1);
+        ExprRef any = E::lor(E::ne(rep, E::constant(8, 0)),
+                             E::ne(repne, E::constant(8, 0)));
+        if (!d.is_string) {
+            b.if_goto(any, g.invalid, "rep illegal here");
+        } else {
+            const bool repne_ok =
+                d.op == Op::Cmps8 || d.op == Op::Cmps32 ||
+                d.op == Op::Scas8 || d.op == Op::Scas32;
+            if (!repne_ok) {
+                b.if_goto(E::ne(repne, E::constant(8, 0)), g.invalid,
+                          "repne only on cmps/scas");
+            }
+        }
+    }
+
+    g.skip(imm_size_of(d.imm));
+    b.halt(static_cast<u32>(row_index));
+}
+
+/** Emit the ModRM/SIB/displacement parse for one opcode's block. */
+void
+emit_opcode_block(Gen &g, u16 opcode, const std::vector<int> &rows)
+{
+    IrBuilder &b = g.b;
+    ExprRef modrm = g.fetch();
+    ExprRef mod = b.assign(E::extract(modrm, 6, 2), "mod");
+    ExprRef reg = b.assign(E::extract(modrm, 3, 3), "reg");
+    ExprRef rm = b.assign(E::extract(modrm, 0, 3), "rm");
+
+    // Memory forms: SIB and displacement consumption. The branch
+    // structure is field-level, mirroring interpreter decoders.
+    Label reg_form = b.label(), after_ea = b.label();
+    b.if_goto(E::eq(mod, E::constant(2, 3)), reg_form, "mod == 3");
+
+    {
+        Label no_sib = b.label(), disp_stage = b.label();
+        Label sib_case = b.label();
+        b.cjmp(E::eq(rm, E::constant(3, 4)), sib_case, no_sib,
+               "rm == 4 (SIB)");
+        b.bind(sib_case);
+        {
+            ExprRef sib = g.fetch();
+            ExprRef base = E::extract(sib, 0, 3);
+            // mod == 0 && base == 5: disp32 follows.
+            Label d32 = b.label();
+            b.if_goto(E::land(E::eq(mod, E::constant(2, 0)),
+                              E::eq(base, E::constant(3, 5))),
+                      d32, "sib base 5");
+            b.jmp(disp_stage);
+            b.bind(d32);
+            g.skip(4);
+            b.jmp(after_ea);
+        }
+        b.bind(no_sib);
+        {
+            Label d32 = b.label();
+            b.if_goto(E::land(E::eq(mod, E::constant(2, 0)),
+                              E::eq(rm, E::constant(3, 5))),
+                      d32, "rm 5 disp32");
+            b.jmp(disp_stage);
+            b.bind(d32);
+            g.skip(4);
+            b.jmp(after_ea);
+        }
+        b.bind(disp_stage);
+        {
+            Label d8 = b.label(), d32 = b.label(), none = b.label();
+            Label not1 = b.label();
+            b.cjmp(E::eq(mod, E::constant(2, 1)), d8, not1, "disp8?");
+            b.bind(not1);
+            b.cjmp(E::eq(mod, E::constant(2, 2)), d32, none, "disp32?");
+            b.bind(d8);
+            g.skip(1);
+            b.jmp(after_ea);
+            b.bind(d32);
+            g.skip(4);
+            b.jmp(after_ea);
+            b.bind(none);
+            b.jmp(after_ea);
+        }
+    }
+    b.bind(reg_form);
+    b.jmp(after_ea);
+    b.bind(after_ea);
+
+    // Group resolution: rows keyed by required reg value; a single
+    // row with group_reg < 0 matches any reg.
+    if (rows.size() == 1 &&
+        arch::insn_table()[rows[0]].group_reg < 0) {
+        emit_row_tail(g, rows[0], mod, reg);
+        return;
+    }
+    std::map<u8, Label> cases;
+    std::map<u8, int> row_of;
+    for (int row : rows) {
+        const InsnDesc &d = arch::insn_table()[row];
+        assert(d.group_reg >= 0 && "mixed grouping for opcode");
+        cases[static_cast<u8>(d.group_reg)] = b.label();
+        row_of[static_cast<u8>(d.group_reg)] = row;
+    }
+    g.dispatch(E::zext(reg, 8), cases, g.invalid);
+    for (auto &[val, label] : cases) {
+        b.bind(label);
+        emit_row_tail(g, row_of[val], mod, reg);
+    }
+    (void)opcode;
+}
+
+} // namespace
+
+ir::Program
+build_decoder_program()
+{
+    Gen g;
+    IrBuilder &b = g.b;
+    g.invalid = b.label();
+    g.too_long = b.label();
+
+    // Initialize scratch state.
+    b.store(imm32(ds::kPos), 4, imm32(0));
+    b.store(imm32(ds::kNumPrefixes), 4, imm32(0));
+    b.store(imm32(ds::kLock), 1, E::constant(8, 0));
+    b.store(imm32(ds::kRep), 1, E::constant(8, 0));
+    b.store(imm32(ds::kRepne), 1, E::constant(8, 0));
+    b.store(imm32(ds::kSegOverride), 1, E::constant(8, 0xff));
+
+    // Prefix loop.
+    Label prefix_loop = b.here();
+    ExprRef byte = g.fetch();
+
+    struct PrefixCase
+    {
+        u8 value;
+        u32 flag_addr; ///< 1-byte scratch slot to set, or 0.
+        u8 flag_value;
+    };
+    const PrefixCase prefixes[] = {
+        {0x26, ds::kSegOverride, arch::kEs},
+        {0x2e, ds::kSegOverride, arch::kCs},
+        {0x36, ds::kSegOverride, arch::kSs},
+        {0x3e, ds::kSegOverride, arch::kDs},
+        {0x64, ds::kSegOverride, arch::kFs},
+        {0x65, ds::kSegOverride, arch::kGs},
+        {0xf0, ds::kLock, 1},
+        {0xf2, ds::kRepne, 1},
+        {0xf3, ds::kRep, 1},
+    };
+    std::map<u8, Label> prefix_labels;
+    for (const PrefixCase &p : prefixes)
+        prefix_labels[p.value] = b.label();
+    Label opcode_stage = b.label();
+    g.dispatch(byte, prefix_labels, opcode_stage);
+    for (const PrefixCase &p : prefixes) {
+        b.bind(prefix_labels[p.value]);
+        b.store(imm32(p.flag_addr), 1, E::constant(8, p.flag_value));
+        ExprRef n = b.assign(
+            E::add(b.load(imm32(ds::kNumPrefixes), 4), imm32(1)),
+            "prefix count");
+        b.store(imm32(ds::kNumPrefixes), 4, n);
+        b.if_goto(E::ult(imm32(arch::kMaxPrefixes), n), g.invalid,
+                  "too many prefixes");
+        b.jmp(prefix_loop);
+    }
+
+    b.bind(opcode_stage);
+
+    // Collect opcode -> rows from the table.
+    std::map<u16, std::vector<int>> by_opcode;
+    for (std::size_t i = 0; i < arch::insn_table().size(); ++i)
+        by_opcode[arch::insn_table()[i].opcode].push_back(
+            static_cast<int>(i));
+
+    // One-byte opcode dispatch (0x0f handled as a special case).
+    std::map<u8, Label> one_byte;
+    for (const auto &[opcode, rows] : by_opcode) {
+        if (opcode < 0x100)
+            one_byte[static_cast<u8>(opcode)] = b.label();
+    }
+    Label two_byte_stage = b.label();
+    one_byte[0x0f] = two_byte_stage;
+    g.dispatch(byte, one_byte, g.invalid);
+
+    for (const auto &[opcode, rows] : by_opcode) {
+        if (opcode >= 0x100)
+            continue;
+        b.bind(one_byte.at(static_cast<u8>(opcode)));
+        const InsnDesc &d0 = arch::insn_table()[rows[0]];
+        if (d0.has_modrm) {
+            emit_opcode_block(g, opcode, rows);
+        } else {
+            emit_row_tail(g, rows[0], nullptr, nullptr);
+        }
+    }
+
+    // Two-byte opcodes.
+    b.bind(two_byte_stage);
+    ExprRef byte2 = g.fetch();
+    std::map<u8, Label> second;
+    for (const auto &[opcode, rows] : by_opcode) {
+        if (opcode >= 0x100)
+            second[static_cast<u8>(opcode & 0xff)] = b.label();
+    }
+    g.dispatch(byte2, second, g.invalid);
+    for (const auto &[opcode, rows] : by_opcode) {
+        if (opcode < 0x100)
+            continue;
+        b.bind(second.at(static_cast<u8>(opcode & 0xff)));
+        const InsnDesc &d0 = arch::insn_table()[rows[0]];
+        if (d0.has_modrm) {
+            emit_opcode_block(g, opcode, rows);
+        } else {
+            emit_row_tail(g, rows[0], nullptr, nullptr);
+        }
+    }
+
+    b.bind(g.invalid);
+    b.halt(kDecodeInvalid);
+    b.bind(g.too_long);
+    b.halt(kDecodeTooLong);
+    return b.finish();
+}
+
+} // namespace pokeemu::hifi

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The Hi-Fi emulator's instruction decoder as an IR program.
+ *
+ * Instruction-set exploration (paper §3.2) symbolically executes the
+ * emulator's decoder with the first bytes of the instruction buffer
+ * marked symbolic; each path that reaches "per-instruction code"
+ * yields a candidate byte sequence, and paths are grouped by the
+ * handler they select. Here the decoder is generated from the same
+ * instruction table as the C++ decoder (arch/decoder.h); the program
+ * reads bytes at layout::kInsnBufBase and halts with:
+ *   - the table index of the selected instruction, or
+ *   - kDecodeInvalid (#UD) / kDecodeTooLong (#GP).
+ *
+ * The control-flow granularity mirrors an interpreter's: a per-value
+ * dispatch on opcode bytes (each opcode is separate per-instruction
+ * code) but field-level branches for ModRM/SIB forms, so the paths
+ * partition the byte-sequence space the way the paper's Bochs
+ * exploration does.
+ */
+#ifndef POKEEMU_HIFI_DECODER_IR_H
+#define POKEEMU_HIFI_DECODER_IR_H
+
+#include "arch/layout.h"
+#include "ir/stmt.h"
+
+namespace pokeemu::hifi {
+
+/// @name Decoder halt codes (table indices are below 0x10000).
+/// @{
+constexpr u32 kDecodeInvalid = 0x10000; ///< #UD.
+constexpr u32 kDecodeTooLong = 0x10001; ///< #GP (> 15 bytes).
+/// @}
+
+/** Build the decoder program (cached by callers as needed). */
+ir::Program build_decoder_program();
+
+/** Scratch area used by the decoder program (after the 16-byte buffer). */
+namespace decoder_scratch {
+constexpr u32 kPos = arch::layout::kInsnBufBase + 0x40;
+constexpr u32 kNumPrefixes = arch::layout::kInsnBufBase + 0x44;
+constexpr u32 kLock = arch::layout::kInsnBufBase + 0x48;
+constexpr u32 kRep = arch::layout::kInsnBufBase + 0x49;
+constexpr u32 kRepne = arch::layout::kInsnBufBase + 0x4a;
+constexpr u32 kSegOverride = arch::layout::kInsnBufBase + 0x4b;
+} // namespace decoder_scratch
+
+} // namespace pokeemu::hifi
+
+#endif // POKEEMU_HIFI_DECODER_IR_H

@@ -1,0 +1,222 @@
+#include "hifi/hifi_emulator.h"
+
+#include <cstring>
+
+#include "arch/paging.h"
+
+namespace pokeemu::hifi {
+
+namespace layout = arch::layout;
+
+HiFiEmulator::HiFiEmulator(SemanticsOptions options)
+    : options_(options), ram_(arch::kPhysMemSize, 0),
+      decoder_(build_decoder_program())
+{
+}
+
+HiFiEmulator::~HiFiEmulator() = default;
+
+void
+HiFiEmulator::reset(const arch::CpuState &cpu, const std::vector<u8> &ram)
+{
+    arch::pack_cpu_state(cpu, state_.data());
+    assert(ram.size() == arch::kPhysMemSize);
+    ram_ = ram;
+    insn_count_ = 0;
+}
+
+u8 *
+HiFiEmulator::resolve(u32 addr)
+{
+    if (addr >= layout::kCpuBase &&
+        addr < layout::kCpuBase + layout::kCpuStateSize) {
+        return state_.data() + (addr - layout::kCpuBase);
+    }
+    if (addr >= layout::kInsnBufBase &&
+        addr < layout::kInsnBufBase + scratch_.size()) {
+        return scratch_.data() + (addr - layout::kInsnBufBase);
+    }
+    if (addr >= layout::kGuestPhysBase &&
+        addr < layout::kGuestPhysBase + arch::kPhysMemSize) {
+        return ram_.data() + (addr - layout::kGuestPhysBase);
+    }
+    panic("HiFiEmulator: IR access outside mapped regions");
+}
+
+u64
+HiFiEmulator::load(u32 addr, unsigned size)
+{
+    // Guest physical accesses wrap modulo the memory size per byte
+    // (all backends implement the same wrap rule).
+    u64 v = 0;
+    for (unsigned i = 0; i < size; ++i) {
+        u32 a = addr + i;
+        if (addr >= layout::kGuestPhysBase) {
+            a = layout::kGuestPhysBase +
+                ((addr - layout::kGuestPhysBase + i) &
+                 (arch::kPhysMemSize - 1));
+        }
+        v |= static_cast<u64>(*resolve(a)) << (8 * i);
+    }
+    return v;
+}
+
+void
+HiFiEmulator::store(u32 addr, unsigned size, u64 value)
+{
+    for (unsigned i = 0; i < size; ++i) {
+        u32 a = addr + i;
+        if (addr >= layout::kGuestPhysBase) {
+            a = layout::kGuestPhysBase +
+                ((addr - layout::kGuestPhysBase + i) &
+                 (arch::kPhysMemSize - 1));
+        }
+        *resolve(a) = static_cast<u8>(value >> (8 * i));
+    }
+}
+
+arch::CpuState
+HiFiEmulator::cpu() const
+{
+    return arch::unpack_cpu_state(state_.data());
+}
+
+arch::Snapshot
+HiFiEmulator::snapshot() const
+{
+    return {cpu(), ram_};
+}
+
+void
+HiFiEmulator::snapshot_into(arch::Snapshot &out) const
+{
+    out.cpu = cpu();
+    out.ram = ram_;
+}
+
+void
+HiFiEmulator::record_exception(u8 vector, u32 error, bool has_error,
+                               u32 cr2, bool set_cr2)
+{
+    arch::CpuState c = cpu();
+    c.exception.vector = vector;
+    c.exception.error_code = error;
+    c.exception.has_error_code = has_error;
+    if (set_cr2)
+        c.cr2 = cr2;
+    c.halted = 1;
+    arch::pack_cpu_state(c, state_.data());
+}
+
+bool
+HiFiEmulator::step()
+{
+    arch::CpuState c = cpu();
+    if (c.halted)
+        return false;
+
+    // --- Instruction fetch through CS and the MMU (harness level, as
+    // in the paper where exploration starts after fetch+decode). ---
+    u8 buf[arch::kMaxInsnLength] = {};
+    unsigned avail = 0;
+    bool fetch_fault = false;
+    u8 fetch_vector = 0;
+    u32 fetch_error = 0;
+    u32 fetch_cr2 = 0;
+    const arch::SegmentReg &cs = c.seg[arch::kCs];
+    const bool paging = (c.cr0 & arch::kCr0Pg) != 0;
+    const bool wp = (c.cr0 & arch::kCr0Wp) != 0;
+    for (unsigned i = 0; i < arch::kMaxInsnLength; ++i) {
+        const u32 off = c.eip + i;
+        if (off > cs.limit) {
+            fetch_fault = true;
+            fetch_vector = arch::kExcGp;
+            fetch_error = 0;
+            break;
+        }
+        const u32 lin = cs.base + off;
+        u32 phys = lin;
+        if (paging) {
+            auto tr = arch::translate_linear(
+                ram_.data(), c.cr3, lin, {false, false}, wp, true);
+            if (!tr.ok) {
+                fetch_fault = true;
+                fetch_vector = arch::kExcPf;
+                fetch_error = tr.pf_error;
+                fetch_cr2 = lin;
+                break;
+            }
+            phys = tr.phys;
+        }
+        buf[i] = ram_[phys & (arch::kPhysMemSize - 1)];
+        ++avail;
+    }
+    if (avail == 0) {
+        record_exception(fetch_vector, fetch_error, true, fetch_cr2,
+                         fetch_vector == arch::kExcPf);
+        return false;
+    }
+
+    // --- Decode by concretely interpreting the IR decoder. ---
+    std::memcpy(scratch_.data(), buf, arch::kMaxInsnLength);
+    ir::RunResult dres = ir::run_concrete(decoder_, *this);
+    if (dres.status != ir::RunStatus::Halted)
+        panic("hifi decoder did not halt");
+    const u64 pos_final = load(decoder_scratch::kPos, 4);
+
+    if (dres.halt_code == kDecodeTooLong ||
+        (pos_final > avail && fetch_fault)) {
+        if (fetch_fault && avail < arch::kMaxInsnLength) {
+            record_exception(fetch_vector, fetch_error, true, fetch_cr2,
+                             fetch_vector == arch::kExcPf);
+        } else {
+            record_exception(arch::kExcGp, 0, true, 0, false);
+        }
+        return false;
+    }
+    if (dres.halt_code == kDecodeInvalid) {
+        record_exception(arch::kExcUd, 0, false, 0, false);
+        return false;
+    }
+
+    // --- Cross-check with the table decoder and build semantics. ---
+    arch::DecodedInsn insn;
+    const arch::DecodeStatus ds = arch::decode(buf, avail, insn);
+    if (ds != arch::DecodeStatus::Ok ||
+        insn.table_index != static_cast<int>(dres.halt_code)) {
+        panic("hifi decoder disagrees with table decoder");
+    }
+
+    std::vector<u8> key(insn.bytes, insn.bytes + insn.length);
+    auto it = semantics_cache_.find(key);
+    if (it == semantics_cache_.end()) {
+        auto prog = std::make_shared<ir::Program>(
+            build_semantics(insn, options_));
+        it = semantics_cache_
+                 .emplace(std::move(key),
+                          std::shared_ptr<const ir::Program>(
+                              std::move(prog)))
+                 .first;
+    }
+
+    ir::RunResult sres = ir::run_concrete(*it->second, *this);
+    if (sres.status != ir::RunStatus::Halted)
+        panic("hifi semantics did not halt");
+    ++insn_count_;
+    return true;
+}
+
+StopReason
+HiFiEmulator::run(u64 max_insns)
+{
+    for (u64 i = 0; i < max_insns; ++i) {
+        if (!step()) {
+            const arch::CpuState c = cpu();
+            return c.exception.present() ? StopReason::Exception
+                                         : StopReason::Halted;
+        }
+    }
+    return StopReason::InsnLimit;
+}
+
+} // namespace pokeemu::hifi

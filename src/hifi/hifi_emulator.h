@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The Hi-Fi emulator (Bochs analog): a faithful interpreter whose
+ * decoder and per-instruction semantics are the same IR programs the
+ * symbolic explorer walks — what you explore is what you run.
+ *
+ * Concrete execution interprets those programs against the machine-
+ * state byte image and guest physical RAM (paper §2: "Bochs is an
+ * interpreter"; §5.1 emulator execution with halt/exception
+ * interception). Instruction fetch (CS limit check + page walk) is
+ * the hand-written harness part, as in the paper where exploration
+ * starts after fetch/decode.
+ */
+#ifndef POKEEMU_HIFI_HIFI_EMULATOR_H
+#define POKEEMU_HIFI_HIFI_EMULATOR_H
+
+#include <map>
+#include <memory>
+
+#include "arch/snapshot.h"
+#include "hifi/decoder_ir.h"
+#include "hifi/semantics.h"
+#include "ir/eval.h"
+
+namespace pokeemu::hifi {
+
+/** Why execution stopped. */
+enum class StopReason : u8 {
+    Halted,     ///< hlt executed.
+    Exception,  ///< A fault was recorded (abstract halting handler).
+    InsnLimit,  ///< Budget exhausted (runaway guard).
+};
+
+/** See file comment. */
+class HiFiEmulator : public ir::ConcreteMemory
+{
+  public:
+    explicit HiFiEmulator(SemanticsOptions options = {});
+    ~HiFiEmulator() override;
+
+    /** Load CPU state and a full physical-memory image. */
+    void reset(const arch::CpuState &cpu, const std::vector<u8> &ram);
+
+    /** Execute one instruction. Returns false when already stopped. */
+    bool step();
+
+    /** Run until hlt/exception or @p max_insns. */
+    StopReason run(u64 max_insns = 1u << 20);
+
+    /** Current CPU state (unpacked from the byte image). */
+    arch::CpuState cpu() const;
+
+    arch::Snapshot snapshot() const;
+
+    /** Snapshot into a reusable buffer (capacity-preserving). */
+    void snapshot_into(arch::Snapshot &out) const;
+
+    /** Instructions retired since reset. */
+    u64 insn_count() const { return insn_count_; }
+
+    /// @name ir::ConcreteMemory (the IR address space).
+    /// @{
+    u64 load(u32 addr, unsigned size) override;
+    void store(u32 addr, unsigned size, u64 value) override;
+    /// @}
+
+  private:
+    void record_exception(u8 vector, u32 error, bool has_error,
+                          u32 cr2, bool set_cr2);
+    u8 *resolve(u32 addr);
+
+    SemanticsOptions options_;
+    std::array<u8, arch::layout::kCpuStateSize> state_{};
+    std::array<u8, 0x100> scratch_{}; ///< Insn buffer + decoder state.
+    std::vector<u8> ram_;
+    ir::Program decoder_;
+    std::map<std::vector<u8>, std::shared_ptr<const ir::Program>>
+        semantics_cache_;
+    u64 insn_count_ = 0;
+};
+
+} // namespace pokeemu::hifi
+
+#endif // POKEEMU_HIFI_HIFI_EMULATOR_H

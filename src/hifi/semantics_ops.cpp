@@ -1,0 +1,807 @@
+/**
+ * @file
+ * Per-instruction semantics generators, part 1: ALU, data movement,
+ * stack, conditionals, shifts, string operations. Part 2 (control
+ * flow, system, bit operations) is in semantics_ops2.cpp.
+ */
+#include "hifi/ctx.h"
+
+namespace pokeemu::hifi {
+
+using arch::AluKind;
+using arch::Op;
+using arch::ShiftKind;
+
+namespace {
+
+ExprRef
+imm32(u64 v)
+{
+    return E::constant(32, v);
+}
+
+ExprRef
+bit_of(const ExprRef &value, unsigned pos)
+{
+    return E::extract(value, pos, 1);
+}
+
+/** Sign-extended 8-bit immediate as a value of @p width bits. */
+ExprRef
+sext_imm8(u32 imm, unsigned width)
+{
+    return E::constant(width,
+                       static_cast<u64>(sign_extend(imm & 0xff, 8)));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Dispatcher.
+// ---------------------------------------------------------------------
+
+void
+Ctx::gen()
+{
+    switch (insn_.desc->op) {
+      case Op::AluRm8R8: case Op::AluRm32R32: case Op::AluR8Rm8:
+      case Op::AluR32Rm32: case Op::AluAlImm8: case Op::AluEaxImm32:
+      case Op::Grp1Rm8Imm8: case Op::Grp1Rm32Imm32:
+      case Op::Grp1Rm32Imm8:
+        gen_alu();
+        return;
+      case Op::IncR32: case Op::DecR32: case Op::PushR32:
+      case Op::PopR32: case Op::PushImm32: case Op::PushImm8:
+      case Op::IncRm8: case Op::DecRm8: case Op::IncRm32:
+      case Op::DecRm32: case Op::PushRm32: case Op::PopRm32:
+        gen_inc_dec_push_pop();
+        return;
+      case Op::MovRm8R8: case Op::MovRm32R32: case Op::MovR8Rm8:
+      case Op::MovR32Rm32: case Op::MovRm8Imm8: case Op::MovRm32Imm32:
+      case Op::MovR8Imm8: case Op::MovR32Imm32: case Op::MovRm16Sreg:
+      case Op::MovSregRm16: case Op::Lea: case Op::MovAlMoffs:
+      case Op::MovMoffsAl: case Op::MovEaxMoffs: case Op::MovMoffsEax:
+        gen_mov();
+        return;
+      case Op::TestRm8R8: case Op::TestRm32R32: case Op::TestAlImm8:
+      case Op::TestEaxImm32: case Op::XchgRm8R8: case Op::XchgRm32R32:
+      case Op::XchgEaxR32:
+        gen_test_xchg();
+        return;
+      case Op::JccRel8: case Op::JccRel32: case Op::SetccRm8:
+      case Op::CmovccR32Rm32:
+        gen_jcc_setcc_cmov();
+        return;
+      case Op::Nop: case Op::Cwde: case Op::Cdq: case Op::Pushfd:
+      case Op::Popfd: case Op::Sahf: case Op::Lahf:
+        gen_stack_misc();
+        return;
+      case Op::Movs8: case Op::Movs32: case Op::Cmps8: case Op::Cmps32:
+      case Op::Stos8: case Op::Stos32: case Op::Lods8: case Op::Lods32:
+      case Op::Scas8: case Op::Scas32:
+        gen_string();
+        return;
+      case Op::ShiftRm8Imm8: case Op::ShiftRm32Imm8:
+      case Op::ShiftRm8One: case Op::ShiftRm32One:
+      case Op::ShiftRm8Cl: case Op::ShiftRm32Cl:
+        gen_shift();
+        return;
+      case Op::RetImm16: case Op::Ret: case Op::CallRel32:
+      case Op::JmpRel32: case Op::JmpRel8: case Op::Leave:
+      case Op::Iret: case Op::Int3: case Op::IntImm8: case Op::Into:
+      case Op::CallRm32: case Op::JmpRm32: case Op::JmpFar:
+      case Op::CallFar:
+        gen_control();
+        return;
+      case Op::Les: case Op::Lds: case Op::Lss: case Op::Lfs:
+      case Op::Lgs:
+        gen_far_load();
+        return;
+      case Op::Hlt: case Op::Cmc: case Op::Clc: case Op::Stc:
+      case Op::Cli: case Op::Sti: case Op::Cld: case Op::Std:
+        gen_flagops();
+        return;
+      case Op::Grp3TestRm8Imm8: case Op::Grp3TestRm32Imm32:
+      case Op::Grp3NotRm8: case Op::Grp3NotRm32: case Op::Grp3NegRm8:
+      case Op::Grp3NegRm32: case Op::Grp3MulRm8: case Op::Grp3MulRm32:
+      case Op::Grp3ImulRm8: case Op::Grp3ImulRm32: case Op::Grp3DivRm8:
+      case Op::Grp3DivRm32: case Op::Grp3IdivRm8: case Op::Grp3IdivRm32:
+        gen_grp3();
+        return;
+      case Op::Sgdt: case Op::Sidt: case Op::Lgdt: case Op::Lidt:
+      case Op::Invlpg: case Op::Clts: case Op::MovR32Cr:
+      case Op::MovCrR32: case Op::Wrmsr: case Op::Rdtsc:
+      case Op::Rdmsr: case Op::Cpuid:
+        gen_system();
+        return;
+      case Op::BtRm32R32: case Op::BtsRm32R32: case Op::BtrRm32R32:
+      case Op::BtcRm32R32: case Op::Grp8BtImm8: case Op::Grp8BtsImm8:
+      case Op::Grp8BtrImm8: case Op::Grp8BtcImm8: case Op::ShldImm8:
+      case Op::ShldCl: case Op::ShrdImm8: case Op::ShrdCl:
+      case Op::Bsf: case Op::Bsr: case Op::BswapR32:
+        gen_bitops();
+        return;
+      case Op::ImulR32Rm32: case Op::ImulR32Rm32Imm32:
+      case Op::ImulR32Rm32Imm8:
+        gen_mul_imul();
+        return;
+      case Op::CmpxchgRm8R8: case Op::CmpxchgRm32R32:
+      case Op::XaddRm8R8: case Op::XaddRm32R32:
+        gen_cmpxchg_xadd();
+        return;
+      case Op::MovzxR32Rm8: case Op::MovzxR32Rm16:
+      case Op::MovsxR32Rm8: case Op::MovsxR32Rm16:
+        gen_movzx_movsx();
+        return;
+      default:
+        panic("no generator for op");
+    }
+}
+
+// ---------------------------------------------------------------------
+// ALU.
+// ---------------------------------------------------------------------
+
+void
+Ctx::gen_alu()
+{
+    const Op op = insn_.desc->op;
+    const AluKind kind = static_cast<AluKind>(insn_.desc->aux);
+    const unsigned w =
+        (op == Op::AluRm8R8 || op == Op::AluR8Rm8 ||
+         op == Op::AluAlImm8 || op == Op::Grp1Rm8Imm8)
+            ? 8 : 32;
+    const bool is_cmp = kind == AluKind::Cmp;
+
+    // Gather operands; destination may be rm, reg, or the accumulator.
+    enum class Dst { Rm, Reg, Acc } dst_kind;
+    ExprRef a, b;
+    std::optional<PreparedWrite> pw;
+    switch (op) {
+      case Op::AluRm8R8: case Op::AluRm32R32:
+        dst_kind = Dst::Rm;
+        a = is_cmp ? read_rm(w) : read_rm_for_write(w, pw);
+        b = reg_operand(insn_.reg, w);
+        break;
+      case Op::AluR8Rm8: case Op::AluR32Rm32:
+        dst_kind = Dst::Reg;
+        a = reg_operand(insn_.reg, w);
+        b = read_rm(w);
+        break;
+      case Op::AluAlImm8: case Op::AluEaxImm32:
+        dst_kind = Dst::Acc;
+        a = reg_operand(arch::kEax, w);
+        b = E::constant(w, insn_.imm);
+        break;
+      case Op::Grp1Rm8Imm8: case Op::Grp1Rm32Imm32:
+        dst_kind = Dst::Rm;
+        a = is_cmp ? read_rm(w) : read_rm_for_write(w, pw);
+        b = E::constant(w, insn_.imm);
+        break;
+      case Op::Grp1Rm32Imm8:
+        dst_kind = Dst::Rm;
+        a = is_cmp ? read_rm(w) : read_rm_for_write(w, pw);
+        b = sext_imm8(insn_.imm, 32);
+        break;
+      default:
+        panic("bad alu op");
+    }
+    a = b_.assign(a, "alu a");
+    b = b_.assign(b, "alu b");
+
+    ExprRef res;
+    FlagSet f;
+    switch (kind) {
+      case AluKind::Add:
+        f = flags_add(a, b, E::bool_const(false));
+        res = E::add(a, b);
+        break;
+      case AluKind::Adc: {
+        ExprRef cf = flag(0);
+        f = flags_add(a, b, cf);
+        res = E::add(E::add(a, b), E::zext(cf, w));
+        break;
+      }
+      case AluKind::Sub:
+      case AluKind::Cmp:
+        f = flags_sub(a, b, E::bool_const(false));
+        res = E::sub(a, b);
+        break;
+      case AluKind::Sbb: {
+        ExprRef cf = flag(0);
+        f = flags_sub(a, b, cf);
+        res = E::sub(E::sub(a, b), E::zext(cf, w));
+        break;
+      }
+      case AluKind::And:
+        res = E::band(a, b);
+        f = flags_logic(res);
+        break;
+      case AluKind::Or:
+        res = E::bor(a, b);
+        f = flags_logic(res);
+        break;
+      case AluKind::Xor:
+        res = E::bxor(a, b);
+        f = flags_logic(res);
+        break;
+    }
+    res = b_.assign(res, "alu result");
+
+    if (!is_cmp) {
+        switch (dst_kind) {
+          case Dst::Rm:
+            write_rm_commit(pw, w, res);
+            break;
+          case Dst::Reg:
+            set_reg_operand(insn_.reg, w, res);
+            break;
+          case Dst::Acc:
+            set_reg_operand(arch::kEax, w, res);
+            break;
+        }
+    }
+    write_flags(f);
+    done();
+}
+
+// ---------------------------------------------------------------------
+// inc/dec/push/pop.
+// ---------------------------------------------------------------------
+
+void
+Ctx::gen_inc_dec_push_pop()
+{
+    const Op op = insn_.desc->op;
+    switch (op) {
+      case Op::IncR32: case Op::DecR32: {
+        const unsigned r = insn_.desc->aux;
+        ExprRef a = b_.assign(gpr(r), "value");
+        const bool inc = op == Op::IncR32;
+        FlagSet f = inc ? flags_add(a, imm32(1), E::bool_const(false))
+                        : flags_sub(a, imm32(1), E::bool_const(false));
+        f.cf = nullptr; // inc/dec preserve CF.
+        set_gpr(r, inc ? E::add(a, imm32(1)) : E::sub(a, imm32(1)));
+        write_flags(f);
+        done();
+        return;
+      }
+      case Op::IncRm8: case Op::DecRm8:
+      case Op::IncRm32: case Op::DecRm32: {
+        const unsigned w =
+            (op == Op::IncRm8 || op == Op::DecRm8) ? 8 : 32;
+        const bool inc = op == Op::IncRm8 || op == Op::IncRm32;
+        std::optional<PreparedWrite> pw;
+        ExprRef a = b_.assign(read_rm_for_write(w, pw), "value");
+        ExprRef one = E::constant(w, 1);
+        FlagSet f = inc ? flags_add(a, one, E::bool_const(false))
+                        : flags_sub(a, one, E::bool_const(false));
+        f.cf = nullptr;
+        write_rm_commit(pw, w, inc ? E::add(a, one) : E::sub(a, one));
+        write_flags(f);
+        done();
+        return;
+      }
+      case Op::PushR32:
+        push32(gpr(insn_.desc->aux));
+        done();
+        return;
+      case Op::PushImm32:
+        push32(imm32(insn_.imm));
+        done();
+        return;
+      case Op::PushImm8:
+        push32(sext_imm8(insn_.imm, 32));
+        done();
+        return;
+      case Op::PushRm32:
+        push32(b_.assign(read_rm(32), "pushed value"));
+        done();
+        return;
+      case Op::PopR32: {
+        ExprRef val = b_.assign(stack_read(imm32(0), 4), "popped");
+        set_gpr(arch::kEsp, E::add(gpr(arch::kEsp), imm32(4)));
+        // pop esp: the written value wins over the increment.
+        set_gpr(insn_.desc->aux, val);
+        done();
+        return;
+      }
+      case Op::PopRm32: {
+        ExprRef val = b_.assign(stack_read(imm32(0), 4), "popped");
+        std::optional<PreparedWrite> pw;
+        read_rm_for_write(32, pw);
+        write_rm_commit(pw, 32, val);
+        set_gpr(arch::kEsp, E::add(gpr(arch::kEsp), imm32(4)));
+        done();
+        return;
+      }
+      default:
+        panic("bad push/pop op");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Moves.
+// ---------------------------------------------------------------------
+
+void
+Ctx::gen_mov()
+{
+    const Op op = insn_.desc->op;
+    switch (op) {
+      case Op::MovRm8R8:
+      case Op::MovRm32R32: {
+        const unsigned w = op == Op::MovRm8R8 ? 8 : 32;
+        ExprRef v = reg_operand(insn_.reg, w);
+        if (insn_.mod == 3) {
+            set_reg_operand(insn_.rm, w, v);
+        } else {
+            mem_write(effective_segment(), effective_address(), w / 8,
+                      v);
+        }
+        done();
+        return;
+      }
+      case Op::MovR8Rm8:
+      case Op::MovR32Rm32: {
+        const unsigned w = op == Op::MovR8Rm8 ? 8 : 32;
+        set_reg_operand(insn_.reg, w, read_rm(w));
+        done();
+        return;
+      }
+      case Op::MovRm8Imm8:
+      case Op::MovRm32Imm32: {
+        const unsigned w = op == Op::MovRm8Imm8 ? 8 : 32;
+        ExprRef v = E::constant(w, insn_.imm);
+        if (insn_.mod == 3) {
+            set_reg_operand(insn_.rm, w, v);
+        } else {
+            mem_write(effective_segment(), effective_address(), w / 8,
+                      v);
+        }
+        done();
+        return;
+      }
+      case Op::MovR8Imm8:
+        set_gpr8(insn_.desc->aux, E::constant(8, insn_.imm));
+        done();
+        return;
+      case Op::MovR32Imm32:
+        set_gpr(insn_.desc->aux, imm32(insn_.imm));
+        done();
+        return;
+      case Op::MovRm16Sreg: {
+        ExprRef sel = seg_sel(insn_.reg);
+        if (insn_.mod == 3) {
+            set_gpr16(insn_.rm, sel);
+        } else {
+            mem_write(effective_segment(), effective_address(), 2, sel);
+        }
+        done();
+        return;
+      }
+      case Op::MovSregRm16: {
+        ExprRef sel = b_.assign(read_rm(16), "selector");
+        load_segment(insn_.reg, sel);
+        done();
+        return;
+      }
+      case Op::Lea:
+        set_gpr(insn_.reg, effective_address());
+        done();
+        return;
+      case Op::MovAlMoffs:
+        set_gpr8(0, mem_read(
+            insn_.seg_override >= 0
+                ? static_cast<unsigned>(insn_.seg_override)
+                : static_cast<unsigned>(arch::kDs),
+            imm32(insn_.imm), 1));
+        done();
+        return;
+      case Op::MovEaxMoffs:
+        set_gpr(arch::kEax, mem_read(
+            insn_.seg_override >= 0
+                ? static_cast<unsigned>(insn_.seg_override)
+                : static_cast<unsigned>(arch::kDs),
+            imm32(insn_.imm), 4));
+        done();
+        return;
+      case Op::MovMoffsAl:
+        mem_write(insn_.seg_override >= 0
+                      ? static_cast<unsigned>(insn_.seg_override)
+                      : static_cast<unsigned>(arch::kDs),
+                  imm32(insn_.imm), 1, gpr8(0));
+        done();
+        return;
+      case Op::MovMoffsEax:
+        mem_write(insn_.seg_override >= 0
+                      ? static_cast<unsigned>(insn_.seg_override)
+                      : static_cast<unsigned>(arch::kDs),
+                  imm32(insn_.imm), 4, gpr(arch::kEax));
+        done();
+        return;
+      default:
+        panic("bad mov op");
+    }
+}
+
+// ---------------------------------------------------------------------
+// test / xchg.
+// ---------------------------------------------------------------------
+
+void
+Ctx::gen_test_xchg()
+{
+    const Op op = insn_.desc->op;
+    switch (op) {
+      case Op::TestRm8R8:
+      case Op::TestRm32R32: {
+        const unsigned w = op == Op::TestRm8R8 ? 8 : 32;
+        ExprRef a = read_rm(w);
+        ExprRef b = reg_operand(insn_.reg, w);
+        write_flags(flags_logic(b_.assign(E::band(a, b), "test")));
+        done();
+        return;
+      }
+      case Op::TestAlImm8:
+      case Op::TestEaxImm32: {
+        const unsigned w = op == Op::TestAlImm8 ? 8 : 32;
+        ExprRef a = reg_operand(arch::kEax, w);
+        write_flags(flags_logic(b_.assign(
+            E::band(a, E::constant(w, insn_.imm)), "test")));
+        done();
+        return;
+      }
+      case Op::XchgRm8R8:
+      case Op::XchgRm32R32: {
+        const unsigned w = op == Op::XchgRm8R8 ? 8 : 32;
+        std::optional<PreparedWrite> pw;
+        ExprRef old_rm = b_.assign(read_rm_for_write(w, pw), "old rm");
+        ExprRef old_reg = b_.assign(reg_operand(insn_.reg, w),
+                                    "old reg");
+        write_rm_commit(pw, w, old_reg);
+        set_reg_operand(insn_.reg, w, old_rm);
+        done();
+        return;
+      }
+      case Op::XchgEaxR32: {
+        const unsigned r = insn_.desc->aux;
+        ExprRef a = b_.assign(gpr(arch::kEax), "eax");
+        ExprRef c = b_.assign(gpr(r), "other");
+        set_gpr(arch::kEax, c);
+        set_gpr(r, a);
+        done();
+        return;
+      }
+      default:
+        panic("bad test/xchg op");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Conditionals.
+// ---------------------------------------------------------------------
+
+void
+Ctx::gen_jcc_setcc_cmov()
+{
+    const Op op = insn_.desc->op;
+    const unsigned cc = insn_.desc->aux;
+    switch (op) {
+      case Op::JccRel8:
+      case Op::JccRel32: {
+        ExprRef cond = cond_cc(cc);
+        const u32 fallthrough_delta = insn_.length;
+        const s64 rel = op == Op::JccRel8
+            ? sign_extend(insn_.imm & 0xff, 8)
+            : sign_extend(insn_.imm, 32);
+        ExprRef eip = b_.assign(ld32(layout::kEipAddr), "eip");
+        ExprRef next = E::add(eip, imm32(fallthrough_delta));
+        Label taken = b_.label(), not_taken = b_.label();
+        b_.cjmp(cond, taken, not_taken, "jcc");
+        b_.bind(taken);
+        set_eip(E::add(next, imm32(static_cast<u64>(rel))));
+        b_.halt(kHaltOk);
+        b_.bind(not_taken);
+        set_eip(next);
+        b_.halt(kHaltOk);
+        return;
+      }
+      case Op::SetccRm8: {
+        ExprRef v = E::zext(cond_cc(cc), 8);
+        if (insn_.mod == 3) {
+            set_gpr8(insn_.rm, v);
+        } else {
+            mem_write(effective_segment(), effective_address(), 1, v);
+        }
+        done();
+        return;
+      }
+      case Op::CmovccR32Rm32: {
+        // The source is read (and can fault) regardless of the
+        // condition, as on hardware.
+        ExprRef src = b_.assign(read_rm(32), "cmov src");
+        ExprRef dst = gpr(insn_.reg);
+        set_gpr(insn_.reg, E::ite(cond_cc(cc), src, dst));
+        done();
+        return;
+      }
+      default:
+        panic("bad cc op");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Misc stack/flags/width ops.
+// ---------------------------------------------------------------------
+
+void
+Ctx::gen_stack_misc()
+{
+    switch (insn_.desc->op) {
+      case Op::Nop:
+        done();
+        return;
+      case Op::Cwde:
+        set_gpr(arch::kEax, E::sext(gpr16(arch::kEax), 32));
+        done();
+        return;
+      case Op::Cdq: {
+        ExprRef sign = bit_of(gpr(arch::kEax), 31);
+        set_gpr(arch::kEdx,
+                E::ite(sign, imm32(0xffffffff), imm32(0)));
+        done();
+        return;
+      }
+      case Op::Pushfd: {
+        // VM and RF are always pushed as zero.
+        ExprRef fl = E::band(eflags(), imm32(~u64{0x30000}));
+        push32(fl);
+        done();
+        return;
+      }
+      case Op::Popfd: {
+        ExprRef val = b_.assign(stack_read(imm32(0), 4), "popped");
+        set_gpr(arch::kEsp, E::add(gpr(arch::kEsp), imm32(4)));
+        // CPL0 may modify all of these: CF PF AF ZF SF TF IF DF OF
+        // IOPL NT AC.
+        const u64 mask = 0x47fd5;
+        ExprRef fl = eflags();
+        set_eflags(E::bor(E::band(fl, imm32(~mask)),
+                          E::band(val, imm32(mask))));
+        done();
+        return;
+      }
+      case Op::Sahf: {
+        // SF ZF AF PF CF from AH (bits 7,6,4,2,0).
+        ExprRef ah = gpr8(4);
+        const u64 mask = 0xd5;
+        ExprRef fl = eflags();
+        set_eflags(E::bor(E::band(fl, imm32(~mask)),
+                          E::band(E::zext(ah, 32), imm32(mask))));
+        done();
+        return;
+      }
+      case Op::Lahf: {
+        ExprRef low = E::extract(eflags(), 0, 8);
+        // Bit 1 reads as one; bits 3 and 5 as zero.
+        set_gpr8(4, E::bor(E::band(low, E::constant(8, 0xd5)),
+                           E::constant(8, 0x02)));
+        done();
+        return;
+      }
+      default:
+        panic("bad misc op");
+    }
+}
+
+// ---------------------------------------------------------------------
+// String operations.
+// ---------------------------------------------------------------------
+
+void
+Ctx::gen_string()
+{
+    const Op op = insn_.desc->op;
+    const unsigned w =
+        (op == Op::Movs8 || op == Op::Cmps8 || op == Op::Stos8 ||
+         op == Op::Lods8 || op == Op::Scas8)
+            ? 8 : 32;
+    const unsigned size = w / 8;
+    const unsigned src_seg = insn_.seg_override >= 0
+        ? static_cast<unsigned>(insn_.seg_override)
+        : static_cast<unsigned>(arch::kDs);
+
+    const bool rep = insn_.rep || insn_.repne;
+    const bool is_cmps = op == Op::Cmps8 || op == Op::Cmps32;
+    const bool is_scas = op == Op::Scas8 || op == Op::Scas32;
+
+    Label head = 0, done_label = 0;
+    if (rep) {
+        head = b_.here();
+        done_label = b_.label();
+        ExprRef ecx = gpr(arch::kEcx);
+        b_.if_goto(E::eq(ecx, imm32(0)), done_label, "rep: ecx == 0");
+    }
+
+    // Direction delta: +size or -size per DF.
+    ExprRef delta = b_.assign(
+        E::ite(flag(10), imm32(static_cast<u64>(-static_cast<s64>(size))),
+               imm32(size)),
+        "direction delta");
+
+    // One iteration.
+    switch (op) {
+      case Op::Movs8: case Op::Movs32: {
+        ExprRef esi = b_.assign(gpr(arch::kEsi), "esi");
+        ExprRef edi = b_.assign(gpr(arch::kEdi), "edi");
+        ExprRef v = mem_read(src_seg, esi, size);
+        mem_write(arch::kEs, edi, size, v);
+        set_gpr(arch::kEsi, E::add(esi, delta));
+        set_gpr(arch::kEdi, E::add(edi, delta));
+        break;
+      }
+      case Op::Stos8: case Op::Stos32: {
+        ExprRef edi = b_.assign(gpr(arch::kEdi), "edi");
+        mem_write(arch::kEs, edi, size,
+                  w == 8 ? gpr8(0) : gpr(arch::kEax));
+        set_gpr(arch::kEdi, E::add(edi, delta));
+        break;
+      }
+      case Op::Lods8: case Op::Lods32: {
+        ExprRef esi = b_.assign(gpr(arch::kEsi), "esi");
+        ExprRef v = mem_read(src_seg, esi, size);
+        if (w == 8)
+            set_gpr8(0, v);
+        else
+            set_gpr(arch::kEax, v);
+        set_gpr(arch::kEsi, E::add(esi, delta));
+        break;
+      }
+      case Op::Scas8: case Op::Scas32: {
+        ExprRef edi = b_.assign(gpr(arch::kEdi), "edi");
+        ExprRef v = b_.assign(mem_read(arch::kEs, edi, size), "mem");
+        ExprRef acc = w == 8 ? gpr8(0) : gpr(arch::kEax);
+        write_flags(flags_sub(acc, v, E::bool_const(false)));
+        set_gpr(arch::kEdi, E::add(edi, delta));
+        break;
+      }
+      case Op::Cmps8: case Op::Cmps32: {
+        ExprRef esi = b_.assign(gpr(arch::kEsi), "esi");
+        ExprRef edi = b_.assign(gpr(arch::kEdi), "edi");
+        ExprRef v1 = b_.assign(mem_read(src_seg, esi, size), "src");
+        ExprRef v2 = b_.assign(mem_read(arch::kEs, edi, size), "dst");
+        write_flags(flags_sub(v1, v2, E::bool_const(false)));
+        set_gpr(arch::kEsi, E::add(esi, delta));
+        set_gpr(arch::kEdi, E::add(edi, delta));
+        break;
+      }
+      default:
+        panic("bad string op");
+    }
+
+    if (rep) {
+        set_gpr(arch::kEcx, E::sub(gpr(arch::kEcx), imm32(1)));
+        if (is_cmps || is_scas) {
+            // REPE continues while ZF=1; REPNE while ZF=0.
+            ExprRef zf = flag(6);
+            ExprRef stop = insn_.repne ? zf : E::lnot(zf);
+            b_.if_goto(stop, done_label, "rep termination");
+        }
+        b_.jmp(head);
+        b_.bind(done_label);
+    }
+    done();
+}
+
+// ---------------------------------------------------------------------
+// Shifts and rotates.
+// ---------------------------------------------------------------------
+
+void
+Ctx::gen_shift()
+{
+    const Op op = insn_.desc->op;
+    const ShiftKind kind = static_cast<ShiftKind>(insn_.desc->aux);
+    const unsigned w =
+        (op == Op::ShiftRm8Imm8 || op == Op::ShiftRm8One ||
+         op == Op::ShiftRm8Cl)
+            ? 8 : 32;
+
+    std::optional<PreparedWrite> pw;
+    ExprRef a = b_.assign(read_rm_for_write(w, pw), "shift operand");
+
+    ExprRef count;
+    if (op == Op::ShiftRm8Imm8 || op == Op::ShiftRm32Imm8) {
+        count = E::constant(8, insn_.imm & 0x1f);
+    } else if (op == Op::ShiftRm8One || op == Op::ShiftRm32One) {
+        count = E::constant(8, 1);
+    } else {
+        count = E::band(gpr8(1), E::constant(8, 0x1f)); // CL.
+    }
+    count = b_.assign(count, "count");
+    ExprRef cnt64 = E::zext(count, 64);
+    ExprRef is_zero = b_.assign(E::eq(count, E::constant(8, 0)),
+                                "count is zero");
+
+    ExprRef res, cf, of;
+    const ExprRef a64 = E::zext(a, 64);
+    switch (kind) {
+      case ShiftKind::Shl:
+      case ShiftKind::ShlAlias: {
+        ExprRef wide = E::shl(a64, cnt64);
+        res = E::extract(wide, 0, w);
+        cf = E::extract(wide, w, 1);
+        of = E::bxor(cf, bit_of(res, w - 1));
+        break;
+      }
+      case ShiftKind::Shr: {
+        res = E::extract(E::lshr(a64, cnt64), 0, w);
+        ExprRef prev = E::lshr(
+            a64, E::sub(cnt64, E::constant(64, 1)));
+        cf = E::extract(prev, 0, 1);
+        of = bit_of(a, w - 1);
+        break;
+      }
+      case ShiftKind::Sar: {
+        ExprRef sa = E::sext(a, 64);
+        // Arithmetic shift: sign-extend to 64 first so fills are sign
+        // bits even for counts near w.
+        res = E::extract(E::ashr(sa, cnt64), 0, w);
+        ExprRef prev = E::ashr(
+            sa, E::sub(cnt64, E::constant(64, 1)));
+        cf = E::extract(prev, 0, 1);
+        of = E::bool_const(false);
+        break;
+      }
+      case ShiftKind::Rol: {
+        ExprRef cmod = E::band(cnt64, E::constant(64, w - 1));
+        ExprRef left = E::shl(a64, cmod);
+        ExprRef right = E::lshr(
+            a64, E::sub(E::constant(64, w), cmod));
+        // When cmod == 0, (w - cmod) == w shifts everything out: the
+        // or below still yields the original value via `left`.
+        res = E::extract(E::bor(left, right), 0, w);
+        cf = bit_of(res, 0);
+        of = E::bxor(cf, bit_of(res, w - 1));
+        break;
+      }
+      case ShiftKind::Ror: {
+        ExprRef cmod = E::band(cnt64, E::constant(64, w - 1));
+        ExprRef right = E::lshr(a64, cmod);
+        ExprRef left = E::shl(
+            a64, E::sub(E::constant(64, w), cmod));
+        res = E::extract(E::bor(right, left), 0, w);
+        cf = bit_of(res, w - 1);
+        of = E::bxor(bit_of(res, w - 1), bit_of(res, w - 2));
+        break;
+      }
+      case ShiftKind::Rcl:
+      case ShiftKind::Rcr:
+        panic("rcl/rcr not in subset");
+    }
+    res = b_.assign(res, "shift result");
+
+    // Count of zero leaves value and flags untouched.
+    ExprRef out = E::ite(is_zero, a, res);
+    write_rm_commit(pw, w, out);
+
+    const bool is_rotate =
+        kind == ShiftKind::Rol || kind == ShiftKind::Ror;
+    FlagSet f;
+    f.cf = E::ite(is_zero, flag(0), cf);
+    f.of = E::ite(is_zero, flag(11), of);
+    if (!is_rotate) {
+        f.pf = E::ite(is_zero, flag(2), parity(res));
+        f.zf = E::ite(is_zero, flag(6),
+                      E::eq(res, E::constant(w, 0)));
+        f.sf = E::ite(is_zero, flag(7), bit_of(res, w - 1));
+        // AF is documented-undefined; this implementation clears it
+        // for nonzero counts (hardware-model choice).
+        f.af = E::ite(is_zero, flag(4), E::bool_const(false));
+    }
+    write_flags(f);
+    done();
+}
+
+} // namespace pokeemu::hifi

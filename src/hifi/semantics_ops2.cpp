@@ -1,0 +1,1144 @@
+/**
+ * @file
+ * Per-instruction semantics generators, part 2: control flow, far
+ * pointer loads, group-3 unary/multiply/divide, system instructions,
+ * bit operations, cmpxchg/xadd — plus the descriptor-load summary
+ * helper (paper §3.3.2).
+ */
+#include "hifi/ctx.h"
+
+namespace pokeemu::hifi {
+
+using arch::Op;
+
+namespace {
+
+ExprRef
+imm32(u64 v)
+{
+    return E::constant(32, v);
+}
+
+ExprRef
+bit_of(const ExprRef &value, unsigned pos)
+{
+    return E::extract(value, pos, 1);
+}
+
+/** Branchless count-trailing-zeros of a 32-bit value (valid if != 0). */
+ExprRef
+expr_ctz32(const ExprRef &x)
+{
+    ExprRef v = x;
+    ExprRef n = imm32(0);
+    unsigned half = 16;
+    while (half >= 1) {
+        ExprRef low = E::extract(v, 0, half);
+        ExprRef is_zero = E::eq(low, E::constant(half, 0));
+        n = E::add(n, E::ite(is_zero, imm32(half), imm32(0)));
+        v = E::ite(is_zero, E::lshr(v, imm32(half)), v);
+        half /= 2;
+    }
+    return n;
+}
+
+/** Branchless index of the highest set bit (valid if != 0). */
+ExprRef
+expr_bsr32(const ExprRef &x)
+{
+    ExprRef v = x;
+    ExprRef n = imm32(0);
+    unsigned half = 16;
+    while (half >= 1) {
+        ExprRef high = E::lshr(v, imm32(half));
+        ExprRef nonzero = E::ne(high, imm32(0));
+        n = E::add(n, E::ite(nonzero, imm32(half), imm32(0)));
+        v = E::ite(nonzero, high, v);
+        half /= 2;
+    }
+    return n;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Control flow.
+// ---------------------------------------------------------------------
+
+void
+Ctx::gen_control()
+{
+    switch (insn_.desc->op) {
+      case Op::Ret: {
+        ExprRef target = b_.assign(stack_read(imm32(0), 4), "return");
+        set_gpr(arch::kEsp, E::add(gpr(arch::kEsp), imm32(4)));
+        set_eip(target);
+        b_.halt(kHaltOk);
+        return;
+      }
+      case Op::RetImm16: {
+        ExprRef target = b_.assign(stack_read(imm32(0), 4), "return");
+        set_gpr(arch::kEsp,
+                E::add(gpr(arch::kEsp), imm32(4 + insn_.imm)));
+        set_eip(target);
+        b_.halt(kHaltOk);
+        return;
+      }
+      case Op::CallRel32: {
+        ExprRef eip = b_.assign(ld32(layout::kEipAddr), "eip");
+        ExprRef next = b_.assign(E::add(eip, imm32(insn_.length)),
+                                 "return address");
+        push32(next);
+        set_eip(E::add(next, imm32(static_cast<u64>(
+                                 sign_extend(insn_.imm, 32)))));
+        b_.halt(kHaltOk);
+        return;
+      }
+      case Op::JmpRel32:
+      case Op::JmpRel8: {
+        const s64 rel = insn_.desc->op == Op::JmpRel8
+            ? sign_extend(insn_.imm & 0xff, 8)
+            : sign_extend(insn_.imm, 32);
+        ExprRef eip = ld32(layout::kEipAddr);
+        set_eip(E::add(eip, imm32(insn_.length +
+                                  static_cast<u64>(rel))));
+        b_.halt(kHaltOk);
+        return;
+      }
+      case Op::CallRm32: {
+        ExprRef target = b_.assign(read_rm(32), "call target");
+        ExprRef eip = ld32(layout::kEipAddr);
+        push32(b_.assign(E::add(eip, imm32(insn_.length)),
+                         "return address"));
+        set_eip(target);
+        b_.halt(kHaltOk);
+        return;
+      }
+      case Op::JmpRm32: {
+        set_eip(b_.assign(read_rm(32), "jump target"));
+        b_.halt(kHaltOk);
+        return;
+      }
+      case Op::Leave: {
+        // ESP <- EBP; EBP <- pop. Atomic: the read through the new
+        // stack top happens before either register is written.
+        ExprRef ebp = b_.assign(gpr(arch::kEbp), "ebp");
+        ExprRef val = b_.assign(mem_read(arch::kSs, ebp, 4),
+                                "saved ebp");
+        set_gpr(arch::kEsp, E::add(ebp, imm32(4)));
+        set_gpr(arch::kEbp, val);
+        done();
+        return;
+      }
+      case Op::Int3:
+        fault_now(arch::kExcBp, imm32(0), false);
+        return;
+      case Op::IntImm8:
+        fault_now(static_cast<u8>(insn_.imm), imm32(0), false);
+        return;
+      case Op::Into: {
+        Label trap = b_.label();
+        pending_faults_.push_back({trap, arch::kExcOf, imm32(0), false,
+                                   nullptr});
+        Label no_trap = b_.label();
+        b_.cjmp(flag(11), trap, no_trap, "into: OF");
+        b_.bind(no_trap);
+        done();
+        return;
+      }
+      case Op::JmpFar:
+      case Op::CallFar: {
+        // Direct far transfer (ptr16:32), same-privilege only: the
+        // target code descriptor is checked and CS reloaded. The
+        // descriptor bytes are symbolic state, so exploration covers
+        // the type/privilege/present/limit corner cases.
+        const bool is_call = insn_.desc->op == Op::CallFar;
+        const u16 sel = insn_.imm_sel;
+        if ((sel & 0xfffc) == 0) {
+            fault_now(arch::kExcGp, imm32(0), true);
+            return;
+        }
+        if (sel & 0x4) {
+            fault_now(arch::kExcGp, imm32(sel & 0xfffc), true);
+            return;
+        }
+        const u32 index = sel >> 3;
+        ExprRef gdt_limit = E::zext(ld16(layout::kGdtrLimitAddr), 32);
+        fault_if(E::ult(gdt_limit, imm32(index * 8 + 7)),
+                 arch::kExcGp, imm32(sel & 0xfffc), true);
+
+        ExprRef gdt_base = ld32(layout::kGdtrBaseAddr);
+        ExprRef desc_addr = b_.assign(
+            E::add(imm32(layout::kGuestPhysBase),
+                   E::band(E::add(gdt_base, imm32(index * 8)),
+                           imm32(arch::kPhysMemSize - 1))),
+            "target cs descriptor");
+        ExprRef b0 = b_.load(E::add(desc_addr, imm32(0)), 1);
+        ExprRef b1 = b_.load(E::add(desc_addr, imm32(1)), 1);
+        ExprRef b2 = b_.load(E::add(desc_addr, imm32(2)), 1);
+        ExprRef b3 = b_.load(E::add(desc_addr, imm32(3)), 1);
+        ExprRef b4 = b_.load(E::add(desc_addr, imm32(4)), 1);
+        ExprRef b5 = b_.load(E::add(desc_addr, imm32(5)), 1);
+        ExprRef b6 = b_.load(E::add(desc_addr, imm32(6)), 1);
+        ExprRef b7 = b_.load(E::add(desc_addr, imm32(7)), 1);
+
+        const ExprRef is_s = bit_of(b5, 4);
+        const ExprRef is_code = bit_of(b5, 3);
+        fault_if(E::lor(E::lnot(is_s), E::lnot(is_code)),
+                 arch::kExcGp, imm32(sel & 0xfffc), true);
+        // Privilege (CPL is 0 in the subset): nonconforming code
+        // requires RPL <= CPL and DPL == CPL; conforming requires
+        // DPL <= CPL. With CPL == 0 both reduce to DPL == 0, plus
+        // RPL == 0 for the nonconforming case.
+        const ExprRef conforming = bit_of(b5, 2);
+        const ExprRef dpl = E::extract(b5, 5, 2);
+        ExprRef bad_priv = E::ne(dpl, E::constant(2, 0));
+        if ((sel & 3) != 0) {
+            bad_priv = E::lor(bad_priv, E::lnot(conforming));
+        }
+        fault_if(bad_priv, arch::kExcGp, imm32(sel & 0xfffc), true);
+        fault_if(E::lnot(bit_of(b5, 7)), arch::kExcNp,
+                 imm32(sel & 0xfffc), true);
+
+        ExprRef limit_raw = E::bor(
+            E::zext(E::concat(b1, b0), 32),
+            E::shl(E::zext(E::band(b6, E::constant(8, 0x0f)), 32),
+                   imm32(16)));
+        ExprRef limit = b_.assign(
+            E::ite(bit_of(b6, 7),
+                   E::bor(E::shl(limit_raw, imm32(12)), imm32(0xfff)),
+                   limit_raw),
+            "target limit");
+        // The target offset must be within the new code segment.
+        fault_if(E::ult(limit, imm32(insn_.imm)), arch::kExcGp,
+                 imm32(0), true);
+
+        if (is_call) {
+            // Push old CS (zero-extended) then the return EIP.
+            push32(E::zext(seg_sel(arch::kCs), 32));
+            ExprRef eip = ld32(layout::kEipAddr);
+            push32(E::add(eip, imm32(insn_.length)));
+        }
+
+        ExprRef base = E::bor(
+            E::zext(b2, 32),
+            E::bor(E::shl(E::zext(b3, 32), imm32(8)),
+                   E::bor(E::shl(E::zext(b4, 32), imm32(16)),
+                          E::shl(E::zext(b7, 32), imm32(24)))));
+        st16(layout::seg_addr(arch::kCs, layout::kSegSelector),
+             E::constant(16, sel & 0xfffc)); // RPL := CPL (0).
+        st32(layout::seg_addr(arch::kCs, layout::kSegBase), base);
+        st32(layout::seg_addr(arch::kCs, layout::kSegLimit), limit);
+        st8(layout::seg_addr(arch::kCs, layout::kSegAccess),
+            E::bor(b5, E::constant(8, arch::kDescAccessed)));
+        st8(layout::seg_addr(arch::kCs, layout::kSegDb),
+            E::zext(bit_of(b6, 6), 8));
+        b_.store(E::add(desc_addr, imm32(5)), 1,
+                 E::bor(b5, E::constant(8, arch::kDescAccessed)));
+        set_eip(imm32(insn_.imm));
+        b_.halt(kHaltOk);
+        return;
+      }
+      case Op::Iret: {
+        // Same-privilege iret: pop EIP, CS, EFLAGS. The Hi-Fi
+        // emulator reads the three stack slots innermost-first, which
+        // matches hardware; the Lo-Fi emulator's iret_pop_order bug
+        // reads them in the opposite order (paper §6.2).
+        ExprRef esp = b_.assign(gpr(arch::kEsp), "esp");
+        ExprRef new_eip = b_.assign(mem_read(arch::kSs, esp, 4),
+                                    "new eip");
+        ExprRef cs_word = b_.assign(
+            mem_read(arch::kSs, E::add(esp, imm32(4)), 4), "cs slot");
+        ExprRef new_fl = b_.assign(
+            mem_read(arch::kSs, E::add(esp, imm32(8)), 4),
+            "new eflags");
+        ExprRef sel = b_.assign(E::extract(cs_word, 0, 16),
+                                "new cs selector");
+        ExprRef sel32 = E::zext(sel, 32);
+
+        // CS selector checks (same-level return only; returning to a
+        // different privilege level is outside the subset).
+        fault_if(E::eq(E::band(sel, E::constant(16, 0xfffc)),
+                       E::constant(16, 0)),
+                 arch::kExcGp, imm32(0), true);
+        fault_if(E::eq(bit_of(sel, 2), E::bool_const(true)),
+                 arch::kExcGp, E::band(sel32, imm32(0xfffc)), true);
+        fault_if(E::ne(E::band(sel32, imm32(3)), imm32(0)),
+                 arch::kExcGp, E::band(sel32, imm32(0xfffc)), true);
+        ExprRef gdt_limit = E::zext(ld16(layout::kGdtrLimitAddr), 32);
+        ExprRef index = E::lshr(sel32, imm32(3));
+        fault_if(E::ult(gdt_limit,
+                        E::add(E::shl(index, imm32(3)), imm32(7))),
+                 arch::kExcGp, E::band(sel32, imm32(0xfffc)), true);
+
+        ExprRef gdt_base = ld32(layout::kGdtrBaseAddr);
+        ExprRef desc_addr = b_.assign(
+            E::add(imm32(layout::kGuestPhysBase),
+                   E::band(E::add(gdt_base, E::shl(index, imm32(3))),
+                           imm32(arch::kPhysMemSize - 1))),
+            "cs descriptor address");
+        ExprRef b0 = b_.load(E::add(desc_addr, imm32(0)), 1);
+        ExprRef b1 = b_.load(E::add(desc_addr, imm32(1)), 1);
+        ExprRef b2 = b_.load(E::add(desc_addr, imm32(2)), 1);
+        ExprRef b3 = b_.load(E::add(desc_addr, imm32(3)), 1);
+        ExprRef b4 = b_.load(E::add(desc_addr, imm32(4)), 1);
+        ExprRef b5 = b_.load(E::add(desc_addr, imm32(5)), 1);
+        ExprRef b6 = b_.load(E::add(desc_addr, imm32(6)), 1);
+        ExprRef b7 = b_.load(E::add(desc_addr, imm32(7)), 1);
+
+        const ExprRef is_s = bit_of(b5, 4);
+        const ExprRef is_code = bit_of(b5, 3);
+        const ExprRef present = bit_of(b5, 7);
+        fault_if(E::lor(E::lnot(is_s), E::lnot(is_code)), arch::kExcGp,
+                 E::band(sel32, imm32(0xfffc)), true);
+        fault_if(E::lnot(present), arch::kExcNp,
+                 E::band(sel32, imm32(0xfffc)), true);
+
+        ExprRef limit_raw = E::bor(
+            E::zext(E::concat(b1, b0), 32),
+            E::shl(E::zext(E::band(b6, E::constant(8, 0x0f)), 32),
+                   imm32(16)));
+        ExprRef limit = E::ite(
+            bit_of(b6, 7),
+            E::bor(E::shl(limit_raw, imm32(12)), imm32(0xfff)),
+            limit_raw);
+        ExprRef base = E::bor(
+            E::zext(b2, 32),
+            E::bor(E::shl(E::zext(b3, 32), imm32(8)),
+                   E::bor(E::shl(E::zext(b4, 32), imm32(16)),
+                          E::shl(E::zext(b7, 32), imm32(24)))));
+
+        // Commit: CS cache, EFLAGS (CPL0 mask), EIP, ESP.
+        st16(layout::seg_addr(arch::kCs, layout::kSegSelector), sel);
+        st32(layout::seg_addr(arch::kCs, layout::kSegBase), base);
+        st32(layout::seg_addr(arch::kCs, layout::kSegLimit), limit);
+        st8(layout::seg_addr(arch::kCs, layout::kSegAccess),
+            E::bor(b5, E::constant(8, arch::kDescAccessed)));
+        st8(layout::seg_addr(arch::kCs, layout::kSegDb),
+            E::zext(bit_of(b6, 6), 8));
+        b_.store(E::add(desc_addr, imm32(5)), 1,
+                 E::bor(b5, E::constant(8, arch::kDescAccessed)));
+
+        const u64 mask = 0x47fd5; // Same CPL0 mask as popfd.
+        ExprRef fl = eflags();
+        set_eflags(E::bor(E::band(fl, imm32(~mask)),
+                          E::band(new_fl, imm32(mask))));
+        set_eip(new_eip);
+        set_gpr(arch::kEsp, E::add(esp, imm32(12)));
+        b_.halt(kHaltOk);
+        return;
+      }
+      default:
+        panic("bad control op");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Far pointer loads.
+// ---------------------------------------------------------------------
+
+void
+Ctx::gen_far_load()
+{
+    unsigned target;
+    switch (insn_.desc->op) {
+      case Op::Les: target = arch::kEs; break;
+      case Op::Lds: target = arch::kDs; break;
+      case Op::Lss: target = arch::kSs; break;
+      case Op::Lfs: target = arch::kFs; break;
+      case Op::Lgs: target = arch::kGs; break;
+      default: panic("bad far load");
+    }
+    ExprRef ea = effective_address();
+    const unsigned seg = effective_segment();
+
+    // The fetch order of the two operands is the Bochs/QEMU behaviour
+    // difference from the paper (§6.2, lfs): when the two reads land
+    // on pages with different permissions, the order determines which
+    // fault is reported first.
+    ExprRef offset, sel;
+    if (opt_.hifi_far_fetch_order) {
+        sel = b_.assign(mem_read(seg, E::add(ea, imm32(4)), 2),
+                        "selector");
+        offset = b_.assign(mem_read(seg, ea, 4), "offset");
+    } else {
+        offset = b_.assign(mem_read(seg, ea, 4), "offset");
+        sel = b_.assign(mem_read(seg, E::add(ea, imm32(4)), 2),
+                        "selector");
+    }
+    load_segment(target, sel);
+    set_gpr(insn_.reg, offset);
+    done();
+}
+
+// ---------------------------------------------------------------------
+// Flag ops / hlt.
+// ---------------------------------------------------------------------
+
+void
+Ctx::gen_flagops()
+{
+    switch (insn_.desc->op) {
+      case Op::Hlt:
+        st8(layout::kHaltedAddr, E::constant(8, 1));
+        commit_eip_advance();
+        b_.halt(kHaltStop);
+        return;
+      case Op::Clc: {
+        FlagSet f;
+        f.cf = E::bool_const(false);
+        write_flags(f);
+        done();
+        return;
+      }
+      case Op::Stc: {
+        FlagSet f;
+        f.cf = E::bool_const(true);
+        write_flags(f);
+        done();
+        return;
+      }
+      case Op::Cmc: {
+        FlagSet f;
+        f.cf = E::lnot(flag(0));
+        write_flags(f);
+        done();
+        return;
+      }
+      case Op::Cld:
+        set_eflags(E::band(eflags(), imm32(~u64{arch::kFlagDf})));
+        done();
+        return;
+      case Op::Std:
+        set_eflags(E::bor(eflags(), imm32(arch::kFlagDf)));
+        done();
+        return;
+      case Op::Cli:
+        // CPL0 <= IOPL always holds in the subset's baseline.
+        set_eflags(E::band(eflags(), imm32(~u64{arch::kFlagIf})));
+        done();
+        return;
+      case Op::Sti:
+        set_eflags(E::bor(eflags(), imm32(arch::kFlagIf)));
+        done();
+        return;
+      default:
+        panic("bad flag op");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Group 3: test/not/neg/mul/imul/div/idiv.
+// ---------------------------------------------------------------------
+
+void
+Ctx::gen_grp3()
+{
+    const Op op = insn_.desc->op;
+    switch (op) {
+      case Op::Grp3TestRm8Imm8:
+      case Op::Grp3TestRm32Imm32: {
+        const unsigned w = op == Op::Grp3TestRm8Imm8 ? 8 : 32;
+        ExprRef a = read_rm(w);
+        write_flags(flags_logic(b_.assign(
+            E::band(a, E::constant(w, insn_.imm)), "test")));
+        done();
+        return;
+      }
+      case Op::Grp3NotRm8:
+      case Op::Grp3NotRm32: {
+        const unsigned w = op == Op::Grp3NotRm8 ? 8 : 32;
+        std::optional<PreparedWrite> pw;
+        ExprRef a = read_rm_for_write(w, pw);
+        write_rm_commit(pw, w, E::bnot(a));
+        done();
+        return;
+      }
+      case Op::Grp3NegRm8:
+      case Op::Grp3NegRm32: {
+        const unsigned w = op == Op::Grp3NegRm8 ? 8 : 32;
+        std::optional<PreparedWrite> pw;
+        ExprRef a = b_.assign(read_rm_for_write(w, pw), "value");
+        FlagSet f = flags_sub(E::constant(w, 0), a,
+                              E::bool_const(false));
+        write_rm_commit(pw, w, E::neg(a));
+        write_flags(f);
+        done();
+        return;
+      }
+      case Op::Grp3MulRm8: {
+        ExprRef src = b_.assign(read_rm(8), "src");
+        ExprRef wide = b_.assign(
+            E::mul(E::zext(gpr8(0), 16), E::zext(src, 16)), "product");
+        set_gpr16(arch::kEax, wide);
+        ExprRef high = E::extract(wide, 8, 8);
+        ExprRef overflow = E::ne(high, E::constant(8, 0));
+        FlagSet f;
+        f.cf = overflow;
+        f.of = overflow;
+        // SF/ZF/PF/AF are documented-undefined after mul; the
+        // hardware model derives them from the low half.
+        ExprRef low = E::extract(wide, 0, 8);
+        f.sf = bit_of(low, 7);
+        f.zf = E::eq(low, E::constant(8, 0));
+        f.pf = parity(low);
+        f.af = E::bool_const(false);
+        write_flags(f);
+        done();
+        return;
+      }
+      case Op::Grp3MulRm32: {
+        ExprRef src = b_.assign(read_rm(32), "src");
+        ExprRef wide = b_.assign(
+            E::mul(E::zext(gpr(arch::kEax), 64), E::zext(src, 64)),
+            "product");
+        ExprRef low = b_.assign(E::extract(wide, 0, 32), "low");
+        ExprRef high = b_.assign(E::extract(wide, 32, 32), "high");
+        set_gpr(arch::kEax, low);
+        set_gpr(arch::kEdx, high);
+        ExprRef overflow = E::ne(high, imm32(0));
+        FlagSet f;
+        f.cf = overflow;
+        f.of = overflow;
+        f.sf = bit_of(low, 31);
+        f.zf = E::eq(low, imm32(0));
+        f.pf = parity(low);
+        f.af = E::bool_const(false);
+        write_flags(f);
+        done();
+        return;
+      }
+      case Op::Grp3ImulRm8: {
+        ExprRef src = b_.assign(read_rm(8), "src");
+        ExprRef wide = b_.assign(
+            E::mul(E::sext(gpr8(0), 16), E::sext(src, 16)), "product");
+        set_gpr16(arch::kEax, wide);
+        ExprRef low = E::extract(wide, 0, 8);
+        ExprRef overflow = E::ne(wide, E::sext(low, 16));
+        FlagSet f;
+        f.cf = overflow;
+        f.of = overflow;
+        f.sf = bit_of(low, 7);
+        f.zf = E::eq(low, E::constant(8, 0));
+        f.pf = parity(low);
+        f.af = E::bool_const(false);
+        write_flags(f);
+        done();
+        return;
+      }
+      case Op::Grp3ImulRm32: {
+        ExprRef src = b_.assign(read_rm(32), "src");
+        ExprRef wide = b_.assign(
+            E::mul(E::sext(gpr(arch::kEax), 64), E::sext(src, 64)),
+            "product");
+        ExprRef low = b_.assign(E::extract(wide, 0, 32), "low");
+        set_gpr(arch::kEax, low);
+        set_gpr(arch::kEdx, E::extract(wide, 32, 32));
+        ExprRef overflow = E::ne(wide, E::sext(low, 64));
+        FlagSet f;
+        f.cf = overflow;
+        f.of = overflow;
+        f.sf = bit_of(low, 31);
+        f.zf = E::eq(low, imm32(0));
+        f.pf = parity(low);
+        f.af = E::bool_const(false);
+        write_flags(f);
+        done();
+        return;
+      }
+      case Op::Grp3DivRm8: {
+        ExprRef src = b_.assign(read_rm(8), "divisor");
+        fault_if(E::eq(src, E::constant(8, 0)), arch::kExcDe,
+                 imm32(0), false);
+        ExprRef num = b_.assign(gpr16(arch::kEax), "ax");
+        ExprRef q = b_.assign(
+            E::binop(ir::BinOpKind::UDiv, num, E::zext(src, 16)),
+            "quotient");
+        ExprRef r = E::binop(ir::BinOpKind::URem, num,
+                             E::zext(src, 16));
+        fault_if(E::ult(E::constant(16, 0xff), q), arch::kExcDe,
+                 imm32(0), false);
+        set_gpr8(0, E::extract(q, 0, 8));  // AL.
+        set_gpr8(4, E::extract(r, 0, 8));  // AH.
+        done();
+        return;
+      }
+      case Op::Grp3DivRm32: {
+        ExprRef src = b_.assign(read_rm(32), "divisor");
+        fault_if(E::eq(src, imm32(0)), arch::kExcDe, imm32(0), false);
+        ExprRef num = b_.assign(
+            E::concat(gpr(arch::kEdx), gpr(arch::kEax)), "edx:eax");
+        ExprRef q = b_.assign(
+            E::binop(ir::BinOpKind::UDiv, num, E::zext(src, 64)),
+            "quotient");
+        ExprRef r = E::binop(ir::BinOpKind::URem, num,
+                             E::zext(src, 64));
+        fault_if(E::ult(E::constant(64, 0xffffffff), q), arch::kExcDe,
+                 imm32(0), false);
+        set_gpr(arch::kEax, E::extract(q, 0, 32));
+        set_gpr(arch::kEdx, E::extract(r, 0, 32));
+        done();
+        return;
+      }
+      case Op::Grp3IdivRm8: {
+        ExprRef src = b_.assign(read_rm(8), "divisor");
+        fault_if(E::eq(src, E::constant(8, 0)), arch::kExcDe,
+                 imm32(0), false);
+        ExprRef num = b_.assign(gpr16(arch::kEax), "ax");
+        ExprRef q = b_.assign(
+            E::binop(ir::BinOpKind::SDiv, num, E::sext(src, 16)),
+            "quotient");
+        ExprRef r = E::binop(ir::BinOpKind::SRem, num,
+                             E::sext(src, 16));
+        // Quotient must fit in 8 signed bits.
+        fault_if(E::ne(q, E::sext(E::extract(q, 0, 8), 16)),
+                 arch::kExcDe, imm32(0), false);
+        set_gpr8(0, E::extract(q, 0, 8));
+        set_gpr8(4, E::extract(r, 0, 8));
+        done();
+        return;
+      }
+      case Op::Grp3IdivRm32: {
+        ExprRef src = b_.assign(read_rm(32), "divisor");
+        fault_if(E::eq(src, imm32(0)), arch::kExcDe, imm32(0), false);
+        ExprRef num = b_.assign(
+            E::concat(gpr(arch::kEdx), gpr(arch::kEax)), "edx:eax");
+        ExprRef q = b_.assign(
+            E::binop(ir::BinOpKind::SDiv, num, E::sext(src, 64)),
+            "quotient");
+        ExprRef r = E::binop(ir::BinOpKind::SRem, num,
+                             E::sext(src, 64));
+        fault_if(E::ne(q, E::sext(E::extract(q, 0, 32), 64)),
+                 arch::kExcDe, imm32(0), false);
+        set_gpr(arch::kEax, E::extract(q, 0, 32));
+        set_gpr(arch::kEdx, E::extract(r, 0, 32));
+        done();
+        return;
+      }
+      default:
+        panic("bad grp3 op");
+    }
+}
+
+// ---------------------------------------------------------------------
+// System instructions.
+// ---------------------------------------------------------------------
+
+void
+Ctx::gen_system()
+{
+    switch (insn_.desc->op) {
+      case Op::Sgdt:
+      case Op::Sidt: {
+        const bool gdt = insn_.desc->op == Op::Sgdt;
+        ExprRef ea = effective_address();
+        const unsigned seg = effective_segment();
+        ExprRef limit = ld16(gdt ? layout::kGdtrLimitAddr
+                                 : layout::kIdtrLimitAddr);
+        ExprRef base = ld32(gdt ? layout::kGdtrBaseAddr
+                                : layout::kIdtrBaseAddr);
+        mem_write(seg, ea, 2, limit);
+        mem_write(seg, E::add(ea, imm32(2)), 4, base);
+        done();
+        return;
+      }
+      case Op::Lgdt:
+      case Op::Lidt: {
+        const bool gdt = insn_.desc->op == Op::Lgdt;
+        ExprRef ea = effective_address();
+        const unsigned seg = effective_segment();
+        ExprRef limit = b_.assign(mem_read(seg, ea, 2), "limit");
+        ExprRef base = b_.assign(
+            mem_read(seg, E::add(ea, imm32(2)), 4), "base");
+        st16(gdt ? layout::kGdtrLimitAddr : layout::kIdtrLimitAddr,
+             limit);
+        st32(gdt ? layout::kGdtrBaseAddr : layout::kIdtrBaseAddr,
+             base);
+        done();
+        return;
+      }
+      case Op::Invlpg:
+        // No TLB in the model: the EA is computed (and the encoding
+        // validated) but nothing else happens.
+        effective_address();
+        done();
+        return;
+      case Op::Clts:
+        st32(layout::kCr0Addr,
+             E::band(ld32(layout::kCr0Addr),
+                     imm32(~u64{arch::kCr0Ts})));
+        done();
+        return;
+      case Op::MovR32Cr: {
+        const unsigned crn = insn_.reg;
+        u32 addr;
+        switch (crn) {
+          case 0: addr = layout::kCr0Addr; break;
+          case 2: addr = layout::kCr2Addr; break;
+          case 3: addr = layout::kCr3Addr; break;
+          case 4: addr = layout::kCr4Addr; break;
+          default:
+            fault_now(arch::kExcUd, imm32(0), false);
+            return;
+        }
+        set_gpr(insn_.rm, ld32(addr));
+        done();
+        return;
+      }
+      case Op::MovCrR32: {
+        const unsigned crn = insn_.reg;
+        ExprRef val = b_.assign(gpr(insn_.rm), "new cr");
+        switch (crn) {
+          case 0:
+            // PG requires PE.
+            fault_if(E::land(bit_of(val, 31),
+                             E::lnot(bit_of(val, 0))),
+                     arch::kExcGp, imm32(0), true);
+            st32(layout::kCr0Addr, val);
+            break;
+          case 2:
+            st32(layout::kCr2Addr, val);
+            break;
+          case 3:
+            st32(layout::kCr3Addr, val);
+            break;
+          case 4:
+            st32(layout::kCr4Addr, val);
+            break;
+          default:
+            fault_now(arch::kExcUd, imm32(0), false);
+            return;
+        }
+        done();
+        return;
+      }
+      case Op::Rdmsr: {
+        ExprRef ecx = b_.assign(gpr(arch::kEcx), "msr index");
+        // Valid MSRs of the subset: sysenter cs/esp/eip.
+        fault_if(E::land(E::ne(ecx, imm32(0x174)),
+                         E::land(E::ne(ecx, imm32(0x175)),
+                                 E::ne(ecx, imm32(0x176)))),
+                 arch::kExcGp, imm32(0), true);
+        ExprRef v = E::ite(
+            E::eq(ecx, imm32(0x174)), ld32(layout::kOffMsrSysenterCs +
+                                           layout::kCpuBase),
+            E::ite(E::eq(ecx, imm32(0x175)),
+                   ld32(layout::kOffMsrSysenterEsp + layout::kCpuBase),
+                   ld32(layout::kOffMsrSysenterEip +
+                        layout::kCpuBase)));
+        set_gpr(arch::kEax, v);
+        set_gpr(arch::kEdx, imm32(0));
+        done();
+        return;
+      }
+      case Op::Wrmsr: {
+        ExprRef ecx = b_.assign(gpr(arch::kEcx), "msr index");
+        fault_if(E::land(E::ne(ecx, imm32(0x174)),
+                         E::land(E::ne(ecx, imm32(0x175)),
+                                 E::ne(ecx, imm32(0x176)))),
+                 arch::kExcGp, imm32(0), true);
+        ExprRef eax = gpr(arch::kEax);
+        // Branch on which MSR (three-way, explored symbolically when
+        // ECX is symbolic).
+        Label m174 = b_.label(), m175 = b_.label(), m176 = b_.label(),
+              end = b_.label();
+        b_.cjmp(E::eq(ecx, imm32(0x174)), m174, m175, "msr 174?");
+        b_.bind(m174);
+        st32(layout::kOffMsrSysenterCs + layout::kCpuBase, eax);
+        b_.jmp(end);
+        b_.bind(m175);
+        Label m175b = b_.label();
+        b_.cjmp(E::eq(ecx, imm32(0x175)), m175b, m176, "msr 175?");
+        b_.bind(m175b);
+        st32(layout::kOffMsrSysenterEsp + layout::kCpuBase, eax);
+        b_.jmp(end);
+        b_.bind(m176);
+        st32(layout::kOffMsrSysenterEip + layout::kCpuBase, eax);
+        b_.jmp(end);
+        b_.bind(end);
+        done();
+        return;
+      }
+      case Op::Rdtsc:
+        // The TSC is virtualized to zero on every backend so that
+        // cross-validation does not see spurious timing differences.
+        set_gpr(arch::kEax, imm32(0));
+        set_gpr(arch::kEdx, imm32(0));
+        done();
+        return;
+      case Op::Cpuid: {
+        ExprRef leaf = b_.assign(gpr(arch::kEax), "leaf");
+        ExprRef is0 = E::eq(leaf, imm32(0));
+        ExprRef is1 = E::eq(leaf, imm32(1));
+        set_gpr(arch::kEax,
+                E::ite(is0, imm32(1),
+                       E::ite(is1, imm32(0x600), imm32(0))));
+        set_gpr(arch::kEbx, E::ite(is0, imm32(0x656b6f50), imm32(0)));
+        set_gpr(arch::kEdx, E::ite(is0, imm32(0x76554d45), imm32(0)));
+        set_gpr(arch::kEcx, E::ite(is0, imm32(0x36387856), imm32(0)));
+        done();
+        return;
+      }
+      default:
+        panic("bad system op");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bit operations.
+// ---------------------------------------------------------------------
+
+void
+Ctx::gen_bitops()
+{
+    const Op op = insn_.desc->op;
+    switch (op) {
+      case Op::BtRm32R32: case Op::BtsRm32R32: case Op::BtrRm32R32:
+      case Op::BtcRm32R32: case Op::Grp8BtImm8: case Op::Grp8BtsImm8:
+      case Op::Grp8BtrImm8: case Op::Grp8BtcImm8: {
+        const bool from_reg =
+            op == Op::BtRm32R32 || op == Op::BtsRm32R32 ||
+            op == Op::BtrRm32R32 || op == Op::BtcRm32R32;
+        enum class Mode { Test, Set, Reset, Complement } mode;
+        switch (op) {
+          case Op::BtRm32R32: case Op::Grp8BtImm8:
+            mode = Mode::Test; break;
+          case Op::BtsRm32R32: case Op::Grp8BtsImm8:
+            mode = Mode::Set; break;
+          case Op::BtrRm32R32: case Op::Grp8BtrImm8:
+            mode = Mode::Reset; break;
+          default:
+            mode = Mode::Complement; break;
+        }
+
+        ExprRef bitoff = from_reg ? gpr(insn_.reg)
+                                  : imm32(insn_.imm & 0xff);
+        bitoff = b_.assign(bitoff, "bit offset");
+        ExprRef idx = b_.assign(E::band(bitoff, imm32(31)),
+                                "bit index");
+        ExprRef mask = b_.assign(E::shl(imm32(1), idx), "bit mask");
+
+        ExprRef val;
+        std::optional<PreparedWrite> pw;
+        if (insn_.mod == 3) {
+            val = gpr(insn_.rm);
+            if (mode != Mode::Test) {
+                // Register destination, plain read-modify-write.
+            }
+        } else {
+            // Memory bit strings: the register form addresses beyond
+            // the dword via the signed bit offset (imm form does not).
+            ExprRef ea = effective_address();
+            if (from_reg) {
+                ExprRef adj = E::shl(
+                    E::ashr(bitoff, imm32(5)), imm32(2));
+                ea = b_.assign(E::add(ea, adj), "adjusted ea");
+            }
+            const unsigned seg = effective_segment();
+            if (mode == Mode::Test) {
+                val = mem_read(seg, ea, 4);
+            } else {
+                pw = prepare_write(seg, ea, 4);
+                val = b_.load(pw->host_addr, 4);
+            }
+        }
+        val = b_.assign(val, "dword");
+        ExprRef cf = E::ne(E::band(val, mask), imm32(0));
+        if (mode != Mode::Test) {
+            ExprRef out;
+            switch (mode) {
+              case Mode::Set: out = E::bor(val, mask); break;
+              case Mode::Reset:
+                out = E::band(val, E::bnot(mask));
+                break;
+              default: out = E::bxor(val, mask); break;
+            }
+            if (insn_.mod == 3)
+                set_gpr(insn_.rm, out);
+            else
+                commit_write(*pw, out);
+        }
+        FlagSet f;
+        f.cf = cf;
+        write_flags(f);
+        done();
+        return;
+      }
+      case Op::ShldImm8: case Op::ShldCl:
+      case Op::ShrdImm8: case Op::ShrdCl: {
+        const bool left = op == Op::ShldImm8 || op == Op::ShldCl;
+        ExprRef count =
+            (op == Op::ShldImm8 || op == Op::ShrdImm8)
+                ? E::constant(8, insn_.imm & 0x1f)
+                : E::band(gpr8(1), E::constant(8, 0x1f));
+        count = b_.assign(count, "count");
+        ExprRef is_zero = E::eq(count, E::constant(8, 0));
+        ExprRef cnt64 = E::zext(count, 64);
+
+        std::optional<PreparedWrite> pw;
+        ExprRef dst = b_.assign(read_rm_for_write(32, pw), "dst");
+        ExprRef src = b_.assign(gpr(insn_.reg), "src");
+
+        ExprRef res, cf;
+        if (left) {
+            // res = high 32 of (dst:src << count).
+            ExprRef wide = E::concat(dst, src);
+            ExprRef shifted = E::shl(wide, cnt64);
+            res = E::extract(shifted, 32, 32);
+            cf = E::extract(
+                E::lshr(E::zext(dst, 64),
+                        E::sub(E::constant(64, 32), cnt64)),
+                0, 1);
+        } else {
+            // res = low 32 of (src:dst >> count).
+            ExprRef wide = E::concat(src, dst);
+            ExprRef shifted = E::lshr(wide, cnt64);
+            res = E::extract(shifted, 0, 32);
+            cf = E::extract(
+                E::lshr(E::zext(dst, 64),
+                        E::sub(cnt64, E::constant(64, 1))),
+                0, 1);
+        }
+        res = b_.assign(res, "result");
+        write_rm_commit(pw, 32, E::ite(is_zero, dst, res));
+        FlagSet f;
+        f.cf = E::ite(is_zero, flag(0), cf);
+        f.of = E::ite(is_zero, flag(11),
+                      E::bxor(bit_of(dst, 31), bit_of(res, 31)));
+        f.sf = E::ite(is_zero, flag(7), bit_of(res, 31));
+        f.zf = E::ite(is_zero, flag(6), E::eq(res, imm32(0)));
+        f.pf = E::ite(is_zero, flag(2), parity(res));
+        f.af = E::ite(is_zero, flag(4), E::bool_const(false));
+        write_flags(f);
+        done();
+        return;
+      }
+      case Op::Bsf:
+      case Op::Bsr: {
+        ExprRef src = b_.assign(read_rm(32), "src");
+        ExprRef is_zero = b_.assign(E::eq(src, imm32(0)), "src zero");
+        ExprRef idx = op == Op::Bsf ? expr_ctz32(src)
+                                    : expr_bsr32(src);
+        ExprRef dst = gpr(insn_.reg);
+        // Source of zero: ZF set, destination unchanged (hardware-
+        // model choice for the documented-undefined destination).
+        set_gpr(insn_.reg, E::ite(is_zero, dst, idx));
+        FlagSet f;
+        f.zf = is_zero;
+        write_flags(f);
+        done();
+        return;
+      }
+      case Op::BswapR32: {
+        const unsigned r = insn_.desc->aux;
+        ExprRef v = b_.assign(gpr(r), "value");
+        ExprRef out = E::bor(
+            E::bor(E::shl(E::band(v, imm32(0xff)), imm32(24)),
+                   E::shl(E::band(v, imm32(0xff00)), imm32(8))),
+            E::bor(E::band(E::lshr(v, imm32(8)), imm32(0xff00)),
+                   E::band(E::lshr(v, imm32(24)), imm32(0xff))));
+        set_gpr(r, out);
+        done();
+        return;
+      }
+      default:
+        panic("bad bitop");
+    }
+}
+
+// ---------------------------------------------------------------------
+// imul (two/three operand).
+// ---------------------------------------------------------------------
+
+void
+Ctx::gen_mul_imul()
+{
+    const Op op = insn_.desc->op;
+    ExprRef a, b;
+    if (op == Op::ImulR32Rm32) {
+        a = b_.assign(gpr(insn_.reg), "dst");
+        b = b_.assign(read_rm(32), "src");
+    } else {
+        a = b_.assign(read_rm(32), "src");
+        b = op == Op::ImulR32Rm32Imm32
+            ? imm32(insn_.imm)
+            : E::constant(32,
+                          static_cast<u64>(sign_extend(insn_.imm & 0xff,
+                                                       8)));
+    }
+    ExprRef wide = b_.assign(E::mul(E::sext(a, 64), E::sext(b, 64)),
+                             "product");
+    ExprRef low = b_.assign(E::extract(wide, 0, 32), "low");
+    set_gpr(insn_.reg, low);
+    ExprRef overflow = E::ne(wide, E::sext(low, 64));
+    FlagSet f;
+    f.cf = overflow;
+    f.of = overflow;
+    f.sf = bit_of(low, 31);
+    f.zf = E::eq(low, imm32(0));
+    f.pf = parity(low);
+    f.af = E::bool_const(false);
+    write_flags(f);
+    done();
+}
+
+// ---------------------------------------------------------------------
+// cmpxchg / xadd.
+// ---------------------------------------------------------------------
+
+void
+Ctx::gen_cmpxchg_xadd()
+{
+    const Op op = insn_.desc->op;
+    const unsigned w =
+        (op == Op::CmpxchgRm8R8 || op == Op::XaddRm8R8) ? 8 : 32;
+    switch (op) {
+      case Op::CmpxchgRm8R8:
+      case Op::CmpxchgRm32R32: {
+        // Atomic semantics: hardware always performs a write to the
+        // destination (the old value when the compare fails), so the
+        // write permission is checked up front. The Lo-Fi emulator's
+        // cmpxchg_nonatomic bug skips that check on the not-equal
+        // path and updates the accumulator anyway (paper §6.2).
+        std::optional<PreparedWrite> pw;
+        ExprRef dst = b_.assign(read_rm_for_write(w, pw), "dst");
+        ExprRef acc = b_.assign(reg_operand(arch::kEax, w),
+                                "accumulator");
+        ExprRef src = b_.assign(reg_operand(insn_.reg, w), "src");
+        ExprRef equal = b_.assign(E::eq(acc, dst), "equal");
+        write_flags(flags_sub(acc, dst, E::bool_const(false)));
+        write_rm_commit(pw, w, E::ite(equal, src, dst));
+        set_reg_operand(arch::kEax, w, E::ite(equal, acc, dst));
+        done();
+        return;
+      }
+      case Op::XaddRm8R8:
+      case Op::XaddRm32R32: {
+        std::optional<PreparedWrite> pw;
+        ExprRef dst = b_.assign(read_rm_for_write(w, pw), "dst");
+        ExprRef src = b_.assign(reg_operand(insn_.reg, w), "src");
+        FlagSet f = flags_add(dst, src, E::bool_const(false));
+        write_rm_commit(pw, w, E::add(dst, src));
+        set_reg_operand(insn_.reg, w, dst);
+        write_flags(f);
+        done();
+        return;
+      }
+      default:
+        panic("bad cmpxchg/xadd op");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Movzx / movsx are simple enough to live here.
+// ---------------------------------------------------------------------
+
+void
+Ctx::gen_movzx_movsx()
+{
+    const Op op = insn_.desc->op;
+    const unsigned sw =
+        (op == Op::MovzxR32Rm8 || op == Op::MovsxR32Rm8) ? 8 : 16;
+    const bool sign = op == Op::MovsxR32Rm8 || op == Op::MovsxR32Rm16;
+    ExprRef src = read_rm(sw);
+    set_gpr(insn_.reg, sign ? E::sext(src, 32) : E::zext(src, 32));
+    done();
+}
+
+// ---------------------------------------------------------------------
+// Descriptor-load summary helper (paper §3.3.2).
+// ---------------------------------------------------------------------
+
+ir::Program
+build_descriptor_load_helper()
+{
+    IrBuilder b("descriptor_load_helper");
+    namespace dh = desc_helper;
+    auto imm = [](u64 v) { return E::constant(32, v); };
+
+    ExprRef bytes[8];
+    for (unsigned i = 0; i < 8; ++i)
+        bytes[i] = b.load(imm(dh::kInputBytes + i), 1);
+
+    // This helper is deliberately written with *control flow* (like
+    // the Bochs code it models) rather than branchless selects, so
+    // exploring it inline would multiply paths — which is exactly what
+    // the summary avoids.
+    ExprRef access = bytes[5];
+    Label not_system = b.label(), system = b.label();
+    b.cjmp(E::extract(access, 4, 1), not_system, system, "S bit");
+
+    b.bind(system);
+    // The access byte is reported even on fault paths: the caller's
+    // segment-kind-specific type rules need it.
+    b.store(imm(dh::kOutAccess), 1, access);
+    b.store(imm(dh::kOutFault), 1, E::constant(8, 1));
+    b.halt(0);
+
+    b.bind(not_system);
+    Label present = b.label(), absent = b.label();
+    b.cjmp(E::extract(access, 7, 1), present, absent, "P bit");
+
+    b.bind(absent);
+    b.store(imm(dh::kOutAccess), 1, access);
+    b.store(imm(dh::kOutFault), 1, E::constant(8, 2));
+    b.halt(0);
+
+    b.bind(present);
+    // Parse limit with granularity branch.
+    ExprRef limit_raw = b.assign(E::bor(
+        E::zext(E::concat(bytes[1], bytes[0]), 32),
+        E::shl(E::zext(E::band(bytes[6], E::constant(8, 0x0f)), 32),
+               imm(16))));
+    Label coarse = b.label(), fine = b.label(), limit_done = b.label();
+    b.cjmp(E::extract(bytes[6], 7, 1), coarse, fine, "G bit");
+    b.bind(coarse);
+    b.store(imm(dh::kOutLimit), 4,
+            E::bor(E::shl(limit_raw, imm(12)), imm(0xfff)));
+    b.jmp(limit_done);
+    b.bind(fine);
+    b.store(imm(dh::kOutLimit), 4, limit_raw);
+    b.jmp(limit_done);
+    b.bind(limit_done);
+
+    ExprRef base = E::bor(
+        E::zext(bytes[2], 32),
+        E::bor(E::shl(E::zext(bytes[3], 32), imm(8)),
+               E::bor(E::shl(E::zext(bytes[4], 32), imm(16)),
+                      E::shl(E::zext(bytes[7], 32), imm(24)))));
+    b.store(imm(dh::kOutBase), 4, base);
+    b.store(imm(dh::kOutAccess), 1, access);
+    b.store(imm(dh::kOutDb), 1,
+            E::zext(E::extract(bytes[6], 6, 1), 8));
+    b.store(imm(dh::kOutFault), 1, E::constant(8, 0));
+    b.halt(0);
+    return b.finish();
+}
+
+symexec::Summary
+summarize_descriptor_load(symexec::VarPool &pool,
+                          symexec::ExplorerConfig config)
+{
+    namespace dh = desc_helper;
+    ir::Program helper = build_descriptor_load_helper();
+
+    symexec::InitialByteFn initial =
+        [&pool](u32 addr) -> ir::ExprRef {
+        if (addr >= dh::kInputBytes && addr < dh::kInputBytes + 8) {
+            return pool.get(
+                "desc_byte_" + std::to_string(addr - dh::kInputBytes),
+                8);
+        }
+        return E::constant(8, 0);
+    };
+
+    return summarize_program(helper, pool, initial,
+                             {{dh::kOutBase, 4},
+                              {dh::kOutLimit, 4},
+                              {dh::kOutAccess, 1},
+                              {dh::kOutDb, 1},
+                              {dh::kOutFault, 1}},
+                             config);
+}
+
+} // namespace pokeemu::hifi

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Multi-instruction-sequence semantics — the paper's §7 future work
+ * ("Multiple-Instruction Sequences").
+ *
+ * The paper tests each instruction separately and notes that this is
+ * sufficient *if* every machine state is initializable and instruction
+ * executions are independent — but that emulators "may themselves
+ * compose individual instructions incorrectly, especially ... dynamic
+ * binary translation for multi-instruction sequences". This module
+ * lifts exploration to straight-line sequences: the per-instruction
+ * semantics programs are composed into one IR program, so symbolic
+ * execution enumerates the *joint* path space (e.g. flag-producing
+ * arithmetic followed by a conditional branch, or a segment load
+ * followed by an access through it).
+ *
+ * Composition rules:
+ *  - after each non-final instruction completes normally, the program
+ *    checks that EIP advanced to the next instruction in the sequence;
+ *    if the instruction branched away, the path halts with
+ *    kHaltDiverged (still a valid, runnable test — the real backends
+ *    follow the branch);
+ *  - halt codes are tagged with the index of the instruction that
+ *    produced them (bits 16+), so exploration results identify which
+ *    element of the sequence faulted.
+ */
+#ifndef POKEEMU_HIFI_SEQUENCE_H
+#define POKEEMU_HIFI_SEQUENCE_H
+
+#include "hifi/semantics.h"
+
+namespace pokeemu::hifi {
+
+/** Sequence halt code: a non-final instruction branched away. */
+constexpr u32 kHaltDiverged = 2;
+
+/** Index of the instruction a sequence halt code came from. */
+constexpr unsigned
+halt_insn_index(u32 code)
+{
+    return code >> 16;
+}
+
+/** The per-instruction classification bits of a sequence halt code. */
+constexpr u32
+halt_base_code(u32 code)
+{
+    return code & 0xffff;
+}
+
+/**
+ * Compose the semantics of @p insns (executed back to back at
+ * consecutive addresses) into one explorable program.
+ */
+ir::Program
+build_sequence_semantics(const std::vector<arch::DecodedInsn> &insns,
+                         const SemanticsOptions &options = {});
+
+} // namespace pokeemu::hifi
+
+#endif // POKEEMU_HIFI_SEQUENCE_H

@@ -1,0 +1,38 @@
+#include "hw/vmm.h"
+
+namespace pokeemu::hw {
+
+GuestRun
+Vmm::run_test(const arch::CpuState &cpu, const std::vector<u8> &image,
+              u64 max_insns)
+{
+    GuestRun result;
+    run_test_into(cpu, image, max_insns, result);
+    return result;
+}
+
+void
+Vmm::run_test_into(const arch::CpuState &cpu,
+                   const std::vector<u8> &image, u64 max_insns,
+                   GuestRun &out)
+{
+    ++tests_;
+    guest_.reset(cpu, image);
+    switch (guest_.run(max_insns)) {
+      case backend::StopReason::Halted:
+        out.trap = TrapKind::Halt;
+        ++halts_;
+        break;
+      case backend::StopReason::Exception:
+        out.trap = TrapKind::Exception;
+        ++exceptions_;
+        break;
+      case backend::StopReason::InsnLimit:
+        out.trap = TrapKind::Timeout;
+        break;
+    }
+    guest_.snapshot_into(out.snapshot);
+    out.insns_executed = guest_.insn_count();
+}
+
+} // namespace pokeemu::hw

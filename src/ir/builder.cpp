@@ -1,0 +1,181 @@
+#include "ir/builder.h"
+
+namespace pokeemu::ir {
+
+namespace {
+
+/** Sentinel meaning "label declared but not yet bound". */
+constexpr u32 kUnbound = ~u32{0};
+
+} // namespace
+
+IrBuilder::IrBuilder(std::string name)
+{
+    program_.name = std::move(name);
+}
+
+ExprRef
+IrBuilder::new_temp(unsigned width)
+{
+    const TempId id = program_.num_temps();
+    program_.temp_width.push_back(width);
+    return E::temp(id, width);
+}
+
+ExprRef
+IrBuilder::assign(const ExprRef &value, const std::string &note)
+{
+    // Constants need no temp: using them directly keeps programs small.
+    if (value->is_const())
+        return value;
+    ExprRef t = new_temp(value->width());
+    Stmt s;
+    s.kind = StmtKind::Assign;
+    s.temp = t->temp_id();
+    s.expr = value;
+    s.note = note;
+    program_.stmts.push_back(std::move(s));
+    return t;
+}
+
+ExprRef
+IrBuilder::load(const ExprRef &addr, unsigned size,
+                ConcretizePolicy policy, const std::string &note)
+{
+    ExprRef t = new_temp(size * 8);
+    Stmt s;
+    s.kind = StmtKind::Load;
+    s.temp = t->temp_id();
+    s.addr = addr;
+    s.size = size;
+    s.policy = policy;
+    s.note = note;
+    program_.stmts.push_back(std::move(s));
+    return t;
+}
+
+void
+IrBuilder::store(const ExprRef &addr, unsigned size, const ExprRef &value,
+                 const std::string &note)
+{
+    Stmt s;
+    s.kind = StmtKind::Store;
+    s.addr = addr;
+    s.size = size;
+    s.expr = value;
+    s.note = note;
+    program_.stmts.push_back(std::move(s));
+}
+
+Label
+IrBuilder::label()
+{
+    program_.label_pos.push_back(kUnbound);
+    return program_.num_labels() - 1;
+}
+
+void
+IrBuilder::bind(Label l)
+{
+    assert(l < program_.num_labels());
+    assert(program_.label_pos[l] == kUnbound);
+    program_.label_pos[l] = static_cast<u32>(program_.stmts.size());
+}
+
+Label
+IrBuilder::here()
+{
+    Label l = label();
+    bind(l);
+    return l;
+}
+
+void
+IrBuilder::cjmp(const ExprRef &cond, Label if_true, Label if_false,
+                const std::string &note)
+{
+    Stmt s;
+    s.kind = StmtKind::CJmp;
+    s.expr = cond;
+    s.target_true = if_true;
+    s.target_false = if_false;
+    s.note = note;
+    program_.stmts.push_back(std::move(s));
+}
+
+void
+IrBuilder::if_goto(const ExprRef &cond, Label if_true,
+                   const std::string &note)
+{
+    Label fall = label();
+    cjmp(cond, if_true, fall, note);
+    bind(fall);
+}
+
+void
+IrBuilder::unless_goto(const ExprRef &cond, Label if_false,
+                       const std::string &note)
+{
+    Label fall = label();
+    cjmp(cond, fall, if_false, note);
+    bind(fall);
+}
+
+void
+IrBuilder::jmp(Label target)
+{
+    Stmt s;
+    s.kind = StmtKind::Jmp;
+    s.target_true = target;
+    program_.stmts.push_back(std::move(s));
+}
+
+void
+IrBuilder::assume(const ExprRef &cond, const std::string &note)
+{
+    Stmt s;
+    s.kind = StmtKind::Assume;
+    s.expr = cond;
+    s.note = note;
+    program_.stmts.push_back(std::move(s));
+}
+
+void
+IrBuilder::halt(u32 code)
+{
+    halt(E::constant(32, code));
+}
+
+void
+IrBuilder::halt(const ExprRef &code)
+{
+    Stmt s;
+    s.kind = StmtKind::Halt;
+    s.expr = code;
+    program_.stmts.push_back(std::move(s));
+}
+
+void
+IrBuilder::comment(const std::string &text)
+{
+    Stmt s;
+    s.kind = StmtKind::Comment;
+    s.note = text;
+    program_.stmts.push_back(std::move(s));
+}
+
+Program
+IrBuilder::finish()
+{
+    assert(!finished_);
+    finished_ = true;
+    // A trailing halt guards against running off the end.
+    if (program_.stmts.empty() ||
+        program_.stmts.back().kind != StmtKind::Halt) {
+        halt(0xdeadbeef);
+    }
+    program_.validate();
+    return std::move(program_);
+}
+
+} // namespace pokeemu::ir

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fluent construction of IR programs.
+ *
+ * The Hi-Fi emulator's decoder and per-instruction semantics are
+ * generated programmatically through this builder (the analog of Vine
+ * lifting the Bochs binary in the paper): C++ "generator" functions
+ * append IR statements describing the emulator's implementation, and
+ * the result is a Program that can be interpreted concretely (test
+ * execution) or symbolically (path exploration).
+ */
+#ifndef POKEEMU_IR_BUILDER_H
+#define POKEEMU_IR_BUILDER_H
+
+#include <string>
+
+#include "ir/stmt.h"
+
+namespace pokeemu::ir {
+
+/** Incrementally builds a Program; see file comment. */
+class IrBuilder
+{
+  public:
+    explicit IrBuilder(std::string name);
+
+    /** Shorthand for a constant of the given width. */
+    static ExprRef imm(unsigned width, u64 value)
+    {
+        return E::constant(width, value);
+    }
+
+    static ExprRef imm32(u64 value) { return E::constant(32, value); }
+    static ExprRef imm8(u64 value) { return E::constant(8, value); }
+
+    /**
+     * Bind @p value to a fresh temp via an Assign statement and return
+     * a reference to the temp. Use to share a subexpression across many
+     * later uses without duplicating its tree.
+     */
+    ExprRef assign(const ExprRef &value, const std::string &note = "");
+
+    /** Emit a load; returns a temp holding the loaded value. */
+    ExprRef load(const ExprRef &addr, unsigned size,
+                 ConcretizePolicy policy = ConcretizePolicy::SingleRandom,
+                 const std::string &note = "");
+
+    /** Emit a store. */
+    void store(const ExprRef &addr, unsigned size, const ExprRef &value,
+               const std::string &note = "");
+
+    /** Declare a label; must be bound with bind() before finish(). */
+    Label label();
+
+    /** Bind @p l to the next statement position. */
+    void bind(Label l);
+
+    /** Declare-and-bind in one step. */
+    Label here();
+
+    /** Two-target conditional jump (both directions explicit). */
+    void cjmp(const ExprRef &cond, Label if_true, Label if_false,
+              const std::string &note = "");
+
+    /** Jump to @p if_true when cond holds; otherwise fall through. */
+    void if_goto(const ExprRef &cond, Label if_true,
+                 const std::string &note = "");
+
+    /** Fall through when cond holds; otherwise jump to @p if_false. */
+    void unless_goto(const ExprRef &cond, Label if_false,
+                     const std::string &note = "");
+
+    void jmp(Label target);
+
+    /** Constrain the path; infeasible assumptions end exploration. */
+    void assume(const ExprRef &cond, const std::string &note = "");
+
+    /** Terminate with a concrete result code. */
+    void halt(u32 code);
+
+    /** Terminate with a computed 32-bit result code. */
+    void halt(const ExprRef &code);
+
+    void comment(const std::string &text);
+
+    /** Validate and move out the finished program. */
+    Program finish();
+
+    /** Number of statements appended so far. */
+    std::size_t size() const { return program_.stmts.size(); }
+
+  private:
+    ExprRef new_temp(unsigned width);
+
+    Program program_;
+    bool finished_ = false;
+};
+
+} // namespace pokeemu::ir
+
+#endif // POKEEMU_IR_BUILDER_H

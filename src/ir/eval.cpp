@@ -1,0 +1,87 @@
+#include "ir/eval.h"
+
+namespace pokeemu::ir {
+
+namespace {
+
+/**
+ * Evaluate a statement expression against the temp environment.
+ * Iterative where possible; expressions in generated programs are
+ * shallow because intermediate values are bound to temps.
+ */
+u64
+eval_with_env(const ExprRef &x, const std::vector<u64> &env)
+{
+    std::function<u64(const Expr &)> lookup = [&](const Expr &leaf) -> u64 {
+        if (leaf.kind() == ExprKind::Temp)
+            return env[leaf.temp_id()];
+        panic("concrete evaluation hit free symbolic variable " +
+              leaf.name());
+    };
+    return eval_expr(x, &lookup);
+}
+
+} // namespace
+
+RunResult
+run_concrete(const Program &program, ConcreteMemory &memory, u64 max_steps)
+{
+    std::vector<u64> env(program.num_temps(), 0);
+    RunResult result;
+    u32 pc = 0;
+
+    while (result.steps < max_steps) {
+        if (pc >= program.stmts.size())
+            panic(program.name + ": fell off program end");
+        const Stmt &s = program.stmts[pc];
+        ++result.steps;
+        switch (s.kind) {
+          case StmtKind::Assign:
+            env[s.temp] = eval_with_env(s.expr, env);
+            ++pc;
+            break;
+          case StmtKind::Load: {
+            const u32 addr =
+                static_cast<u32>(eval_with_env(s.addr, env));
+            env[s.temp] = memory.load(addr, s.size);
+            ++pc;
+            break;
+          }
+          case StmtKind::Store: {
+            const u32 addr =
+                static_cast<u32>(eval_with_env(s.addr, env));
+            memory.store(addr, s.size, eval_with_env(s.expr, env));
+            ++pc;
+            break;
+          }
+          case StmtKind::CJmp: {
+            const bool taken = eval_with_env(s.expr, env) != 0;
+            pc = program.label_pos[taken ? s.target_true
+                                         : s.target_false];
+            break;
+          }
+          case StmtKind::Jmp:
+            pc = program.label_pos[s.target_true];
+            break;
+          case StmtKind::Assume:
+            if (eval_with_env(s.expr, env) == 0) {
+                result.status = RunStatus::AssumeFailed;
+                return result;
+            }
+            ++pc;
+            break;
+          case StmtKind::Halt:
+            result.status = RunStatus::Halted;
+            result.halt_code =
+                static_cast<u32>(eval_with_env(s.expr, env));
+            return result;
+          case StmtKind::Comment:
+            ++pc;
+            break;
+        }
+    }
+    result.status = RunStatus::StepLimit;
+    return result;
+}
+
+} // namespace pokeemu::ir

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Concrete interpretation of IR programs.
+ *
+ * This is the "fast path" of the Hi-Fi emulator: the same Program that
+ * the symbolic explorer walks is executed here with ordinary integers.
+ * The memory the program reads and writes is supplied by the caller
+ * (the Hi-Fi emulator backs it with its machine-state image plus guest
+ * physical memory).
+ */
+#ifndef POKEEMU_IR_EVAL_H
+#define POKEEMU_IR_EVAL_H
+
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace pokeemu::ir {
+
+/** Byte-addressed little-endian memory as seen by IR programs. */
+class ConcreteMemory
+{
+  public:
+    virtual ~ConcreteMemory() = default;
+
+    /** Load @p size bytes (1/2/4) at @p addr, little-endian. */
+    virtual u64 load(u32 addr, unsigned size) = 0;
+
+    /** Store the low @p size bytes of @p value at @p addr. */
+    virtual void store(u32 addr, unsigned size, u64 value) = 0;
+};
+
+/** Why a concrete run stopped. */
+enum class RunStatus : u8 {
+    Halted,       ///< Reached a Halt statement.
+    AssumeFailed, ///< An Assume condition evaluated false.
+    StepLimit,    ///< Exceeded the step budget (runaway loop guard).
+};
+
+struct RunResult
+{
+    RunStatus status = RunStatus::StepLimit;
+    u32 halt_code = 0;  ///< Valid when status == Halted.
+    u64 steps = 0;      ///< Statements executed.
+};
+
+/**
+ * Execute @p program against @p memory.
+ *
+ * @param max_steps statement budget; generous default covers every
+ *        generated semantics program including rep-prefixed loops.
+ */
+RunResult run_concrete(const Program &program, ConcreteMemory &memory,
+                       u64 max_steps = 1u << 22);
+
+} // namespace pokeemu::ir
+
+#endif // POKEEMU_IR_EVAL_H

@@ -1,0 +1,133 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace pokeemu::ir {
+
+namespace {
+
+void
+print_expr(std::ostringstream &os, const ExprRef &e)
+{
+    switch (e->kind()) {
+      case ExprKind::Const:
+        os << "0x" << std::hex << e->value() << std::dec << ":"
+           << e->width();
+        break;
+      case ExprKind::Var:
+        os << e->name();
+        break;
+      case ExprKind::Temp:
+        os << "t" << e->temp_id();
+        break;
+      case ExprKind::UnOp:
+        os << "(" << unop_name(e->unop()) << " ";
+        print_expr(os, e->a());
+        os << ")";
+        break;
+      case ExprKind::BinOp:
+        os << "(" << binop_name(e->binop()) << " ";
+        print_expr(os, e->a());
+        os << " ";
+        print_expr(os, e->b());
+        os << ")";
+        break;
+      case ExprKind::Cast:
+        switch (e->cast()) {
+          case CastKind::ZExt:
+            os << "(zext:" << e->width() << " ";
+            break;
+          case CastKind::SExt:
+            os << "(sext:" << e->width() << " ";
+            break;
+          case CastKind::Extract:
+            os << "(extract:" << e->extract_lo() << "+" << e->width()
+               << " ";
+            break;
+        }
+        print_expr(os, e->a());
+        os << ")";
+        break;
+      case ExprKind::Ite:
+        os << "(ite ";
+        print_expr(os, e->a());
+        os << " ";
+        print_expr(os, e->b());
+        os << " ";
+        print_expr(os, e->c());
+        os << ")";
+        break;
+    }
+}
+
+} // namespace
+
+std::string
+to_string(const ExprRef &expr)
+{
+    if (!expr)
+        return "<null>";
+    std::ostringstream os;
+    print_expr(os, expr);
+    return os.str();
+}
+
+std::string
+to_string(const Stmt &stmt)
+{
+    std::ostringstream os;
+    switch (stmt.kind) {
+      case StmtKind::Assign:
+        os << "t" << stmt.temp << " := " << to_string(stmt.expr);
+        break;
+      case StmtKind::Load:
+        os << "t" << stmt.temp << " := load" << stmt.size * 8 << "["
+           << to_string(stmt.addr) << "]";
+        break;
+      case StmtKind::Store:
+        os << "store" << stmt.size * 8 << "[" << to_string(stmt.addr)
+           << "] := " << to_string(stmt.expr);
+        break;
+      case StmtKind::CJmp:
+        os << "cjmp " << to_string(stmt.expr) << " ? L"
+           << stmt.target_true << " : L" << stmt.target_false;
+        break;
+      case StmtKind::Jmp:
+        os << "jmp L" << stmt.target_true;
+        break;
+      case StmtKind::Assume:
+        os << "assume " << to_string(stmt.expr);
+        break;
+      case StmtKind::Halt:
+        os << "halt " << to_string(stmt.expr);
+        break;
+      case StmtKind::Comment:
+        os << "; " << stmt.note;
+        return os.str();
+    }
+    if (!stmt.note.empty())
+        os << "    ; " << stmt.note;
+    return os.str();
+}
+
+std::string
+to_string(const Program &program)
+{
+    std::ostringstream os;
+    os << "program " << program.name << " (" << program.stmts.size()
+       << " stmts, " << program.num_temps() << " temps)\n";
+    // Invert the label map for printing.
+    std::vector<std::vector<u32>> labels_at(program.stmts.size() + 1);
+    for (u32 l = 0; l < program.num_labels(); ++l) {
+        if (program.label_pos[l] <= program.stmts.size())
+            labels_at[program.label_pos[l]].push_back(l);
+    }
+    for (std::size_t i = 0; i < program.stmts.size(); ++i) {
+        for (u32 l : labels_at[i])
+            os << "L" << l << ":\n";
+        os << "  " << i << ":\t" << to_string(program.stmts[i]) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace pokeemu::ir

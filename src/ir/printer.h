@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Human-readable rendering of expressions and programs, used by the
+ * developer-facing examples and debug logging.
+ */
+#ifndef POKEEMU_IR_PRINTER_H
+#define POKEEMU_IR_PRINTER_H
+
+#include <string>
+
+#include "ir/stmt.h"
+
+namespace pokeemu::ir {
+
+/** Render an expression as a compact s-expression-ish string. */
+std::string to_string(const ExprRef &expr);
+
+/** Render one statement. */
+std::string to_string(const Stmt &stmt);
+
+/** Render a whole program with labels and statement indices. */
+std::string to_string(const Program &program);
+
+} // namespace pokeemu::ir
+
+#endif // POKEEMU_IR_PRINTER_H

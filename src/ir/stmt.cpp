@@ -1,0 +1,61 @@
+#include "ir/stmt.h"
+
+namespace pokeemu::ir {
+
+void
+Program::validate() const
+{
+    for (std::size_t i = 0; i < label_pos.size(); ++i) {
+        if (label_pos[i] >= stmts.size())
+            panic(name + ": unbound or out-of-range label");
+    }
+    for (std::size_t i = 0; i < stmts.size(); ++i) {
+        const Stmt &s = stmts[i];
+        switch (s.kind) {
+          case StmtKind::Assign:
+            if (s.temp >= num_temps() || !s.expr ||
+                s.expr->width() != temp_width[s.temp]) {
+                panic(name + ": bad assign at stmt " + std::to_string(i));
+            }
+            break;
+          case StmtKind::Load:
+            if (s.temp >= num_temps() || !s.addr ||
+                s.addr->width() != 32 ||
+                (s.size != 1 && s.size != 2 && s.size != 4) ||
+                temp_width[s.temp] != s.size * 8) {
+                panic(name + ": bad load at stmt " + std::to_string(i));
+            }
+            break;
+          case StmtKind::Store:
+            if (!s.addr || s.addr->width() != 32 || !s.expr ||
+                (s.size != 1 && s.size != 2 && s.size != 4) ||
+                s.expr->width() != s.size * 8) {
+                panic(name + ": bad store at stmt " + std::to_string(i));
+            }
+            break;
+          case StmtKind::CJmp:
+            if (!s.expr || s.expr->width() != 1 ||
+                s.target_true >= num_labels() ||
+                s.target_false >= num_labels()) {
+                panic(name + ": bad cjmp at stmt " + std::to_string(i));
+            }
+            break;
+          case StmtKind::Jmp:
+            if (s.target_true >= num_labels())
+                panic(name + ": bad jmp at stmt " + std::to_string(i));
+            break;
+          case StmtKind::Assume:
+            if (!s.expr || s.expr->width() != 1)
+                panic(name + ": bad assume at stmt " + std::to_string(i));
+            break;
+          case StmtKind::Halt:
+            if (!s.expr || s.expr->width() != 32)
+                panic(name + ": bad halt at stmt " + std::to_string(i));
+            break;
+          case StmtKind::Comment:
+            break;
+        }
+    }
+}
+
+} // namespace pokeemu::ir

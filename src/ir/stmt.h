@@ -1,0 +1,95 @@
+/**
+ * @file
+ * IR statements and programs.
+ *
+ * A Program is a flat list of statements with label-indexed control
+ * flow, the analog of a Vine IR fragment in FuzzBALL (paper §3.1.3).
+ * Memory is byte-addressed and little-endian; loads and stores are
+ * statements (not expressions) so that evaluators perform them in
+ * program order and can concretize symbolic addresses at the access
+ * point (paper §3.3.2, "Indexing Memory and Tables").
+ */
+#ifndef POKEEMU_IR_STMT_H
+#define POKEEMU_IR_STMT_H
+
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace pokeemu::ir {
+
+/** Label identifier; an index into Program::label_pos. */
+using Label = u32;
+
+/** Temporary identifier; an index into Program::temp_width. */
+using TempId = u32;
+
+enum class StmtKind : u8 {
+    Assign,   ///< temp := expr
+    Load,     ///< temp := mem[addr .. addr+size)
+    Store,    ///< mem[addr .. addr+size) := value
+    CJmp,     ///< if (cond) goto target_true else goto target_false
+    Jmp,      ///< goto target_true
+    Assume,   ///< add cond to the path condition (abandon if infeasible)
+    Halt,     ///< stop; expr is the 32-bit program result code
+    Comment,  ///< no-op annotation for printing/debugging
+};
+
+/**
+ * Policy for resolving a symbolic address at a Load/Store
+ * (paper §3.1.2 word extension and §3.3.2 table indexing).
+ */
+enum class ConcretizePolicy : u8 {
+    /**
+     * Pick one feasible concrete address (seeded-randomly among a
+     * sample of feasible values) and constrain the path to it. Used for
+     * large tables / guest memory where all locations are equivalent.
+     */
+    SingleRandom,
+    /**
+     * Enumerate all feasible addresses through the decision tree,
+     * binding one bit at a time most-significant first. Used for small
+     * tables where each entry is meaningfully different.
+     */
+    Exhaustive,
+};
+
+/** One IR statement; which fields are meaningful depends on kind. */
+struct Stmt
+{
+    StmtKind kind = StmtKind::Comment;
+    TempId temp = 0;          ///< Assign/Load destination.
+    ExprRef expr;             ///< Assign rhs, Store value, CJmp/Assume
+                              ///< condition, Halt code.
+    ExprRef addr;             ///< Load/Store address (width 32).
+    unsigned size = 0;        ///< Load/Store size in bytes (1/2/4).
+    Label target_true = 0;    ///< CJmp true target / Jmp target.
+    Label target_false = 0;   ///< CJmp false target.
+    ConcretizePolicy policy = ConcretizePolicy::SingleRandom;
+    std::string note;         ///< Comment text / branch description.
+};
+
+/**
+ * A complete IR program.
+ *
+ * Execution starts at stmts[0] and ends at a Halt statement. Every
+ * label must be bound to a statement index before execution.
+ */
+struct Program
+{
+    std::string name;
+    std::vector<Stmt> stmts;
+    std::vector<u32> label_pos;       ///< label id -> statement index.
+    std::vector<unsigned> temp_width; ///< temp id -> bit width.
+
+    u32 num_labels() const { return static_cast<u32>(label_pos.size()); }
+    u32 num_temps() const { return static_cast<u32>(temp_width.size()); }
+
+    /** Validate label binding, temp widths, operand widths. */
+    void validate() const;
+};
+
+} // namespace pokeemu::ir
+
+#endif // POKEEMU_IR_STMT_H

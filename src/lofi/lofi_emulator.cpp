@@ -1,0 +1,37 @@
+#include "lofi/lofi_emulator.h"
+
+namespace pokeemu::lofi {
+
+BugConfig
+BugConfig::none()
+{
+    BugConfig b;
+    b.no_segment_checks = false;
+    b.leave_nonatomic = false;
+    b.cmpxchg_nonatomic = false;
+    b.iret_pop_order = false;
+    b.rdmsr_no_gp = false;
+    b.no_accessed_flag = false;
+    b.reject_valid_encodings = false;
+    b.undef_flags_divergence = false;
+    return b;
+}
+
+backend::Behavior
+behavior_from_bugs(const BugConfig &bugs)
+{
+    backend::Behavior b = backend::hardware_behavior();
+    b.enforce_segment_checks = !bugs.no_segment_checks;
+    b.leave_atomic = !bugs.leave_nonatomic;
+    b.cmpxchg_checks_write_first = !bugs.cmpxchg_nonatomic;
+    b.iret_pop_inner_first = !bugs.iret_pop_order;
+    b.rdmsr_gp_on_invalid = !bugs.rdmsr_no_gp;
+    b.set_descriptor_accessed = !bugs.no_accessed_flag;
+    b.accept_alias_encodings = !bugs.reject_valid_encodings;
+    b.undef_flags = bugs.undef_flags_divergence
+        ? backend::UndefFlagStyle::LoFi
+        : backend::UndefFlagStyle::Hardware;
+    return b;
+}
+
+} // namespace pokeemu::lofi

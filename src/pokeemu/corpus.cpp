@@ -1,0 +1,146 @@
+#include "pokeemu/corpus.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "harness/filter.h"
+
+namespace pokeemu {
+
+namespace {
+
+constexpr const char *kMagic = "pokeemu-corpus-v1";
+
+std::string
+hex_encode(const std::vector<u8> &bytes)
+{
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    static const char digits[] = "0123456789abcdef";
+    for (u8 b : bytes) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+std::vector<u8>
+hex_decode(const std::string &hex)
+{
+    if (hex.size() % 2)
+        panic("corpus: odd hex length");
+    std::vector<u8> out(hex.size() / 2);
+    auto nibble = [](char c) -> unsigned {
+        if (c >= '0' && c <= '9')
+            return static_cast<unsigned>(c - '0');
+        if (c >= 'a' && c <= 'f')
+            return static_cast<unsigned>(c - 'a' + 10);
+        panic("corpus: bad hex digit");
+    };
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = static_cast<u8>((nibble(hex[2 * i]) << 4) |
+                                 nibble(hex[2 * i + 1]));
+    }
+    return out;
+}
+
+} // namespace
+
+void
+save_corpus(std::ostream &out, const std::vector<GeneratedTest> &tests)
+{
+    out << kMagic << "\n" << tests.size() << "\n";
+    for (const GeneratedTest &test : tests) {
+        out << test.id << " " << test.program.test_insn_offset << " "
+            << test.insn.desc->mnemonic << " "
+            << hex_encode(test.program.code) << "\n";
+    }
+}
+
+std::vector<CorpusTest>
+load_corpus(std::istream &in)
+{
+    std::string magic;
+    if (!std::getline(in, magic) || magic != kMagic)
+        panic("corpus: bad header");
+    std::size_t count = 0;
+    in >> count;
+    std::vector<CorpusTest> tests;
+    tests.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        CorpusTest t;
+        std::string hex;
+        if (!(in >> t.id >> t.test_insn_offset >> t.mnemonic >> hex))
+            panic("corpus: truncated entry");
+        t.code = hex_decode(hex);
+        tests.push_back(std::move(t));
+    }
+    return tests;
+}
+
+ReplayStats
+replay_corpus(const std::vector<CorpusTest> &tests,
+              const lofi::BugConfig &bugs)
+{
+    harness::TestRunner::Config cfg;
+    cfg.bugs = bugs;
+    harness::TestRunner runner(cfg);
+
+    ReplayStats stats;
+    harness::BackendRun hifi_run, lofi_run, hw_run;
+    for (const CorpusTest &test : tests) {
+        runner.run_one_into(harness::Backend::HiFi, test.code,
+                            hifi_run);
+        runner.run_one_into(harness::Backend::LoFi, test.code,
+                            lofi_run);
+        runner.run_one_into(harness::Backend::Hardware, test.code,
+                            hw_run);
+        ++stats.tests;
+        if (hifi_run.timed_out || lofi_run.timed_out ||
+            hw_run.timed_out) {
+            ++stats.timeouts;
+            continue;
+        }
+        // Re-decode the test instruction for filtering/clustering.
+        arch::DecodedInsn insn;
+        u8 buf[arch::kMaxInsnLength] = {};
+        const std::size_t n = std::min<std::size_t>(
+            arch::kMaxInsnLength,
+            test.code.size() - test.test_insn_offset);
+        std::copy_n(test.code.begin() + test.test_insn_offset, n, buf);
+        const bool decoded =
+            arch::decode(buf, arch::kMaxInsnLength, insn) ==
+            arch::DecodeStatus::Ok;
+
+        const auto analyze = [&](const harness::BackendRun &run,
+                                 u64 &counter, bool cluster) {
+            const arch::SnapshotDiff diff =
+                arch::diff_snapshots(run.snapshot, hw_run.snapshot);
+            if (diff.empty())
+                return;
+            if (decoded) {
+                const auto filtered = harness::filter_undefined(
+                    insn, run.snapshot, hw_run.snapshot, diff);
+                if (filtered.fully_filtered()) {
+                    ++stats.filtered_undefined;
+                    return;
+                }
+                ++counter;
+                if (cluster) {
+                    stats.lofi_clusters.add(test.id, insn,
+                                            filtered.remaining,
+                                            run.snapshot,
+                                            hw_run.snapshot);
+                }
+                return;
+            }
+            ++counter;
+        };
+        analyze(lofi_run, stats.lofi_diffs, true);
+        analyze(hifi_run, stats.hifi_diffs, false);
+    }
+    return stats;
+}
+
+} // namespace pokeemu

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Persistent test corpora — the paper's deployment story (§6: "This is
+ * already fast enough to use for nightly regression testing", and
+ * §6.2: "the test programs we have generated can be used again in the
+ * future to validate the implementation when this currently missing
+ * feature is available").
+ *
+ * Exploration is the expensive stage; the generated test programs are
+ * self-contained byte sequences. A corpus file stores them so a CI job
+ * can re-run cross-validation against a changed emulator without
+ * re-exploring. The format is a simple self-describing text container
+ * (stable across versions of this library, diff-friendly in review).
+ */
+#ifndef POKEEMU_POKEEMU_CORPUS_H
+#define POKEEMU_POKEEMU_CORPUS_H
+
+#include <iosfwd>
+
+#include "harness/cluster.h"
+#include "pokeemu/pipeline.h"
+
+namespace pokeemu {
+
+/** One corpus entry: everything needed to re-run and classify. */
+struct CorpusTest
+{
+    u64 id = 0;
+    /** The full test program (initializer + test insn(s) + hlt). */
+    std::vector<u8> code;
+    /** Offset of the (first) test instruction within code. */
+    u32 test_insn_offset = 0;
+    std::string mnemonic;
+};
+
+/** Serialize @p tests to @p out. */
+void save_corpus(std::ostream &out,
+                 const std::vector<GeneratedTest> &tests);
+
+/** Parse a corpus; throws std::logic_error on malformed input. */
+std::vector<CorpusTest> load_corpus(std::istream &in);
+
+/** Result of replaying a corpus against one Lo-Fi configuration. */
+struct ReplayStats
+{
+    u64 tests = 0;
+    u64 lofi_diffs = 0;
+    u64 hifi_diffs = 0;
+    u64 filtered_undefined = 0;
+    u64 timeouts = 0;
+    harness::RootCauseClusterer lofi_clusters;
+};
+
+/**
+ * Re-run every corpus test on the three backends with @p bugs seeded
+ * into the Lo-Fi emulator (the "new emulator build" under regression).
+ */
+ReplayStats replay_corpus(const std::vector<CorpusTest> &tests,
+                          const lofi::BugConfig &bugs);
+
+} // namespace pokeemu
+
+#endif // POKEEMU_POKEEMU_CORPUS_H

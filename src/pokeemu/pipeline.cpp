@@ -1,0 +1,241 @@
+#include "pokeemu/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace pokeemu {
+
+namespace {
+
+double
+seconds_since(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+Pipeline::Pipeline(PipelineOptions options)
+    : options_(options),
+      summary_(hifi::summarize_descriptor_load(summary_pool_))
+{
+    spec_ = std::make_unique<explore::StateSpec>(
+        testgen::baseline_cpu_state(), testgen::baseline_ram_after_init(),
+        &summary_);
+}
+
+Pipeline::~Pipeline() = default;
+
+void
+Pipeline::explore_and_generate()
+{
+    assert(!explored_);
+    explored_ = true;
+
+    // ---- Stage 1: instruction-set exploration (paper §3.2). ----
+    // When the caller names the instructions directly, the (costly)
+    // decoder exploration is skipped and canonical encodings are used;
+    // the full exploration result is memoized across Pipeline
+    // instances (it is deterministic for a given seed).
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::pair<int, std::vector<u8>>> selected;
+    if (!options_.instruction_filter.empty()) {
+        for (int index : options_.instruction_filter) {
+            selected.emplace_back(index,
+                                  arch::canonical_encoding(index));
+            stats_.insn_set.representatives[index] = selected.back()
+                                                         .second;
+        }
+        stats_.insn_set.candidate_sequences = selected.size();
+    } else {
+        static std::map<u64, explore::InsnSetResult> memo;
+        auto it = memo.find(options_.seed);
+        if (it == memo.end()) {
+            it = memo.emplace(options_.seed,
+                              explore::explore_instruction_set(
+                                  {3, 1u << 20, options_.seed}))
+                     .first;
+        }
+        stats_.insn_set = it->second;
+        for (const auto &[index, bytes] :
+             stats_.insn_set.representatives) {
+            selected.emplace_back(index, bytes);
+        }
+    }
+    stats_.t_insn_exploration = seconds_since(t0);
+    if (options_.max_instructions &&
+        selected.size() > options_.max_instructions) {
+        selected.resize(options_.max_instructions);
+    }
+
+    // ---- Stages 2+3: per-instruction exploration + generation. ----
+    explore::StateExploreOptions xopt;
+    xopt.max_paths = options_.max_paths_per_insn;
+    xopt.seed = options_.seed;
+    xopt.use_descriptor_summary = options_.use_descriptor_summary;
+    xopt.minimize = options_.minimize;
+
+    u64 next_test_id = 0;
+    for (const auto &[index, bytes] : selected) {
+        arch::DecodedInsn insn;
+        const auto status =
+            arch::decode(bytes.data(), bytes.size(), insn);
+        if (status != arch::DecodeStatus::Ok ||
+            insn.table_index != index) {
+            panic("pipeline: representative bytes failed to decode");
+        }
+
+        t0 = std::chrono::steady_clock::now();
+        explore::StateExploreOptions per_insn = xopt;
+        if (insn.rep || insn.repne) {
+            per_insn.max_paths =
+                std::min(xopt.max_paths, options_.max_paths_rep);
+            per_insn.max_steps = 3000;
+        }
+        explore::StateExploreResult explored = explore_instruction(
+            insn, *spec_, &summary_, per_insn);
+        stats_.t_state_exploration += seconds_since(t0);
+
+        ++stats_.instructions_explored;
+        if (explored.stats.complete)
+            ++stats_.instructions_complete;
+        stats_.total_paths += explored.stats.paths;
+        stats_.solver_queries += explored.stats.solver_queries;
+        stats_.minimize_bits_before +=
+            explored.minimize.bits_different_before;
+        stats_.minimize_bits_after +=
+            explored.minimize.bits_different_after;
+
+        // Stage 3: one test program per path (paper Figure 1(3)).
+        t0 = std::chrono::steady_clock::now();
+        for (const explore::ExploredPath &path : explored.paths) {
+            testgen::GenResult gen = testgen::generate_test_program(
+                insn, path.assignment, *spec_, explored.pool);
+            if (gen.status != testgen::GenStatus::Ok) {
+                ++stats_.generation_failures;
+                continue;
+            }
+            GeneratedTest test;
+            test.id = next_test_id++;
+            test.table_index = index;
+            test.insn = insn;
+            test.program = std::move(gen.program);
+            test.halt_code = path.halt_code;
+            tests_.push_back(std::move(test));
+            ++stats_.test_programs;
+        }
+        stats_.t_generation += seconds_since(t0);
+    }
+}
+
+void
+Pipeline::execute_and_compare()
+{
+    harness::TestRunner::Config cfg;
+    cfg.bugs = options_.bugs;
+    cfg.max_insns = options_.max_insns_per_test;
+    harness::TestRunner runner(cfg);
+
+    // Reused across tests: fresh 4 MiB snapshot allocations per test
+    // would dominate (and distort) the measured execution costs.
+    harness::BackendRun hifi_run, lofi_run, hw_run;
+    for (const GeneratedTest &test : tests_) {
+        auto t0 = std::chrono::steady_clock::now();
+        runner.run_one_into(harness::Backend::HiFi, test.program.code,
+                            hifi_run);
+        stats_.t_execution_hifi += seconds_since(t0);
+
+        t0 = std::chrono::steady_clock::now();
+        runner.run_one_into(harness::Backend::LoFi, test.program.code,
+                            lofi_run);
+        stats_.t_execution_lofi += seconds_since(t0);
+
+        t0 = std::chrono::steady_clock::now();
+        runner.run_one_into(harness::Backend::Hardware,
+                            test.program.code, hw_run);
+        stats_.t_execution_hw += seconds_since(t0);
+
+        ++stats_.tests_executed;
+        if (hifi_run.timed_out || lofi_run.timed_out ||
+            hw_run.timed_out) {
+            ++stats_.timeouts;
+            continue;
+        }
+
+        t0 = std::chrono::steady_clock::now();
+        const auto analyze = [&](const harness::BackendRun &run,
+                                 u64 &raw, u64 &real,
+                                 harness::RootCauseClusterer &cl) {
+            const arch::SnapshotDiff diff =
+                arch::diff_snapshots(run.snapshot, hw_run.snapshot);
+            if (diff.empty())
+                return;
+            ++raw;
+            const harness::FilterResult filtered =
+                harness::filter_undefined(test.insn, run.snapshot,
+                                          hw_run.snapshot, diff);
+            if (filtered.fully_filtered()) {
+                ++stats_.filtered_undefined;
+                return;
+            }
+            ++real;
+            cl.add(test.id, test.insn, filtered.remaining,
+                   run.snapshot, hw_run.snapshot);
+        };
+        analyze(lofi_run, stats_.lofi_raw_diffs, stats_.lofi_diffs,
+                stats_.lofi_clusters);
+        analyze(hifi_run, stats_.hifi_raw_diffs, stats_.hifi_diffs,
+                stats_.hifi_clusters);
+        stats_.t_comparison += seconds_since(t0);
+    }
+}
+
+const PipelineStats &
+Pipeline::run()
+{
+    explore_and_generate();
+    execute_and_compare();
+    return stats_;
+}
+
+std::string
+PipelineStats::to_string() const
+{
+    std::ostringstream os;
+    os << "== PokeEMU pipeline ==\n";
+    os << "stage 1 (instruction-set exploration): "
+       << insn_set.candidate_sequences << " candidate sequences -> "
+       << insn_set.representatives.size() << " unique instructions ("
+       << t_insn_exploration << "s)\n";
+    os << "stage 2 (state exploration): " << instructions_explored
+       << " instructions, " << total_paths << " paths, "
+       << instructions_complete << " with complete path coverage ("
+       << t_state_exploration << "s, " << solver_queries
+       << " solver queries)\n";
+    os << "minimization: " << minimize_bits_before
+       << " differing bits -> " << minimize_bits_after << "\n";
+    os << "stage 3 (test generation): " << test_programs
+       << " test programs, " << generation_failures << " failures ("
+       << t_generation << "s)\n";
+    os << "stage 4 (execution): " << tests_executed << " tests ("
+       << "hifi " << t_execution_hifi << "s, lofi " << t_execution_lofi
+       << "s, hw " << t_execution_hw << "s), " << timeouts
+       << " timeouts\n";
+    os << "stage 5 (comparison, " << t_comparison << "s):\n";
+    os << "  lofi vs hw: " << lofi_raw_diffs << " raw, " << lofi_diffs
+       << " after undefined-behaviour filtering\n";
+    os << "  hifi vs hw: " << hifi_raw_diffs << " raw, " << hifi_diffs
+       << " after filtering\n";
+    os << "  " << filtered_undefined
+       << " differences were entirely undefined behaviour\n";
+    os << "lofi root causes:\n" << lofi_clusters.to_string();
+    os << "hifi root causes:\n" << hifi_clusters.to_string();
+    return os.str();
+}
+
+} // namespace pokeemu

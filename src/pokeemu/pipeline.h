@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The PokeEMU pipeline: path-exploration lifting end to end
+ * (paper Figure 1).
+ *
+ *   (1) instruction-set exploration      explore/insn_explorer
+ *   (2) machine-state-space exploration  explore/state_explorer
+ *   (3) test-program generation          testgen/
+ *   (4) test execution                   harness/runner
+ *   (5) difference analysis              harness/diff+filter+cluster
+ *
+ * The Hi-Fi emulator is the exploration artifact; the tests it lifts
+ * are executed on the Hi-Fi emulator, the Lo-Fi emulator, and the
+ * hardware oracle, and the final states are compared pairwise against
+ * hardware, exactly as in the paper's three-way evaluation.
+ */
+#ifndef POKEEMU_POKEEMU_PIPELINE_H
+#define POKEEMU_POKEEMU_PIPELINE_H
+
+#include <optional>
+
+#include "explore/insn_explorer.h"
+#include "explore/state_explorer.h"
+#include "harness/cluster.h"
+#include "harness/runner.h"
+#include "testgen/testgen.h"
+
+namespace pokeemu {
+
+struct PipelineOptions
+{
+    /** Per-instruction path cap. The paper used 8192; the default here
+     *  is scaled down so full sweeps finish in CI time. */
+    u64 max_paths_per_insn = 48;
+    /** Tighter cap for rep-prefixed string instructions, whose
+     *  iteration-count paths grow without bound (the paper's ~5% of
+     *  instructions that were not exhaustively explored). */
+    u64 max_paths_rep = 12;
+    u64 seed = 1;
+    /** Explore only these table indices (empty = all). */
+    std::vector<int> instruction_filter;
+    /** Cap on the number of instructions explored (0 = all). */
+    std::size_t max_instructions = 0;
+    bool use_descriptor_summary = true;
+    bool minimize = true;
+    lofi::BugConfig bugs{};
+    u64 max_insns_per_test = 1u << 14;
+};
+
+/** Everything a pipeline run measures (feeds EXPERIMENTS.md). */
+struct PipelineStats
+{
+    // Stage 1.
+    explore::InsnSetResult insn_set;
+    // Stage 2.
+    u64 instructions_explored = 0;
+    u64 instructions_complete = 0; ///< Exhaustive path coverage.
+    u64 total_paths = 0;
+    u64 solver_queries = 0;
+    u64 minimize_bits_before = 0;
+    u64 minimize_bits_after = 0;
+    // Stage 3.
+    u64 test_programs = 0;
+    u64 generation_failures = 0;
+    // Stage 4+5.
+    u64 tests_executed = 0;
+    u64 lofi_raw_diffs = 0;  ///< Lo-Fi vs hardware, before filtering.
+    u64 hifi_raw_diffs = 0;  ///< Hi-Fi vs hardware, before filtering.
+    u64 lofi_diffs = 0;      ///< After undefined-behaviour filtering.
+    u64 hifi_diffs = 0;
+    u64 filtered_undefined = 0;
+    u64 timeouts = 0;
+    harness::RootCauseClusterer lofi_clusters;
+    harness::RootCauseClusterer hifi_clusters;
+    // Timing (seconds) per stage.
+    double t_insn_exploration = 0;
+    double t_state_exploration = 0;
+    double t_generation = 0;
+    double t_execution_hifi = 0;
+    double t_execution_lofi = 0;
+    double t_execution_hw = 0;
+    double t_comparison = 0;
+
+    std::string to_string() const;
+};
+
+/** One generated test, kept for re-execution by benches/examples. */
+struct GeneratedTest
+{
+    u64 id;
+    int table_index;
+    arch::DecodedInsn insn;
+    testgen::TestProgram program;
+    u32 halt_code; ///< The explored path's classification.
+};
+
+/** See file comment. */
+class Pipeline
+{
+  public:
+    explicit Pipeline(PipelineOptions options = {});
+    ~Pipeline();
+
+    /** Stages 1-3: explore and generate; fills tests(). */
+    void explore_and_generate();
+
+    /** Stages 4-5: execute everything and compare. */
+    void execute_and_compare();
+
+    /** Full run. */
+    const PipelineStats &run();
+
+    const PipelineStats &stats() const { return stats_; }
+    const std::vector<GeneratedTest> &tests() const { return tests_; }
+    const explore::StateSpec &spec() const { return *spec_; }
+    const symexec::Summary &descriptor_summary() const
+    {
+        return summary_;
+    }
+
+  private:
+    PipelineOptions options_;
+    PipelineStats stats_;
+    symexec::VarPool summary_pool_;
+    symexec::Summary summary_;
+    std::unique_ptr<explore::StateSpec> spec_;
+    std::vector<GeneratedTest> tests_;
+    bool explored_ = false;
+};
+
+} // namespace pokeemu
+
+#endif // POKEEMU_POKEEMU_PIPELINE_H

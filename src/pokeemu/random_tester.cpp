@@ -1,0 +1,134 @@
+#include "pokeemu/random_tester.h"
+
+#include <chrono>
+
+#include "arch/assembler.h"
+#include "harness/filter.h"
+#include "support/rng.h"
+
+namespace pokeemu {
+
+namespace layout = arch::layout;
+
+namespace {
+
+/** Generate one random-but-decodable test instruction. */
+arch::DecodedInsn
+random_instruction(Rng &rng)
+{
+    const auto &table = arch::insn_table();
+    for (;;) {
+        const arch::InsnDesc &d = table[rng.below(table.size())];
+        u8 buf[arch::kMaxInsnLength] = {};
+        unsigned p = 0;
+        if (d.opcode >= 0x100)
+            buf[p++] = 0x0f;
+        buf[p++] = static_cast<u8>(d.opcode & 0xff);
+        if (d.has_modrm) {
+            u8 modrm = static_cast<u8>(rng.next());
+            if (d.group_reg >= 0) {
+                modrm = static_cast<u8>((modrm & ~0x38) |
+                                        (d.group_reg << 3));
+            }
+            buf[p++] = modrm;
+        }
+        for (; p < arch::kMaxInsnLength; ++p)
+            buf[p] = static_cast<u8>(rng.next());
+        arch::DecodedInsn insn;
+        if (arch::decode(buf, sizeof buf, insn) ==
+            arch::DecodeStatus::Ok) {
+            return insn;
+        }
+    }
+}
+
+} // namespace
+
+RandomTesterStats
+run_random_testing(const RandomTesterOptions &options)
+{
+    const auto start = std::chrono::steady_clock::now();
+    Rng rng(options.seed);
+
+    harness::TestRunner::Config cfg;
+    cfg.bugs = options.bugs;
+    cfg.max_insns = options.max_insns_per_test;
+    harness::TestRunner runner(cfg);
+
+    RandomTesterStats stats;
+    for (u64 t = 0; t < options.num_tests; ++t) {
+        const arch::DecodedInsn insn = random_instruction(rng);
+
+        // Random state initializer: registers and flags uniformly
+        // random (the ISSTA'09-style baseline), plus occasional random
+        // descriptor/page-table pokes so the baseline is not strawman-
+        // weak on system state.
+        arch::Assembler a(layout::kPhysTestCode);
+        a.push_imm32(static_cast<u32>(rng.next()) & 0x47fd5);
+        a.popfd();
+        if (rng.below(4) == 0) {
+            // Poke one random byte of GDT entry 2 or 10, then reload.
+            const unsigned entry = rng.flip() ? 2 : 10;
+            a.mov_mem_imm8(layout::kPhysGdt + 8 * entry +
+                               static_cast<u32>(rng.below(8)),
+                           static_cast<u8>(rng.next()));
+            a.mov_r32_imm32(arch::kEax, entry * 8);
+            a.mov_sreg_r16(entry == 10 ? arch::kSs : arch::kDs,
+                           arch::kEax);
+        }
+        if (rng.below(4) == 0) {
+            // Clear one random PTE's present bit.
+            const u32 pte =
+                layout::kPhysPageTable + 4 * (rng.next() & 0x3ff);
+            a.mov_mem_imm8(pte, 0x66); // P=0, keep RW/US/A.
+        }
+        for (unsigned r = 0; r < arch::kNumGprs; ++r) {
+            if (r != arch::kEax)
+                a.mov_r32_imm32(static_cast<arch::Gpr>(r),
+                                static_cast<u32>(rng.next()));
+        }
+        a.mov_r32_imm32(arch::kEax, static_cast<u32>(rng.next()));
+        std::vector<u8> code = a.bytes();
+        code.insert(code.end(), insn.bytes,
+                    insn.bytes + insn.length);
+        code.push_back(0xf4); // hlt
+
+        const harness::ThreeWayResult result = runner.run(code);
+        ++stats.tests;
+        if (result.hifi.timed_out || result.lofi.timed_out ||
+            result.hw.timed_out) {
+            continue;
+        }
+
+        const arch::SnapshotDiff lofi_diff = arch::diff_snapshots(
+            result.lofi.snapshot, result.hw.snapshot);
+        if (!lofi_diff.empty()) {
+            const auto filtered = harness::filter_undefined(
+                insn, result.lofi.snapshot, result.hw.snapshot,
+                lofi_diff);
+            if (filtered.fully_filtered()) {
+                ++stats.filtered_undefined;
+            } else {
+                ++stats.lofi_diffs;
+                stats.lofi_clusters.add(t, insn, filtered.remaining,
+                                        result.lofi.snapshot,
+                                        result.hw.snapshot);
+            }
+        }
+        const arch::SnapshotDiff hifi_diff = arch::diff_snapshots(
+            result.hifi.snapshot, result.hw.snapshot);
+        if (!hifi_diff.empty()) {
+            const auto filtered = harness::filter_undefined(
+                insn, result.hifi.snapshot, result.hw.snapshot,
+                hifi_diff);
+            if (!filtered.fully_filtered())
+                ++stats.hifi_diffs;
+        }
+    }
+    stats.seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    return stats;
+}
+
+} // namespace pokeemu

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The random-testing baseline (paper §8, Martignoni et al. ISSTA'09):
+ * randomly generated instructions with randomly initialized register
+ * state, run through the same three-way comparison. Experiment E5
+ * contrasts the defect classes this finds against path-exploration
+ * lifting at an equal test budget — the paper's claim is that the
+ * order/alignment-sensitive bugs (iret pop order, far-pointer fetch
+ * order, segment-limit corner cases) have vanishing probability under
+ * uniform random state.
+ */
+#ifndef POKEEMU_POKEEMU_RANDOM_TESTER_H
+#define POKEEMU_POKEEMU_RANDOM_TESTER_H
+
+#include "harness/cluster.h"
+#include "harness/runner.h"
+
+namespace pokeemu {
+
+struct RandomTesterOptions
+{
+    u64 num_tests = 1000;
+    u64 seed = 42;
+    lofi::BugConfig bugs{};
+    u64 max_insns_per_test = 1u << 14;
+};
+
+struct RandomTesterStats
+{
+    u64 tests = 0;
+    u64 lofi_diffs = 0;
+    u64 hifi_diffs = 0;
+    u64 filtered_undefined = 0;
+    harness::RootCauseClusterer lofi_clusters;
+    double seconds = 0;
+};
+
+/** Run the baseline; see file comment. */
+RandomTesterStats run_random_testing(const RandomTesterOptions &options);
+
+} // namespace pokeemu
+
+#endif // POKEEMU_POKEEMU_RANDOM_TESTER_H

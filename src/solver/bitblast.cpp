@@ -1,0 +1,481 @@
+#include "solver/bitblast.h"
+
+namespace pokeemu::solver {
+
+using ir::BinOpKind;
+using ir::CastKind;
+using ir::Expr;
+using ir::ExprKind;
+using ir::ExprRef;
+using ir::UnOpKind;
+
+BitBlaster::BitBlaster(SatSolver &sat) : sat_(sat)
+{
+    const SatVar t = sat_.new_var();
+    true_lit_ = mk_lit(t, false);
+    sat_.add_clause({true_lit_});
+}
+
+Lit
+BitBlaster::fresh()
+{
+    return mk_lit(sat_.new_var(), false);
+}
+
+Lit
+BitBlaster::lit_const(bool b) const
+{
+    return b ? true_lit_ : lit_neg(true_lit_);
+}
+
+Lit
+BitBlaster::gate_and(Lit a, Lit b)
+{
+    if (a == lit_const(false) || b == lit_const(false))
+        return lit_const(false);
+    if (a == lit_const(true))
+        return b;
+    if (b == lit_const(true))
+        return a;
+    if (a == b)
+        return a;
+    if (a == lit_neg(b))
+        return lit_const(false);
+    const Lit g = fresh();
+    sat_.add_clause({lit_neg(g), a});
+    sat_.add_clause({lit_neg(g), b});
+    sat_.add_clause({g, lit_neg(a), lit_neg(b)});
+    return g;
+}
+
+Lit
+BitBlaster::gate_or(Lit a, Lit b)
+{
+    return lit_neg(gate_and(lit_neg(a), lit_neg(b)));
+}
+
+Lit
+BitBlaster::gate_xor(Lit a, Lit b)
+{
+    if (a == lit_const(false))
+        return b;
+    if (b == lit_const(false))
+        return a;
+    if (a == lit_const(true))
+        return lit_neg(b);
+    if (b == lit_const(true))
+        return lit_neg(a);
+    if (a == b)
+        return lit_const(false);
+    if (a == lit_neg(b))
+        return lit_const(true);
+    const Lit g = fresh();
+    sat_.add_clause({lit_neg(g), a, b});
+    sat_.add_clause({lit_neg(g), lit_neg(a), lit_neg(b)});
+    sat_.add_clause({g, lit_neg(a), b});
+    sat_.add_clause({g, a, lit_neg(b)});
+    return g;
+}
+
+Lit
+BitBlaster::gate_mux(Lit cond, Lit t, Lit f)
+{
+    if (cond == lit_const(true))
+        return t;
+    if (cond == lit_const(false))
+        return f;
+    if (t == f)
+        return t;
+    const Lit g = fresh();
+    sat_.add_clause({lit_neg(g), lit_neg(cond), t});
+    sat_.add_clause({lit_neg(g), cond, f});
+    sat_.add_clause({g, lit_neg(cond), lit_neg(t)});
+    sat_.add_clause({g, cond, lit_neg(f)});
+    return g;
+}
+
+std::pair<Lit, Lit>
+BitBlaster::full_adder(Lit a, Lit b, Lit cin)
+{
+    const Lit sum = gate_xor(gate_xor(a, b), cin);
+    const Lit carry =
+        gate_or(gate_and(a, b), gate_and(cin, gate_xor(a, b)));
+    return {sum, carry};
+}
+
+std::vector<Lit>
+BitBlaster::add_vec(const std::vector<Lit> &a, const std::vector<Lit> &b,
+                    Lit cin)
+{
+    assert(a.size() == b.size());
+    std::vector<Lit> out(a.size());
+    Lit carry = cin;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        auto [sum, cout] = full_adder(a[i], b[i], carry);
+        out[i] = sum;
+        carry = cout;
+    }
+    return out;
+}
+
+std::vector<Lit>
+BitBlaster::neg_vec(const std::vector<Lit> &a)
+{
+    std::vector<Lit> inv(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        inv[i] = lit_neg(a[i]);
+    std::vector<Lit> zero(a.size(), lit_const(false));
+    return add_vec(inv, zero, lit_const(true));
+}
+
+std::vector<Lit>
+BitBlaster::mul_vec(const std::vector<Lit> &a, const std::vector<Lit> &b)
+{
+    const std::size_t n = a.size();
+    std::vector<Lit> acc(n, lit_const(false));
+    for (std::size_t i = 0; i < n; ++i) {
+        // Partial product of a shifted left by i, gated by b[i].
+        std::vector<Lit> pp(n, lit_const(false));
+        for (std::size_t j = i; j < n; ++j)
+            pp[j] = gate_and(a[j - i], b[i]);
+        acc = add_vec(acc, pp, lit_const(false));
+    }
+    return acc;
+}
+
+Lit
+BitBlaster::ult_vec(const std::vector<Lit> &a, const std::vector<Lit> &b)
+{
+    // MSB-first comparator chain: lt_i = (~a_i & b_i) | (a_i==b_i & lt_{i-1})
+    Lit lt = lit_const(false);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const Lit bit_lt = gate_and(lit_neg(a[i]), b[i]);
+        const Lit bit_eq = lit_neg(gate_xor(a[i], b[i]));
+        lt = gate_or(bit_lt, gate_and(bit_eq, lt));
+    }
+    return lt;
+}
+
+Lit
+BitBlaster::eq_vec(const std::vector<Lit> &a, const std::vector<Lit> &b)
+{
+    Lit acc = lit_const(true);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc = gate_and(acc, lit_neg(gate_xor(a[i], b[i])));
+    return acc;
+}
+
+std::vector<Lit>
+BitBlaster::mux_vec(Lit cond, const std::vector<Lit> &t,
+                    const std::vector<Lit> &f)
+{
+    assert(t.size() == f.size());
+    std::vector<Lit> out(t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        out[i] = gate_mux(cond, t[i], f[i]);
+    return out;
+}
+
+void
+BitBlaster::divmod_vec(const std::vector<Lit> &a,
+                       const std::vector<Lit> &b,
+                       std::vector<Lit> &quotient,
+                       std::vector<Lit> &remainder)
+{
+    // Restoring long division, MSB first. With b == 0 this naturally
+    // yields q = ~0 and r = a, matching the IR's total semantics.
+    const std::size_t n = a.size();
+    quotient.assign(n, lit_const(false));
+    std::vector<Lit> r(n, lit_const(false));
+    for (std::size_t step = 0; step < n; ++step) {
+        const std::size_t i = n - 1 - step;
+        // r = (r << 1) | a[i]
+        for (std::size_t j = n - 1; j > 0; --j)
+            r[j] = r[j - 1];
+        r[0] = a[i];
+        // If r >= b: r -= b, q[i] = 1.
+        const Lit ge = lit_neg(ult_vec(r, b));
+        std::vector<Lit> diff = add_vec(r, neg_vec(b), lit_const(false));
+        r = mux_vec(ge, diff, r);
+        quotient[i] = ge;
+    }
+    remainder = r;
+}
+
+std::vector<Lit>
+BitBlaster::shift_vec(const std::vector<Lit> &a,
+                      const std::vector<Lit> &amount, BinOpKind kind)
+{
+    const std::size_t n = a.size();
+    const Lit sign = a[n - 1];
+    const Lit fill =
+        kind == BinOpKind::AShr ? sign : lit_const(false);
+
+    // Barrel shifter over the log2(n)+1 low amount bits.
+    unsigned stages = 0;
+    while ((std::size_t{1} << stages) < n)
+        ++stages;
+    std::vector<Lit> cur = a;
+    for (unsigned s = 0; s <= stages && s < amount.size(); ++s) {
+        const std::size_t dist = std::size_t{1} << s;
+        std::vector<Lit> shifted(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (kind == BinOpKind::Shl) {
+                shifted[i] =
+                    i >= dist ? cur[i - dist] : lit_const(false);
+            } else {
+                shifted[i] = i + dist < n ? cur[i + dist] : fill;
+            }
+        }
+        if (dist >= n) {
+            // Shifting by >= n zeroes (or sign-fills) everything.
+            std::vector<Lit> all(n, fill);
+            shifted = all;
+        }
+        cur = mux_vec(amount[s], shifted, cur);
+    }
+
+    // Any higher amount bit set means the distance is >= n.
+    Lit big = lit_const(false);
+    for (std::size_t i = stages + 1; i < amount.size(); ++i)
+        big = gate_or(big, amount[i]);
+    // Also the covered bits can encode values >= n if n is not a power
+    // of two; detect amount >= n with a comparator on the low bits.
+    std::vector<Lit> n_const(amount.size());
+    for (std::size_t i = 0; i < amount.size(); ++i)
+        n_const[i] = lit_const((n >> i) & 1);
+    big = gate_or(big, lit_neg(ult_vec(amount, n_const)));
+    std::vector<Lit> overflowed(n, fill);
+    return mux_vec(big, overflowed, cur);
+}
+
+const std::vector<Lit> &
+BitBlaster::blast(const ExprRef &expr)
+{
+    pinned_.push_back(expr);
+    auto it = cache_.find(expr.get());
+    if (it != cache_.end())
+        return it->second;
+    std::vector<Lit> bits = lower(expr);
+    auto [ins, _] = cache_.emplace(expr.get(), std::move(bits));
+    return ins->second;
+}
+
+std::vector<Lit>
+BitBlaster::lower(const ExprRef &e)
+{
+    auto found = cache_.find(e.get());
+    if (found != cache_.end())
+        return found->second;
+
+    std::vector<Lit> out;
+    switch (e->kind()) {
+      case ExprKind::Const: {
+        out.resize(e->width());
+        for (unsigned i = 0; i < e->width(); ++i)
+            out[i] = lit_const((e->value() >> i) & 1);
+        break;
+      }
+      case ExprKind::Var: {
+        auto vit = var_cache_.find(e->var_id());
+        if (vit != var_cache_.end()) {
+            out = vit->second;
+            break;
+        }
+        out.resize(e->width());
+        for (unsigned i = 0; i < e->width(); ++i)
+            out[i] = fresh();
+        var_cache_[e->var_id()] = out;
+        break;
+      }
+      case ExprKind::Temp:
+        panic("bitblast: Temp leaked into solver expression");
+      case ExprKind::UnOp: {
+        std::vector<Lit> a = lower(e->a());
+        if (e->unop() == UnOpKind::Not) {
+            out.resize(a.size());
+            for (std::size_t i = 0; i < a.size(); ++i)
+                out[i] = lit_neg(a[i]);
+        } else {
+            out = neg_vec(a);
+        }
+        break;
+      }
+      case ExprKind::BinOp: {
+        std::vector<Lit> a = lower(e->a());
+        std::vector<Lit> b = lower(e->b());
+        switch (e->binop()) {
+          case BinOpKind::Add:
+            out = add_vec(a, b, lit_const(false));
+            break;
+          case BinOpKind::Sub: {
+            std::vector<Lit> binv(b.size());
+            for (std::size_t i = 0; i < b.size(); ++i)
+                binv[i] = lit_neg(b[i]);
+            out = add_vec(a, binv, lit_const(true));
+            break;
+          }
+          case BinOpKind::Mul:
+            out = mul_vec(a, b);
+            break;
+          case BinOpKind::UDiv:
+          case BinOpKind::URem: {
+            std::vector<Lit> q, r;
+            divmod_vec(a, b, q, r);
+            out = e->binop() == BinOpKind::UDiv ? q : r;
+            break;
+          }
+          case BinOpKind::SDiv:
+          case BinOpKind::SRem: {
+            const Lit sa = a.back();
+            const Lit sb = b.back();
+            std::vector<Lit> abs_a = mux_vec(sa, neg_vec(a), a);
+            std::vector<Lit> abs_b = mux_vec(sb, neg_vec(b), b);
+            std::vector<Lit> q, r;
+            divmod_vec(abs_a, abs_b, q, r);
+            if (e->binop() == BinOpKind::SDiv) {
+                const Lit neg = gate_xor(sa, sb);
+                out = mux_vec(neg, neg_vec(q), q);
+                // Division by zero must yield all ones regardless of
+                // the dividend's sign.
+                std::vector<Lit> zero(b.size(), lit_const(false));
+                std::vector<Lit> ones(b.size(), lit_const(true));
+                out = mux_vec(eq_vec(b, zero), ones, out);
+            } else {
+                // Remainder takes the dividend's sign.
+                out = mux_vec(sa, neg_vec(r), r);
+                std::vector<Lit> zero(b.size(), lit_const(false));
+                out = mux_vec(eq_vec(b, zero), a, out);
+            }
+            break;
+          }
+          case BinOpKind::And:
+            out.resize(a.size());
+            for (std::size_t i = 0; i < a.size(); ++i)
+                out[i] = gate_and(a[i], b[i]);
+            break;
+          case BinOpKind::Or:
+            out.resize(a.size());
+            for (std::size_t i = 0; i < a.size(); ++i)
+                out[i] = gate_or(a[i], b[i]);
+            break;
+          case BinOpKind::Xor:
+            out.resize(a.size());
+            for (std::size_t i = 0; i < a.size(); ++i)
+                out[i] = gate_xor(a[i], b[i]);
+            break;
+          case BinOpKind::Shl:
+          case BinOpKind::LShr:
+          case BinOpKind::AShr:
+            out = shift_vec(a, b, e->binop());
+            break;
+          case BinOpKind::Eq:
+            out = {eq_vec(a, b)};
+            break;
+          case BinOpKind::Ne:
+            out = {lit_neg(eq_vec(a, b))};
+            break;
+          case BinOpKind::ULt:
+            out = {ult_vec(a, b)};
+            break;
+          case BinOpKind::ULe:
+            out = {lit_neg(ult_vec(b, a))};
+            break;
+          case BinOpKind::SLt: {
+            // Signed comparison: flip sign bits and compare unsigned.
+            std::vector<Lit> af = a, bf = b;
+            af.back() = lit_neg(af.back());
+            bf.back() = lit_neg(bf.back());
+            out = {ult_vec(af, bf)};
+            break;
+          }
+          case BinOpKind::SLe: {
+            std::vector<Lit> af = a, bf = b;
+            af.back() = lit_neg(af.back());
+            bf.back() = lit_neg(bf.back());
+            out = {lit_neg(ult_vec(bf, af))};
+            break;
+          }
+          case BinOpKind::Concat:
+            out = b; // Low part first (LSB-first representation).
+            out.insert(out.end(), a.begin(), a.end());
+            break;
+        }
+        break;
+      }
+      case ExprKind::Cast: {
+        std::vector<Lit> a = lower(e->a());
+        switch (e->cast()) {
+          case CastKind::ZExt:
+            out = a;
+            out.resize(e->width(), lit_const(false));
+            break;
+          case CastKind::SExt:
+            out = a;
+            out.resize(e->width(), a.back());
+            break;
+          case CastKind::Extract:
+            out.assign(a.begin() + e->extract_lo(),
+                       a.begin() + e->extract_lo() + e->width());
+            break;
+        }
+        break;
+      }
+      case ExprKind::Ite: {
+        std::vector<Lit> c = lower(e->a());
+        std::vector<Lit> t = lower(e->b());
+        std::vector<Lit> f = lower(e->c());
+        out = mux_vec(c[0], t, f);
+        break;
+      }
+    }
+    assert(out.size() == e->width());
+    cache_.emplace(e.get(), out);
+    return out;
+}
+
+u64
+BitBlaster::model_value(const ExprRef &expr) const
+{
+    auto bits_value = [&](const std::vector<Lit> &bits) {
+        u64 v = 0;
+        for (std::size_t i = 0; i < bits.size(); ++i) {
+            const bool b = lit_sign(bits[i])
+                ? !sat_.model_value(lit_var(bits[i]))
+                : sat_.model_value(lit_var(bits[i]));
+            if (b)
+                v |= u64{1} << i;
+        }
+        return v;
+    };
+
+    auto it = cache_.find(expr.get());
+    if (it != cache_.end())
+        return bits_value(it->second);
+    if (expr->is_var()) {
+        auto vit = var_cache_.find(expr->var_id());
+        if (vit != var_cache_.end())
+            return bits_value(vit->second);
+        return 0; // Never constrained: any value works.
+    }
+    // Fall back to evaluating over the model values of the variables.
+    std::function<u64(const Expr &)> lookup =
+        [&](const Expr &leaf) -> u64 {
+        if (leaf.kind() != ExprKind::Var)
+            panic("model_value: Temp in solver expression");
+        auto vit = var_cache_.find(leaf.var_id());
+        if (vit == var_cache_.end())
+            return 0;
+        return bits_value(vit->second);
+    };
+    return ir::eval_expr(expr, &lookup);
+}
+
+const std::vector<Lit> *
+BitBlaster::var_bits(u32 var_id) const
+{
+    auto it = var_cache_.find(var_id);
+    return it == var_cache_.end() ? nullptr : &it->second;
+}
+
+} // namespace pokeemu::solver

@@ -1,0 +1,83 @@
+#include "solver/solver.h"
+
+#include <algorithm>
+
+namespace pokeemu::solver {
+
+Solver::Solver()
+    : sat_(std::make_unique<SatSolver>()),
+      blaster_(std::make_unique<BitBlaster>(*sat_))
+{
+}
+
+Solver::~Solver() = default;
+
+CheckResult
+Solver::check(const std::vector<ir::ExprRef> &conditions)
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    std::vector<Lit> assumptions;
+    assumptions.reserve(conditions.size());
+    bool trivially_false = false;
+    for (const auto &cond : conditions) {
+        assert(cond->width() == 1);
+        if (cond->is_const()) {
+            if (cond->value() == 0)
+                trivially_false = true;
+            continue;
+        }
+        assumptions.push_back(blaster_->blast(cond)[0]);
+    }
+
+    CheckResult result;
+    if (trivially_false) {
+        result = CheckResult::Unsat;
+    } else {
+        result = sat_->solve(assumptions) == SatResult::Sat
+            ? CheckResult::Sat
+            : CheckResult::Unsat;
+    }
+
+    const auto stop = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration<double>(stop - start).count();
+    ++stats_.queries;
+    if (result == CheckResult::Sat)
+        ++stats_.sat;
+    else
+        ++stats_.unsat;
+    stats_.total_seconds += secs;
+    stats_.max_seconds = std::max(stats_.max_seconds, secs);
+    return result;
+}
+
+u64
+Solver::model_value(const ir::ExprRef &expr) const
+{
+    return blaster_->model_value(expr);
+}
+
+u64
+Assignment::eval(const ir::ExprRef &expr) const
+{
+    std::function<u64(const ir::Expr &)> lookup =
+        [&](const ir::Expr &leaf) -> u64 {
+        if (leaf.kind() != ir::ExprKind::Var)
+            panic("Assignment::eval: Temp in stored expression");
+        return get(leaf.var_id());
+    };
+    return ir::eval_expr(expr, &lookup);
+}
+
+bool
+Assignment::satisfies(const std::vector<ir::ExprRef> &conditions) const
+{
+    for (const auto &cond : conditions) {
+        if (eval(cond) == 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace pokeemu::solver

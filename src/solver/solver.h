@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The decision-procedure facade used by the symbolic explorer.
+ *
+ * Mirrors how FuzzBALL drives STP/Z3 (paper §3.1.2): feasibility
+ * queries over path conditions, satisfying-assignment (model)
+ * extraction, and incremental solving — a query that shares a prefix
+ * with the previous one reuses all the lowered structure and learned
+ * clauses.
+ */
+#ifndef POKEEMU_SOLVER_SOLVER_H
+#define POKEEMU_SOLVER_SOLVER_H
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "solver/bitblast.h"
+
+namespace pokeemu::solver {
+
+enum class CheckResult : u8 { Sat, Unsat };
+
+/** Cumulative statistics, reported by bench_solver (experiment E9). */
+struct SolverStats
+{
+    u64 queries = 0;
+    u64 sat = 0;
+    u64 unsat = 0;
+    double total_seconds = 0.0;
+    double max_seconds = 0.0;
+};
+
+/** See file comment. */
+class Solver
+{
+  public:
+    Solver();
+    ~Solver();
+
+    /**
+     * Check satisfiability of the conjunction of @p conditions (each a
+     * 1-bit expression). After Sat, the model is available through
+     * model_value() until the next check.
+     */
+    CheckResult check(const std::vector<ir::ExprRef> &conditions);
+
+    /** Model value for @p expr (typically a Var) after Sat. */
+    u64 model_value(const ir::ExprRef &expr) const;
+
+    const SolverStats &stats() const { return stats_; }
+
+    /** Underlying SAT statistics (decisions/conflicts/propagations). */
+    const SatSolver &sat() const { return *sat_; }
+
+  private:
+    std::unique_ptr<SatSolver> sat_;
+    std::unique_ptr<BitBlaster> blaster_;
+    SolverStats stats_;
+};
+
+/**
+ * A concrete assignment of values to symbolic variables, keyed by
+ * variable identity. This is what the decision procedure returns for a
+ * path condition, what state-difference minimization edits (paper
+ * §3.4), and what the test generator consumes (paper §4.2).
+ */
+class Assignment
+{
+  public:
+    void set(u32 var_id, u64 value) { values_[var_id] = value; }
+
+    bool has(u32 var_id) const { return values_.count(var_id) != 0; }
+
+    u64 get(u32 var_id) const
+    {
+        auto it = values_.find(var_id);
+        return it == values_.end() ? 0 : it->second;
+    }
+
+    const std::unordered_map<u32, u64> &values() const { return values_; }
+
+    /**
+     * Evaluate @p expr under this assignment; unassigned variables
+     * evaluate to 0.
+     */
+    u64 eval(const ir::ExprRef &expr) const;
+
+    /** True when every condition evaluates to 1 under the assignment. */
+    bool satisfies(const std::vector<ir::ExprRef> &conditions) const;
+
+  private:
+    std::unordered_map<u32, u64> values_;
+};
+
+} // namespace pokeemu::solver
+
+#endif // POKEEMU_SOLVER_SOLVER_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Common integer typedefs and small bit-manipulation helpers used across
+ * the PokeEMU codebase.
+ */
+#ifndef POKEEMU_SUPPORT_COMMON_H
+#define POKEEMU_SUPPORT_COMMON_H
+
+#include <cassert>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace pokeemu {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using s8 = std::int8_t;
+using s16 = std::int16_t;
+using s32 = std::int32_t;
+using s64 = std::int64_t;
+
+/** Mask covering the low @p width bits (width in [1, 64]). */
+constexpr u64
+mask_bits(unsigned width)
+{
+    assert(width >= 1 && width <= 64);
+    return width == 64 ? ~u64{0} : ((u64{1} << width) - 1);
+}
+
+/** Truncate @p value to @p width bits. */
+constexpr u64
+truncate(u64 value, unsigned width)
+{
+    return value & mask_bits(width);
+}
+
+/** Sign-extend the low @p width bits of @p value to 64 bits. */
+constexpr s64
+sign_extend(u64 value, unsigned width)
+{
+    assert(width >= 1 && width <= 64);
+    if (width == 64)
+        return static_cast<s64>(value);
+    const u64 sign = u64{1} << (width - 1);
+    const u64 v = value & mask_bits(width);
+    return static_cast<s64>((v ^ sign) - sign);
+}
+
+/** Extract bit @p pos of @p value as 0 or 1. */
+constexpr u64
+get_bit(u64 value, unsigned pos)
+{
+    return (value >> pos) & 1;
+}
+
+/** Return @p value with bit @p pos set to @p bit. */
+constexpr u64
+set_bit(u64 value, unsigned pos, bool bit)
+{
+    const u64 m = u64{1} << pos;
+    return bit ? (value | m) : (value & ~m);
+}
+
+/** Population count of the low @p width bits. */
+constexpr unsigned
+popcount_bits(u64 value, unsigned width)
+{
+    return static_cast<unsigned>(__builtin_popcountll(truncate(value, width)));
+}
+
+/**
+ * Internal-invariant failure (the analog of gem5's panic()): throw so
+ * tests can assert on misuse without killing the process.
+ */
+[[noreturn]] inline void
+panic(const std::string &message)
+{
+    throw std::logic_error("pokeemu panic: " + message);
+}
+
+} // namespace pokeemu
+
+#endif // POKEEMU_SUPPORT_COMMON_H

@@ -1,0 +1,48 @@
+#include "support/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace pokeemu {
+
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+std::mutex g_mutex;
+
+const char *
+level_name(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+set_log_level(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+log_level()
+{
+    return g_level;
+}
+
+void
+log_line(LogLevel level, const std::string &message)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    std::fprintf(stderr, "[pokeemu %s] %s\n", level_name(level),
+                 message.c_str());
+}
+
+} // namespace pokeemu

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal leveled logging used by long-running exploration stages.
+ */
+#ifndef POKEEMU_SUPPORT_LOGGING_H
+#define POKEEMU_SUPPORT_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace pokeemu {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/** Set the global minimum level that is actually emitted. */
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/** Emit one log line (appends a newline) if @p level passes the filter. */
+void log_line(LogLevel level, const std::string &message);
+
+namespace detail {
+
+inline void
+format_into(std::ostringstream &)
+{
+}
+
+template <typename First, typename... Rest>
+void
+format_into(std::ostringstream &os, First &&first, Rest &&...rest)
+{
+    os << std::forward<First>(first);
+    format_into(os, std::forward<Rest>(rest)...);
+}
+
+} // namespace detail
+
+template <typename... Args>
+void
+log(LogLevel level, Args &&...args)
+{
+    if (level < log_level())
+        return;
+    std::ostringstream os;
+    detail::format_into(os, std::forward<Args>(args)...);
+    log_line(level, os.str());
+}
+
+template <typename... Args>
+void
+log_info(Args &&...args)
+{
+    log(LogLevel::Info, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void
+log_debug(Args &&...args)
+{
+    log(LogLevel::Debug, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void
+log_warn(Args &&...args)
+{
+    log(LogLevel::Warn, std::forward<Args>(args)...);
+}
+
+} // namespace pokeemu
+
+#endif // POKEEMU_SUPPORT_LOGGING_H

@@ -1,0 +1,60 @@
+#include "support/rng.h"
+
+namespace pokeemu {
+
+namespace {
+
+u64
+splitmix64(u64 &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    u64 z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+u64
+rotl(u64 x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+void
+Rng::reseed(u64 seed)
+{
+    u64 x = seed;
+    for (auto &word : state_)
+        word = splitmix64(x);
+}
+
+u64
+Rng::next()
+{
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+u64
+Rng::below(u64 bound)
+{
+    assert(bound != 0);
+    // Rejection sampling to avoid modulo bias.
+    const u64 threshold = (~bound + 1) % bound;
+    for (;;) {
+        const u64 value = next();
+        if (value >= threshold)
+            return value % bound;
+    }
+}
+
+} // namespace pokeemu

@@ -1,0 +1,83 @@
+#include "symexec/decision_tree.h"
+
+namespace pokeemu::symexec {
+
+DecisionTree::DecisionTree()
+{
+    clear();
+}
+
+void
+DecisionTree::clear()
+{
+    nodes_.clear();
+    nodes_.emplace_back();
+}
+
+Feasibility
+DecisionTree::feasibility(NodeId n, bool dir) const
+{
+    return nodes_[n].feasible[dir ? 1 : 0];
+}
+
+void
+DecisionTree::set_feasibility(NodeId n, bool dir, Feasibility f)
+{
+    Feasibility &slot = nodes_[n].feasible[dir ? 1 : 0];
+    assert(slot == Feasibility::Unknown || slot == f);
+    slot = f;
+}
+
+bool
+DecisionTree::direction_done(NodeId n, bool dir) const
+{
+    const Node &node = nodes_[n];
+    const int d = dir ? 1 : 0;
+    return node.subtree_done[d] || node.feasible[d] == Feasibility::No;
+}
+
+bool
+DecisionTree::node_done(NodeId n) const
+{
+    return direction_done(n, false) && direction_done(n, true);
+}
+
+NodeId
+DecisionTree::descend(NodeId n, bool dir)
+{
+    const int d = dir ? 1 : 0;
+    assert(nodes_[n].feasible[d] == Feasibility::Yes);
+    if (nodes_[n].child[d] < 0) {
+        const NodeId child = static_cast<NodeId>(nodes_.size());
+        nodes_[n].child[d] = child;
+        nodes_.emplace_back();
+        return child;
+    }
+    return static_cast<NodeId>(nodes_[n].child[d]);
+}
+
+void
+DecisionTree::finish_leaf(
+    const std::vector<std::pair<NodeId, bool>> &path)
+{
+    if (path.empty()) {
+        // The program had no symbolic branch at all: one path covers
+        // everything.
+        nodes_[0].subtree_done[0] = true;
+        nodes_[0].subtree_done[1] = true;
+        return;
+    }
+    // Mark the final decision's subtree done, then propagate upward as
+    // long as the node below each edge is completely done.
+    auto [leaf_node, leaf_dir] = path.back();
+    nodes_[leaf_node].subtree_done[leaf_dir ? 1 : 0] = true;
+    for (std::size_t i = path.size() - 1; i > 0; --i) {
+        const auto [node, dir] = path[i];
+        if (!node_done(node))
+            break;
+        const auto [parent, parent_dir] = path[i - 1];
+        nodes_[parent].subtree_done[parent_dir ? 1 : 0] = true;
+    }
+}
+
+} // namespace pokeemu::symexec

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The decision tree that steers path exploration (paper §3.1.2).
+ *
+ * Each node records one symbolic-branch occurrence on some execution
+ * path. Per direction the tree remembers (a) whether feasibility has
+ * been decided and what it is, and (b) whether the subtree below is
+ * fully explored. The explorer walks from the root on every run,
+ * always staying inside the unexplored region, so each completed run
+ * is a new path and exploration terminates exactly when the root is
+ * exhausted.
+ */
+#ifndef POKEEMU_SYMEXEC_DECISION_TREE_H
+#define POKEEMU_SYMEXEC_DECISION_TREE_H
+
+#include <vector>
+
+#include "support/common.h"
+
+namespace pokeemu::symexec {
+
+/** Feasibility knowledge for one branch direction. */
+enum class Feasibility : u8 { Unknown, Yes, No };
+
+/** Index of a node in the tree; 0 is the root. */
+using NodeId = u32;
+
+/** See file comment. */
+class DecisionTree
+{
+  public:
+    DecisionTree();
+
+    /** Reset to a single unexplored root. */
+    void clear();
+
+    NodeId root() const { return 0; }
+
+    Feasibility feasibility(NodeId n, bool dir) const;
+    void set_feasibility(NodeId n, bool dir, Feasibility f);
+
+    /** True when direction @p dir below @p n has nothing left. */
+    bool direction_done(NodeId n, bool dir) const;
+
+    /** True when both directions of @p n are done. */
+    bool node_done(NodeId n) const;
+
+    /** True when the whole tree has been explored. */
+    bool exhausted() const { return node_done(root()); }
+
+    /**
+     * Child in direction @p dir, allocating it on first descent.
+     * Descending into a direction implies it is feasible.
+     */
+    NodeId descend(NodeId n, bool dir);
+
+    /**
+     * Mark the current path finished at node @p n going @p dir (the
+     * leaf direction has no further symbolic branches), then propagate
+     * done-ness up along @p path, a vector of (node, direction) pairs
+     * from the root.
+     */
+    void finish_leaf(const std::vector<std::pair<NodeId, bool>> &path);
+
+    std::size_t num_nodes() const { return nodes_.size(); }
+
+  private:
+    struct Node
+    {
+        s64 child[2] = {-1, -1};
+        Feasibility feasible[2] = {Feasibility::Unknown,
+                                   Feasibility::Unknown};
+        bool subtree_done[2] = {false, false};
+    };
+
+    std::vector<Node> nodes_;
+};
+
+} // namespace pokeemu::symexec
+
+#endif // POKEEMU_SYMEXEC_DECISION_TREE_H

@@ -1,0 +1,85 @@
+#include "symexec/equivalence.h"
+
+namespace pokeemu::symexec {
+
+namespace E = ir::E;
+
+namespace {
+
+struct PathFormula
+{
+    ir::ExprRef condition;
+    std::vector<ir::ExprRef> outputs; ///< Last entry is the halt code.
+};
+
+std::vector<PathFormula>
+explore_formulas(const ir::Program &program, VarPool &pool,
+                 const InitialByteFn &initial,
+                 const std::vector<SummaryOutput> &outputs,
+                 const ExplorerConfig &config, bool &complete)
+{
+    std::vector<PathFormula> formulas;
+    PathExplorer explorer(program, pool, initial, config);
+    const ExploreStats stats = explorer.explore(
+        [&](const PathInfo &info, SymbolicMemory &memory) {
+            PathFormula f;
+            ir::ExprRef cond = E::bool_const(true);
+            for (const auto &c : info.path_condition)
+                cond = E::land(cond, c);
+            f.condition = cond;
+            for (const SummaryOutput &out : outputs)
+                f.outputs.push_back(memory.load(out.addr, out.size));
+            f.outputs.push_back(E::constant(32, info.halt_code));
+            formulas.push_back(std::move(f));
+        });
+    complete = stats.complete;
+    return formulas;
+}
+
+} // namespace
+
+EquivalenceResult
+check_equivalence(const ir::Program &program_a,
+                  const ir::Program &program_b, VarPool &pool,
+                  const InitialByteFn &initial,
+                  const std::vector<SummaryOutput> &outputs,
+                  ExplorerConfig config)
+{
+    EquivalenceResult result;
+    bool complete_a = false, complete_b = false;
+    const auto paths_a = explore_formulas(program_a, pool, initial,
+                                          outputs, config, complete_a);
+    config.seed += 1; // Decorrelate the second exploration's choices.
+    const auto paths_b = explore_formulas(program_b, pool, initial,
+                                          outputs, config, complete_b);
+    result.complete = complete_a && complete_b;
+
+    solver::Solver solver;
+    for (const PathFormula &pa : paths_a) {
+        for (const PathFormula &pb : paths_b) {
+            ++result.cross_checks;
+            for (std::size_t o = 0; o < pa.outputs.size(); ++o) {
+                // C_a ∧ C_b ∧ (O_a != O_b) must be unsatisfiable.
+                std::vector<ir::ExprRef> conds = {
+                    pa.condition,
+                    pb.condition,
+                    E::ne(pa.outputs[o], pb.outputs[o]),
+                };
+                ++result.solver_queries;
+                if (solver.check(conds) == solver::CheckResult::Sat) {
+                    result.equivalent = false;
+                    result.differing_output = o;
+                    for (const auto &var : pool.all()) {
+                        result.counterexample.set(
+                            var->var_id(), solver.model_value(var));
+                    }
+                    return result;
+                }
+            }
+        }
+    }
+    result.equivalent = true;
+    return result;
+}
+
+} // namespace pokeemu::symexec

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Path-summary equivalence checking — the paper's §7 extension
+ * ("Equivalence Checking"): beyond testing, compare two
+ * implementations *for all inputs* with the decision procedure.
+ *
+ * Both programs are explored over the same input variables; each
+ * program's outputs are folded into per-path (condition, value) pairs.
+ * The two are equivalent iff for every cross pair of paths (p from A,
+ * q from B) the formula  C_p ∧ C_q ∧ (O_p ≠ O_q)  is unsatisfiable.
+ * When it is satisfiable, the model is a concrete counterexample input
+ * — which can be turned into a test program, closing the loop back to
+ * the main methodology. As the paper notes, this "provides a very
+ * strong statement about the absence of differences" where it scales.
+ */
+#ifndef POKEEMU_SYMEXEC_EQUIVALENCE_H
+#define POKEEMU_SYMEXEC_EQUIVALENCE_H
+
+#include "symexec/summarize.h"
+
+namespace pokeemu::symexec {
+
+/** Outcome of an equivalence check. */
+struct EquivalenceResult
+{
+    bool equivalent = false;
+    /** Both explorations were exhaustive (else the verdict is only
+     *  "no difference found within the explored paths"). */
+    bool complete = false;
+    /** On inequivalence: a witness assignment to the shared inputs. */
+    solver::Assignment counterexample;
+    /** Which output index differed (on inequivalence). */
+    std::size_t differing_output = 0;
+    u64 cross_checks = 0;
+    u64 solver_queries = 0;
+};
+
+/**
+ * Check whether @p program_a and @p program_b compute the same outputs
+ * for all assignments to the shared symbolic inputs.
+ *
+ * @param pool shared variable pool: both programs must read their
+ *        inputs through the same initial-contents policy.
+ * @param outputs locations read back from each path's final memory;
+ *        the halt code is always compared as an implicit output.
+ */
+EquivalenceResult
+check_equivalence(const ir::Program &program_a,
+                  const ir::Program &program_b, VarPool &pool,
+                  const InitialByteFn &initial,
+                  const std::vector<SummaryOutput> &outputs,
+                  ExplorerConfig config = {});
+
+} // namespace pokeemu::symexec
+
+#endif // POKEEMU_SYMEXEC_EQUIVALENCE_H

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Online symbolic path exploration of IR programs — the core of the
+ * FuzzBALL analog (paper §3.1).
+ *
+ * The explorer interprets a Program over symbolic state, one complete
+ * path per run, restarting from the beginning until the decision tree
+ * is exhausted or a path cap is reached (§3.1.2: re-execution instead
+ * of state forking). Branch feasibility is decided with the bit-vector
+ * solver, with two standing optimizations:
+ *  - the direction supported by the current model is known feasible
+ *    without a query;
+ *  - the decision tree caches established (in)feasibility, so replayed
+ *    prefixes never re-query.
+ *
+ * Symbolic load/store addresses are resolved per the statement's
+ * ConcretizePolicy: SingleRandom picks one feasible value and pins it
+ * (cached per tree edge so replays are deterministic); Exhaustive
+ * binds the address one bit at a time, most significant first, through
+ * ordinary decision-tree branches (§3.1.2 "Extension to Word-sized
+ * Values", §3.3.2 "Indexing Memory and Tables").
+ */
+#ifndef POKEEMU_SYMEXEC_EXPLORER_H
+#define POKEEMU_SYMEXEC_EXPLORER_H
+
+#include <map>
+#include <optional>
+
+#include "ir/stmt.h"
+#include "solver/solver.h"
+#include "support/rng.h"
+#include "symexec/decision_tree.h"
+#include "symexec/memory.h"
+#include "symexec/varpool.h"
+
+namespace pokeemu::symexec {
+
+/** Limits and seeds for one exploration. */
+struct ExplorerConfig
+{
+    /** Maximum completed paths (the paper's per-instruction cap). */
+    u64 max_paths = 8192;
+    /** Per-path statement budget. */
+    u64 max_steps = 1u << 22;
+    /** Seed for random direction choices. */
+    u64 seed = 1;
+    /**
+     * Side constraints added to every path condition before execution
+     * (paper §3.3.1: "adding a side constraint that fixes the concrete
+     * bits"). Must be satisfiable; paths contradicting them are
+     * infeasible.
+     */
+    std::vector<ir::ExprRef> preconditions;
+};
+
+/** How one explored path terminated. */
+enum class PathStatus : u8 { Halted, StepLimit };
+
+/** Everything recorded about one completed execution path. */
+struct PathInfo
+{
+    u64 index = 0;                 ///< 0-based completed-path counter.
+    PathStatus status = PathStatus::Halted;
+    u32 halt_code = 0;             ///< Halt result (status == Halted).
+    /** Conjuncts of the path condition, in execution order. */
+    std::vector<ir::ExprRef> path_condition;
+    /** A satisfying assignment for the path condition. */
+    solver::Assignment assignment;
+    u64 steps = 0;                 ///< Statements executed on the path.
+};
+
+/** Aggregate results of an exploration. */
+struct ExploreStats
+{
+    u64 paths = 0;            ///< Completed paths (callback count).
+    u64 infeasible = 0;       ///< Prefixes abandoned at an Assume.
+    u64 step_limited = 0;     ///< Paths that hit the step budget.
+    bool complete = false;    ///< Decision tree exhausted under cap.
+    u64 solver_queries = 0;
+    u64 tree_nodes = 0;
+};
+
+/** See file comment. */
+class PathExplorer
+{
+  public:
+    /**
+     * @param program the IR program to explore (not owned).
+     * @param pool variable identities shared with the caller so the
+     *        resulting assignments can be mapped back to machine state
+     *        (not owned).
+     * @param initial initial-contents policy for memory.
+     */
+    PathExplorer(const ir::Program &program, VarPool &pool,
+                 InitialByteFn initial, ExplorerConfig config = {});
+
+    /**
+     * Callback invoked once per completed path, with the final
+     * symbolic memory still live for inspecting outputs.
+     */
+    using PathCallback =
+        std::function<void(const PathInfo &, SymbolicMemory &)>;
+
+    /** Run to exhaustion or cap. May be called once per instance. */
+    ExploreStats explore(const PathCallback &on_path);
+
+    const solver::SolverStats &solver_stats() const
+    {
+        return solver_.stats();
+    }
+
+  private:
+    /** Per-run (single-path) mutable state. */
+    struct RunState
+    {
+        SymbolicMemory memory;
+        std::vector<ir::ExprRef> temps;
+        std::vector<ir::ExprRef> pc; ///< Path condition conjuncts.
+        std::vector<std::pair<NodeId, bool>> path;
+        u64 steps = 0;
+        u32 events_in_segment = 0;
+
+        explicit RunState(const InitialByteFn &initial, u32 num_temps)
+            : memory(initial), temps(num_temps)
+        {
+        }
+    };
+
+    enum class RunOutcome : u8 { Halted, Infeasible, StepLimit };
+
+    RunOutcome run_one_path(RunState &run, u32 &halt_code);
+
+    /** Substitute temps in a statement expression. */
+    ir::ExprRef resolve(const ir::ExprRef &expr, const RunState &run);
+
+    /**
+     * Take a symbolic branch: consult/extend the decision tree, pick a
+     * direction, extend the path condition. Returns the direction or
+     * nullopt when the branch cannot continue (both sides done).
+     */
+    std::optional<bool> take_branch(RunState &run,
+                                    const ir::ExprRef &cond);
+
+    /** Append @p cond to the path condition, refreshing the model if
+     *  the current one violates it. Returns false when infeasible. */
+    bool constrain(RunState &run, const ir::ExprRef &cond);
+
+    /** Resolve a symbolic address per @p policy; returns the value. */
+    std::optional<u32> concretize_address(RunState &run,
+                                          const ir::ExprRef &addr,
+                                          ir::ConcretizePolicy policy);
+
+    /** Solver check of run.pc + extra; refreshes cur_model_ on Sat. */
+    solver::CheckResult check(const RunState &run,
+                              const ir::ExprRef &extra);
+
+    void refresh_model();
+
+    const ir::Program &program_;
+    VarPool &pool_;
+    InitialByteFn initial_;
+    ExplorerConfig config_;
+    solver::Solver solver_;
+    DecisionTree tree_;
+    Rng rng_;
+    solver::Assignment cur_model_;
+    /** Cached SingleRandom concretizations: (edge, event) -> value. */
+    std::map<std::tuple<u32, u8, u32>, u64> concretization_cache_;
+    bool explored_ = false;
+};
+
+} // namespace pokeemu::symexec
+
+#endif // POKEEMU_SYMEXEC_EXPLORER_H

@@ -1,0 +1,87 @@
+#include "symexec/memory.h"
+
+namespace pokeemu::symexec {
+
+SymbolicMemory::SymbolicMemory(InitialByteFn initial)
+    : initial_(std::move(initial))
+{
+}
+
+SymbolicMemory::Page &
+SymbolicMemory::page_for(u32 addr)
+{
+    const u32 pfn = addr >> kPageShift;
+    auto it = pages_.find(pfn);
+    if (it == pages_.end())
+        it = pages_.emplace(pfn, std::make_unique<Page>()).first;
+    return *it->second;
+}
+
+ir::ExprRef
+SymbolicMemory::load_byte(u32 addr)
+{
+    Page &page = page_for(addr);
+    ir::ExprRef &slot = page.bytes[addr & (kPageSize - 1)];
+    if (!slot) {
+        slot = initial_(addr);
+        assert(slot && slot->width() == 8);
+    }
+    return slot;
+}
+
+ir::ExprRef
+SymbolicMemory::load(u32 addr, unsigned size)
+{
+    assert(size == 1 || size == 2 || size == 4);
+    ir::ExprRef value = load_byte(addr);
+    for (unsigned i = 1; i < size; ++i)
+        value = ir::E::concat(load_byte(addr + i), value);
+    return value;
+}
+
+void
+SymbolicMemory::store_byte(u32 addr, const ir::ExprRef &value)
+{
+    assert(value && value->width() == 8);
+    Page &page = page_for(addr);
+    page.bytes[addr & (kPageSize - 1)] = value;
+}
+
+void
+SymbolicMemory::store(u32 addr, unsigned size, const ir::ExprRef &value)
+{
+    assert(value && value->width() == size * 8);
+    for (unsigned i = 0; i < size; ++i)
+        store_byte(addr + i, ir::E::extract(value, i * 8, 8));
+}
+
+bool
+SymbolicMemory::touched(u32 addr) const
+{
+    auto it = pages_.find(addr >> kPageShift);
+    if (it == pages_.end())
+        return false;
+    return static_cast<bool>(it->second->bytes[addr & (kPageSize - 1)]);
+}
+
+void
+SymbolicMemory::for_each_touched(
+    const std::function<void(u32, const ir::ExprRef &)> &fn) const
+{
+    for (const auto &[pfn, page] : pages_) {
+        for (u32 off = 0; off < kPageSize; ++off) {
+            if (page->bytes[off])
+                fn((pfn << kPageShift) | off, page->bytes[off]);
+        }
+    }
+}
+
+std::size_t
+SymbolicMemory::touched_count() const
+{
+    std::size_t n = 0;
+    for_each_touched([&](u32, const ir::ExprRef &) { ++n; });
+    return n;
+}
+
+} // namespace pokeemu::symexec

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Symbolic memory: the byte-addressed store over which IR programs are
+ * symbolically executed.
+ *
+ * Mirrors FuzzBALL's memory design (paper §3.1.2–§3.3.2):
+ *  - a two-level, page-table-like structure where each present page
+ *    holds expressions rather than integers;
+ *  - values are stored per byte and reassembled on load (the expression
+ *    simplifier fuses adjacent extracts back together, so a 32-bit
+ *    store followed by a 32-bit load round-trips to the original
+ *    expression);
+ *  - unwritten locations resolve through an *initial-contents policy*,
+ *    which can return a concrete baseline byte or create a fresh
+ *    symbolic variable on demand (used for "all of the unused bytes in
+ *    physical memory", §3.3.1).
+ */
+#ifndef POKEEMU_SYMEXEC_MEMORY_H
+#define POKEEMU_SYMEXEC_MEMORY_H
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "ir/expr.h"
+
+namespace pokeemu::symexec {
+
+/**
+ * Resolves the initial (pre-execution) contents of a byte. Returning
+ * an 8-bit expression; called at most once per address per memory
+ * instance (results are cached).
+ */
+using InitialByteFn = std::function<ir::ExprRef(u32 addr)>;
+
+/** See file comment. */
+class SymbolicMemory
+{
+  public:
+    /**
+     * @param initial policy for unwritten bytes. Must be deterministic
+     *        across paths (same address -> same variable identity);
+     *        see VarPool.
+     */
+    explicit SymbolicMemory(InitialByteFn initial);
+
+    /** Read one byte as an 8-bit expression. */
+    ir::ExprRef load_byte(u32 addr);
+
+    /** Little-endian load of @p size bytes (1/2/4). */
+    ir::ExprRef load(u32 addr, unsigned size);
+
+    void store_byte(u32 addr, const ir::ExprRef &value);
+
+    /** Little-endian store of the low @p size bytes of @p value. */
+    void store(u32 addr, unsigned size, const ir::ExprRef &value);
+
+    /** True if the byte at @p addr was written (or faulted in). */
+    bool touched(u32 addr) const;
+
+    /** Invoke @p fn for every touched byte (address order unspecified). */
+    void
+    for_each_touched(
+        const std::function<void(u32, const ir::ExprRef &)> &fn) const;
+
+    /** Number of touched bytes. */
+    std::size_t touched_count() const;
+
+  private:
+    static constexpr u32 kPageShift = 12;
+    static constexpr u32 kPageSize = 1u << kPageShift;
+
+    struct Page
+    {
+        std::array<ir::ExprRef, kPageSize> bytes;
+    };
+
+    Page &page_for(u32 addr);
+
+    InitialByteFn initial_;
+    std::unordered_map<u32, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace pokeemu::symexec
+
+#endif // POKEEMU_SYMEXEC_MEMORY_H

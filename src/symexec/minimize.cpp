@@ -1,0 +1,60 @@
+#include "symexec/minimize.h"
+
+namespace pokeemu::symexec {
+
+MinimizeStats
+minimize_against_baseline(solver::Assignment &assignment,
+                          const solver::Assignment &baseline,
+                          const std::vector<ir::ExprRef> &path_condition,
+                          const VarPool &pool)
+{
+    MinimizeStats stats;
+
+    // Restrict repeated evaluation to the conjuncts that actually
+    // mention the variable being edited: conjunct -> var-id set.
+    std::vector<std::vector<u32>> conjunct_vars(path_condition.size());
+    std::vector<std::vector<std::size_t>> var_conjuncts(pool.size());
+    for (std::size_t c = 0; c < path_condition.size(); ++c) {
+        std::vector<ir::ExprRef> vars;
+        ir::Expr::collect_vars(path_condition[c], vars);
+        for (const auto &v : vars) {
+            if (v->var_id() < pool.size())
+                var_conjuncts[v->var_id()].push_back(c);
+        }
+    }
+
+    auto conjuncts_hold = [&](u32 var_id) {
+        for (std::size_t c : var_conjuncts[var_id]) {
+            if (assignment.eval(path_condition[c]) == 0)
+                return false;
+        }
+        return true;
+    };
+
+    for (const ir::ExprRef &var : pool.all()) {
+        const u32 id = var->var_id();
+        const unsigned width = var->width();
+        const u64 base = truncate(baseline.get(id), width);
+        u64 cur = truncate(assignment.get(id), width);
+        if (cur == base)
+            continue;
+        stats.bits_different_before += popcount_bits(cur ^ base, width);
+        for (unsigned bit = 0; bit < width; ++bit) {
+            if (get_bit(cur, bit) == get_bit(base, bit))
+                continue;
+            ++stats.bits_tried;
+            const u64 candidate =
+                set_bit(cur, bit, get_bit(base, bit) != 0);
+            assignment.set(id, candidate);
+            if (conjuncts_hold(id)) {
+                cur = candidate;
+            } else {
+                assignment.set(id, cur);
+            }
+        }
+        stats.bits_different_after += popcount_bits(cur ^ base, width);
+    }
+    return stats;
+}
+
+} // namespace pokeemu::symexec

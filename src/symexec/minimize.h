@@ -1,0 +1,45 @@
+/**
+ * @file
+ * State-difference minimization (paper §3.4).
+ *
+ * The decision procedure assigns arbitrary values to bits that the
+ * path condition does not constrain. Those arbitrary differences from
+ * the baseline machine state make tests harder to read and can break
+ * test execution (e.g. clobbering the code segment that the test
+ * instruction is fetched through). The minimizer greedily restores
+ * each differing bit to its baseline value whenever the edited
+ * assignment still satisfies the path condition — evaluation-based, no
+ * extra solver queries, single pass, exactly as in the paper.
+ */
+#ifndef POKEEMU_SYMEXEC_MINIMIZE_H
+#define POKEEMU_SYMEXEC_MINIMIZE_H
+
+#include "solver/solver.h"
+#include "symexec/varpool.h"
+
+namespace pokeemu::symexec {
+
+struct MinimizeStats
+{
+    u64 bits_different_before = 0;
+    u64 bits_different_after = 0;
+    u64 bits_tried = 0;
+};
+
+/**
+ * Minimize @p assignment against @p baseline subject to
+ * @p path_condition.
+ *
+ * @param pool the variables to consider (all of them are visited in id
+ *        order; bits are visited LSB first).
+ * @return statistics; @p assignment is edited in place.
+ */
+MinimizeStats
+minimize_against_baseline(solver::Assignment &assignment,
+                          const solver::Assignment &baseline,
+                          const std::vector<ir::ExprRef> &path_condition,
+                          const VarPool &pool);
+
+} // namespace pokeemu::symexec
+
+#endif // POKEEMU_SYMEXEC_MINIMIZE_H

@@ -1,0 +1,51 @@
+#include "symexec/summarize.h"
+
+namespace pokeemu::symexec {
+
+namespace E = ir::E;
+
+Summary
+summarize_program(const ir::Program &program, VarPool &pool,
+                  InitialByteFn initial,
+                  const std::vector<SummaryOutput> &outputs,
+                  ExplorerConfig config)
+{
+    struct PerPath
+    {
+        ir::ExprRef condition;
+        std::vector<ir::ExprRef> values;
+    };
+    std::vector<PerPath> paths;
+
+    PathExplorer explorer(program, pool, initial, config);
+    ExploreStats stats = explorer.explore(
+        [&](const PathInfo &info, SymbolicMemory &memory) {
+            PerPath p;
+            ir::ExprRef cond = E::bool_const(true);
+            for (const auto &conjunct : info.path_condition)
+                cond = E::land(cond, conjunct);
+            p.condition = cond;
+            for (const SummaryOutput &out : outputs)
+                p.values.push_back(memory.load(out.addr, out.size));
+            paths.push_back(std::move(p));
+        });
+
+    Summary summary;
+    summary.paths = stats.paths;
+    summary.complete = stats.complete;
+    if (paths.empty())
+        return summary;
+
+    // Fold: the last path is the default arm.
+    for (std::size_t o = 0; o < outputs.size(); ++o) {
+        ir::ExprRef acc = paths.back().values[o];
+        for (std::size_t i = paths.size() - 1; i > 0; --i) {
+            const PerPath &p = paths[i - 1];
+            acc = E::ite(p.condition, p.values[o], acc);
+        }
+        summary.outputs.push_back(acc);
+    }
+    return summary;
+}
+
+} // namespace pokeemu::symexec

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Path-summary construction (paper §3.3.2, "Summarizing Common
+ * Computations").
+ *
+ * A multi-path helper computation (e.g. Bochs' segment-descriptor
+ * cache refresh, 23 paths) multiplies the whole exploration's path
+ * count every time it runs. Instead, the helper is explored once in
+ * isolation; every path's (condition, outputs) pair is folded into one
+ * nested if-then-else formula per output:
+ *     out = p1 ? v1 : (p2 ? v2 : ... : v_n)
+ * The main exploration then substitutes the summary instead of
+ * descending into the helper's branches.
+ */
+#ifndef POKEEMU_SYMEXEC_SUMMARIZE_H
+#define POKEEMU_SYMEXEC_SUMMARIZE_H
+
+#include "symexec/explorer.h"
+
+namespace pokeemu::symexec {
+
+/** One output location of a summarized computation. */
+struct SummaryOutput
+{
+    u32 addr;      ///< Address the helper writes the output to.
+    unsigned size; ///< Bytes (1/2/4).
+};
+
+/** The result of summarizing a helper program. */
+struct Summary
+{
+    /**
+     * One expression per requested output, over the helper's input
+     * variables. Instantiate with ir::substitute, mapping each input
+     * variable to the actual argument expression.
+     */
+    std::vector<ir::ExprRef> outputs;
+    u64 paths = 0;           ///< Paths folded into the summary.
+    bool complete = false;   ///< Helper exploration was exhaustive.
+};
+
+/**
+ * Explore @p program and fold all paths into a Summary.
+ *
+ * @param outputs locations read back from the final memory of each
+ *        path. The last explored path serves as the if-then-else
+ *        default, which is sound when the helper's paths are total
+ *        over the input space (always the case for the helpers we
+ *        summarize — they end in a Halt on every input).
+ */
+Summary summarize_program(const ir::Program &program, VarPool &pool,
+                          InitialByteFn initial,
+                          const std::vector<SummaryOutput> &outputs,
+                          ExplorerConfig config = {});
+
+} // namespace pokeemu::symexec
+
+#endif // POKEEMU_SYMEXEC_SUMMARIZE_H

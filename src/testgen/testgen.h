@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Test-program generation (paper §4.2).
+ *
+ * A test program = baseline image + test-state initializer + test
+ * instruction + hlt. The initializer is assembled from *gadgets*, each
+ * setting one state component, with declared prerequisites and side
+ * effects resolved by a dependency graph and topological sort — the
+ * paper's Figure 5 example (set ESP, poke two GDT bytes, force an SS
+ * reload, restore EAX, push, hlt) is reproduced shape-for-shape.
+ */
+#ifndef POKEEMU_TESTGEN_TESTGEN_H
+#define POKEEMU_TESTGEN_TESTGEN_H
+
+#include "arch/decoder.h"
+#include "explore/state_spec.h"
+#include "testgen/baseline.h"
+
+namespace pokeemu::testgen {
+
+/** A complete generated test program. */
+struct TestProgram
+{
+    /** Initializer + test instruction + hlt, placed at kPhysTestCode. */
+    std::vector<u8> code;
+    /** Figure-5-style listing, one line per emitted element. */
+    std::vector<std::string> listing;
+    /** Offset of the test instruction within code. */
+    u32 test_insn_offset = 0;
+    /** Number of state-initializer gadgets emitted. */
+    u32 gadget_count = 0;
+
+    std::string to_string() const;
+};
+
+/** Why generation can fail (paper §4.2: "we abort and ask for user
+ *  assistance"; state-difference minimization makes this rare). */
+enum class GenStatus : u8 {
+    Ok,
+    TooLarge,       ///< Initializer exceeds the test-code page.
+    CyclicDependency,
+};
+
+struct GenResult
+{
+    GenStatus status = GenStatus::Ok;
+    TestProgram program;
+};
+
+/**
+ * Build the test program realizing @p assignment (a test state over
+ * @p spec's variables) and executing @p insn.
+ */
+GenResult generate_test_program(const arch::DecodedInsn &insn,
+                                const solver::Assignment &assignment,
+                                const explore::StateSpec &spec,
+                                const symexec::VarPool &pool);
+
+/** Sequence form (paper §7 extension): all instructions are emitted
+ *  back to back after the initializer. */
+GenResult
+generate_sequence_test_program(const std::vector<arch::DecodedInsn> &insns,
+                               const solver::Assignment &assignment,
+                               const explore::StateSpec &spec,
+                               const symexec::VarPool &pool);
+
+} // namespace pokeemu::testgen
+
+#endif // POKEEMU_TESTGEN_TESTGEN_H

@@ -1,0 +1,345 @@
+/** @file Unit and property tests for the IR layer. */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ir/builder.h"
+#include "ir/eval.h"
+#include "ir/printer.h"
+#include "support/rng.h"
+
+namespace pokeemu::ir {
+namespace {
+
+TEST(Expr, ConstantFolding)
+{
+    auto a = E::constant(32, 20);
+    auto b = E::constant(32, 22);
+    auto sum = E::add(a, b);
+    ASSERT_TRUE(sum->is_const());
+    EXPECT_EQ(sum->value(), 42u);
+}
+
+TEST(Expr, ConstantTruncation)
+{
+    auto x = E::constant(8, 0x1ff);
+    EXPECT_EQ(x->value(), 0xffu);
+    auto sum = E::add(E::constant(8, 0xff), E::constant(8, 1));
+    EXPECT_EQ(sum->value(), 0u);
+}
+
+TEST(Expr, IdentityRules)
+{
+    auto x = E::var(1, "x", 32);
+    EXPECT_EQ(E::add(x, E::constant(32, 0)).get(), x.get());
+    EXPECT_EQ(E::mul(x, E::constant(32, 1)).get(), x.get());
+    EXPECT_TRUE(E::mul(x, E::constant(32, 0))->is_const(0));
+    EXPECT_TRUE(E::band(x, E::constant(32, 0))->is_const(0));
+    EXPECT_EQ(E::band(x, E::constant(32, 0xffffffff)).get(), x.get());
+    EXPECT_EQ(E::bor(x, E::constant(32, 0)).get(), x.get());
+    EXPECT_EQ(E::bxor(x, E::constant(32, 0)).get(), x.get());
+}
+
+TEST(Expr, SameOperandRules)
+{
+    auto x = E::var(1, "x", 32);
+    EXPECT_TRUE(E::sub(x, x)->is_const(0));
+    EXPECT_TRUE(E::bxor(x, x)->is_const(0));
+    EXPECT_TRUE(E::eq(x, x)->is_const(1));
+    EXPECT_TRUE(E::ne(x, x)->is_const(0));
+    EXPECT_TRUE(E::ult(x, x)->is_const(0));
+}
+
+TEST(Expr, AddChainFolding)
+{
+    auto x = E::var(1, "x", 32);
+    auto e = E::add(E::add(x, E::constant(32, 5)), E::constant(32, 7));
+    ASSERT_EQ(e->kind(), ExprKind::BinOp);
+    EXPECT_EQ(e->binop(), BinOpKind::Add);
+    EXPECT_EQ(e->a().get(), x.get());
+    EXPECT_TRUE(e->b()->is_const(12));
+
+    auto f = E::sub(e, E::constant(32, 12));
+    EXPECT_EQ(f.get(), x.get());
+}
+
+TEST(Expr, DoubleNegation)
+{
+    auto x = E::var(1, "x", 32);
+    EXPECT_EQ(E::bnot(E::bnot(x)).get(), x.get());
+    EXPECT_EQ(E::neg(E::neg(x)).get(), x.get());
+}
+
+TEST(Expr, ExtractComposition)
+{
+    auto x = E::var(1, "x", 32);
+    auto mid = E::extract(x, 8, 16);
+    auto low = E::extract(mid, 0, 8);
+    ASSERT_EQ(low->kind(), ExprKind::Cast);
+    EXPECT_EQ(low->extract_lo(), 8u);
+    EXPECT_EQ(low->a().get(), x.get());
+}
+
+TEST(Expr, ConcatOfAdjacentExtractsFuses)
+{
+    auto x = E::var(1, "x", 32);
+    auto hi = E::extract(x, 8, 8);
+    auto lo = E::extract(x, 0, 8);
+    auto joined = E::concat(hi, lo);
+    ASSERT_EQ(joined->kind(), ExprKind::Cast);
+    EXPECT_EQ(joined->cast(), CastKind::Extract);
+    EXPECT_EQ(joined->extract_lo(), 0u);
+    EXPECT_EQ(joined->width(), 16u);
+}
+
+TEST(Expr, ConcatOfFullWidthExtractsIsIdentity)
+{
+    auto x = E::var(1, "x", 32);
+    auto joined = E::concat(E::extract(x, 16, 16), E::extract(x, 0, 16));
+    EXPECT_EQ(joined.get(), x.get());
+}
+
+TEST(Expr, ExtractOfConcatResolves)
+{
+    auto hi = E::var(1, "hi", 8);
+    auto lo = E::var(2, "lo", 8);
+    auto joined = E::concat(hi, lo);
+    EXPECT_EQ(E::extract(joined, 0, 8).get(), lo.get());
+    EXPECT_EQ(E::extract(joined, 8, 8).get(), hi.get());
+}
+
+TEST(Expr, IteSimplification)
+{
+    auto c = E::var(1, "c", 1);
+    auto t = E::constant(32, 5);
+    EXPECT_EQ(E::ite(E::bool_const(true), t, E::constant(32, 9)).get(),
+              t.get());
+    EXPECT_EQ(E::ite(c, t, t).get(), t.get());
+    EXPECT_EQ(E::ite(c, E::bool_const(true), E::bool_const(false)).get(),
+              c.get());
+}
+
+TEST(Expr, StructuralEquality)
+{
+    auto x = E::var(1, "x", 32);
+    auto a = E::add(x, E::constant(32, 3));
+    auto b = E::add(x, E::constant(32, 3));
+    EXPECT_TRUE(Expr::equal(a, b));
+    auto c = E::add(x, E::constant(32, 4));
+    EXPECT_FALSE(Expr::equal(a, c));
+}
+
+TEST(Expr, CollectVars)
+{
+    auto x = E::var(1, "x", 32);
+    auto y = E::var(2, "y", 32);
+    auto e = E::add(E::mul(x, y), x);
+    std::vector<ExprRef> vars;
+    Expr::collect_vars(e, vars);
+    EXPECT_EQ(vars.size(), 2u);
+}
+
+TEST(Expr, EvalMatchesFoldRandomized)
+{
+    Rng rng(99);
+    auto x = E::var(1, "x", 32);
+    auto y = E::var(2, "y", 32);
+    const BinOpKind ops[] = {
+        BinOpKind::Add, BinOpKind::Sub, BinOpKind::Mul, BinOpKind::UDiv,
+        BinOpKind::URem, BinOpKind::SDiv, BinOpKind::SRem,
+        BinOpKind::And, BinOpKind::Or, BinOpKind::Xor, BinOpKind::Shl,
+        BinOpKind::LShr, BinOpKind::AShr, BinOpKind::Eq, BinOpKind::Ne,
+        BinOpKind::ULt, BinOpKind::ULe, BinOpKind::SLt, BinOpKind::SLe,
+    };
+    for (BinOpKind op : ops) {
+        for (int trial = 0; trial < 50; ++trial) {
+            const u32 va = static_cast<u32>(rng.next());
+            const u32 vb = static_cast<u32>(
+                trial % 4 == 0 ? rng.below(40) : rng.next());
+            auto symbolic = E::binop(op, x, y);
+            std::function<u64(const Expr &)> lookup =
+                [&](const Expr &leaf) {
+                    return leaf.var_id() == 1 ? va : vb;
+                };
+            const u64 sym_val = eval_expr(symbolic, &lookup);
+            auto folded = E::binop(op, E::constant(32, va),
+                                   E::constant(32, vb));
+            ASSERT_TRUE(folded->is_const());
+            EXPECT_EQ(sym_val, folded->value())
+                << binop_name(op) << " a=" << va << " b=" << vb;
+        }
+    }
+}
+
+TEST(Expr, SubstituteReplacesVars)
+{
+    auto x = E::var(1, "x", 32);
+    auto e = E::add(x, E::constant(32, 1));
+    auto replaced = substitute(e, [&](const Expr &leaf) -> ExprRef {
+        if (leaf.kind() == ExprKind::Var && leaf.var_id() == 1)
+            return E::constant(32, 41);
+        return nullptr;
+    });
+    ASSERT_TRUE(replaced->is_const());
+    EXPECT_EQ(replaced->value(), 42u);
+}
+
+TEST(Printer, RendersNestedExpr)
+{
+    auto x = E::var(1, "x", 32);
+    auto e = E::add(x, E::constant(32, 7));
+    const std::string s = to_string(e);
+    EXPECT_NE(s.find("add"), std::string::npos);
+    EXPECT_NE(s.find("x"), std::string::npos);
+}
+
+/** Simple flat memory for evaluator tests. */
+class MapMemory : public ConcreteMemory
+{
+  public:
+    u64
+    load(u32 addr, unsigned size) override
+    {
+        u64 v = 0;
+        for (unsigned i = 0; i < size; ++i) {
+            const auto it = bytes_.find(addr + i);
+            const u64 byte = it == bytes_.end() ? 0 : it->second;
+            v |= byte << (8 * i);
+        }
+        return v;
+    }
+
+    void
+    store(u32 addr, unsigned size, u64 value) override
+    {
+        for (unsigned i = 0; i < size; ++i)
+            bytes_[addr + i] = static_cast<u8>(value >> (8 * i));
+    }
+
+  private:
+    std::map<u32, u8> bytes_;
+};
+
+TEST(Builder, StraightLineProgram)
+{
+    IrBuilder b("straight");
+    auto x = b.load(IrBuilder::imm32(0x100), 4);
+    auto y = b.assign(E::add(x, IrBuilder::imm32(5)));
+    b.store(IrBuilder::imm32(0x200), 4, y);
+    b.halt(7);
+    Program p = b.finish();
+
+    MapMemory mem;
+    mem.store(0x100, 4, 37);
+    RunResult r = run_concrete(p, mem);
+    EXPECT_EQ(r.status, RunStatus::Halted);
+    EXPECT_EQ(r.halt_code, 7u);
+    EXPECT_EQ(mem.load(0x200, 4), 42u);
+}
+
+TEST(Builder, ConditionalBranches)
+{
+    // Compute max(a, b) of two memory words.
+    IrBuilder b("max");
+    auto a = b.load(IrBuilder::imm32(0x0), 4);
+    auto c = b.load(IrBuilder::imm32(0x4), 4);
+    Label use_a = b.label(), use_b = b.label();
+    b.cjmp(E::ult(a, c), use_b, use_a);
+    b.bind(use_a);
+    b.store(IrBuilder::imm32(0x8), 4, a);
+    b.halt(1);
+    b.bind(use_b);
+    b.store(IrBuilder::imm32(0x8), 4, c);
+    b.halt(2);
+    Program p = b.finish();
+
+    {
+        MapMemory mem;
+        mem.store(0x0, 4, 50);
+        mem.store(0x4, 4, 8);
+        RunResult r = run_concrete(p, mem);
+        EXPECT_EQ(r.halt_code, 1u);
+        EXPECT_EQ(mem.load(0x8, 4), 50u);
+    }
+    {
+        MapMemory mem;
+        mem.store(0x0, 4, 3);
+        mem.store(0x4, 4, 8);
+        RunResult r = run_concrete(p, mem);
+        EXPECT_EQ(r.halt_code, 2u);
+        EXPECT_EQ(mem.load(0x8, 4), 8u);
+    }
+}
+
+TEST(Builder, LoopWithMemoryState)
+{
+    // Sum the value at 0x0 down to zero into 0x4 (guest-visible loop
+    // state lives in memory, as in rep-prefixed semantics).
+    IrBuilder b("loop");
+    Label head = b.here();
+    auto n = b.load(IrBuilder::imm32(0x0), 4);
+    Label done = b.label();
+    b.if_goto(E::eq(n, IrBuilder::imm32(0)), done);
+    auto acc = b.load(IrBuilder::imm32(0x4), 4);
+    b.store(IrBuilder::imm32(0x4), 4, E::add(acc, n));
+    b.store(IrBuilder::imm32(0x0), 4,
+            E::sub(n, IrBuilder::imm32(1)));
+    b.jmp(head);
+    b.bind(done);
+    b.halt(0);
+    Program p = b.finish();
+
+    MapMemory mem;
+    mem.store(0x0, 4, 10);
+    RunResult r = run_concrete(p, mem);
+    EXPECT_EQ(r.status, RunStatus::Halted);
+    EXPECT_EQ(mem.load(0x4, 4), 55u);
+}
+
+TEST(Builder, AssumeFailureStopsRun)
+{
+    IrBuilder b("assume");
+    auto x = b.load(IrBuilder::imm32(0x0), 4);
+    b.assume(E::eq(x, IrBuilder::imm32(1)));
+    b.halt(0);
+    Program p = b.finish();
+
+    MapMemory mem;
+    mem.store(0x0, 4, 2);
+    RunResult r = run_concrete(p, mem);
+    EXPECT_EQ(r.status, RunStatus::AssumeFailed);
+}
+
+TEST(Builder, StepLimitDetectsRunaway)
+{
+    IrBuilder b("spin");
+    Label head = b.here();
+    b.jmp(head);
+    Program p = b.finish();
+    MapMemory mem;
+    RunResult r = run_concrete(p, mem, 1000);
+    EXPECT_EQ(r.status, RunStatus::StepLimit);
+}
+
+TEST(Builder, ValidateCatchesWidthMismatch)
+{
+    IrBuilder b("bad");
+    // Store an 8-bit value with size 4: validate must reject.
+    b.store(IrBuilder::imm32(0), 4, E::constant(8, 1));
+    EXPECT_THROW(b.finish(), std::logic_error);
+}
+
+TEST(Builder, ProgramPrinterIncludesLabels)
+{
+    IrBuilder b("printme");
+    Label l = b.here();
+    b.comment("spin");
+    b.jmp(l);
+    Program p = b.finish();
+    const std::string s = to_string(p);
+    EXPECT_NE(s.find("L0:"), std::string::npos);
+    EXPECT_NE(s.find("jmp"), std::string::npos);
+}
+
+} // namespace
+} // namespace pokeemu::ir

@@ -1,0 +1,374 @@
+/** @file Tests for the SAT core and the bit-vector decision procedure. */
+#include <gtest/gtest.h>
+
+#include "solver/solver.h"
+#include "support/rng.h"
+
+namespace pokeemu::solver {
+namespace {
+
+namespace E = ir::E;
+using ir::ExprRef;
+
+TEST(Sat, TrivialSatAndUnsat)
+{
+    SatSolver s;
+    const SatVar a = s.new_var();
+    EXPECT_TRUE(s.add_clause({mk_lit(a, false)}));
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+    EXPECT_TRUE(s.model_value(a));
+    EXPECT_FALSE(s.add_clause({mk_lit(a, true)}));
+    EXPECT_EQ(s.solve(), SatResult::Unsat);
+}
+
+TEST(Sat, UnitPropagationChain)
+{
+    SatSolver s;
+    std::vector<SatVar> v;
+    for (int i = 0; i < 10; ++i)
+        v.push_back(s.new_var());
+    // v0 and (v_i -> v_{i+1}) for all i.
+    s.add_clause({mk_lit(v[0], false)});
+    for (int i = 0; i < 9; ++i)
+        s.add_clause({mk_lit(v[i], true), mk_lit(v[i + 1], false)});
+    ASSERT_EQ(s.solve(), SatResult::Sat);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(s.model_value(v[i]));
+}
+
+TEST(Sat, PigeonholeUnsat)
+{
+    // 4 pigeons, 3 holes: classic small UNSAT instance that requires
+    // real search, not just propagation.
+    SatSolver s;
+    SatVar p[4][3];
+    for (auto &row : p)
+        for (auto &x : row)
+            x = s.new_var();
+    for (int i = 0; i < 4; ++i) {
+        s.add_clause({mk_lit(p[i][0], false), mk_lit(p[i][1], false),
+                      mk_lit(p[i][2], false)});
+    }
+    for (int h = 0; h < 3; ++h) {
+        for (int i = 0; i < 4; ++i) {
+            for (int j = i + 1; j < 4; ++j) {
+                s.add_clause({mk_lit(p[i][h], true),
+                              mk_lit(p[j][h], true)});
+            }
+        }
+    }
+    EXPECT_EQ(s.solve(), SatResult::Unsat);
+}
+
+TEST(Sat, AssumptionsAreTemporary)
+{
+    SatSolver s;
+    const SatVar a = s.new_var();
+    const SatVar b = s.new_var();
+    s.add_clause({mk_lit(a, false), mk_lit(b, false)}); // a | b
+    EXPECT_EQ(s.solve({mk_lit(a, true), mk_lit(b, true)}),
+              SatResult::Unsat);
+    // Without the assumptions the problem is still satisfiable.
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+    EXPECT_EQ(s.solve({mk_lit(a, true)}), SatResult::Sat);
+    EXPECT_FALSE(s.model_value(a));
+    EXPECT_TRUE(s.model_value(b));
+}
+
+TEST(Sat, ConflictingAssumptionPair)
+{
+    SatSolver s;
+    const SatVar a = s.new_var();
+    const SatVar b = s.new_var();
+    s.add_clause({mk_lit(a, true), mk_lit(b, false)}); // a -> b
+    EXPECT_EQ(s.solve({mk_lit(a, false), mk_lit(b, true)}),
+              SatResult::Unsat);
+    EXPECT_EQ(s.solve({mk_lit(a, false)}), SatResult::Sat);
+    EXPECT_TRUE(s.model_value(b));
+}
+
+TEST(Sat, RandomInstancesAgainstBruteForce)
+{
+    // Random 3-CNF over 10 variables, checked against exhaustive
+    // enumeration.
+    Rng rng(1234);
+    for (int round = 0; round < 30; ++round) {
+        const unsigned n = 10;
+        const unsigned m = 35 + static_cast<unsigned>(rng.below(20));
+        std::vector<std::vector<Lit>> clauses;
+        for (unsigned c = 0; c < m; ++c) {
+            std::vector<Lit> cl;
+            for (int k = 0; k < 3; ++k) {
+                cl.push_back(mk_lit(
+                    static_cast<SatVar>(rng.below(n)), rng.flip()));
+            }
+            clauses.push_back(cl);
+        }
+
+        bool brute_sat = false;
+        for (u32 mdl = 0; mdl < (1u << n) && !brute_sat; ++mdl) {
+            bool all = true;
+            for (const auto &cl : clauses) {
+                bool any = false;
+                for (Lit l : cl) {
+                    const bool val = (mdl >> lit_var(l)) & 1;
+                    any |= lit_sign(l) ? !val : val;
+                }
+                all &= any;
+            }
+            brute_sat = all;
+        }
+
+        SatSolver s;
+        for (unsigned i = 0; i < n; ++i)
+            s.new_var();
+        bool ok = true;
+        for (auto &cl : clauses)
+            ok &= s.add_clause(cl);
+        const bool solver_sat = ok && s.solve() == SatResult::Sat;
+        EXPECT_EQ(solver_sat, brute_sat) << "round " << round;
+        if (solver_sat) {
+            // Verify the model actually satisfies all clauses.
+            for (const auto &cl : clauses) {
+                bool any = false;
+                for (Lit l : cl) {
+                    const bool val = s.model_value(lit_var(l));
+                    any |= lit_sign(l) ? !val : val;
+                }
+                EXPECT_TRUE(any);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bit-vector level.
+// ---------------------------------------------------------------------
+
+TEST(Solver, SimpleEquality)
+{
+    Solver solver;
+    auto x = E::var(1, "x", 32);
+    auto cond = E::eq(E::add(x, E::constant(32, 5)),
+                      E::constant(32, 42));
+    ASSERT_EQ(solver.check({cond}), CheckResult::Sat);
+    EXPECT_EQ(solver.model_value(x), 37u);
+}
+
+TEST(Solver, UnsatConjunction)
+{
+    Solver solver;
+    auto x = E::var(1, "x", 8);
+    auto c1 = E::ult(x, E::constant(8, 10));
+    auto c2 = E::ult(E::constant(8, 20), x);
+    EXPECT_EQ(solver.check({c1, c2}), CheckResult::Unsat);
+    // Individually both are satisfiable (incremental reuse).
+    EXPECT_EQ(solver.check({c1}), CheckResult::Sat);
+    EXPECT_LT(solver.model_value(x), 10u);
+    EXPECT_EQ(solver.check({c2}), CheckResult::Sat);
+    EXPECT_GT(solver.model_value(x), 20u);
+}
+
+TEST(Solver, TrivialConstants)
+{
+    Solver solver;
+    EXPECT_EQ(solver.check({E::bool_const(true)}), CheckResult::Sat);
+    EXPECT_EQ(solver.check({E::bool_const(false)}), CheckResult::Unsat);
+}
+
+TEST(Solver, MultiplicationInverse)
+{
+    Solver solver;
+    auto x = E::var(1, "x", 16);
+    // 3 * x == 99 has the solution x == 33 (3 is odd, hence invertible).
+    auto cond = E::eq(E::mul(x, E::constant(16, 3)),
+                      E::constant(16, 99));
+    ASSERT_EQ(solver.check({cond}), CheckResult::Sat);
+    EXPECT_EQ(truncate(solver.model_value(x) * 3, 16), 99u);
+}
+
+TEST(Solver, DivisionSemantics)
+{
+    Solver solver;
+    auto x = E::var(1, "x", 8);
+    // x / 0 == 0xff for every x (SMT-LIB bvudiv semantics).
+    auto cond = E::ne(E::binop(ir::BinOpKind::UDiv, x, E::constant(8, 0)),
+                      E::constant(8, 0xff));
+    EXPECT_EQ(solver.check({cond}), CheckResult::Unsat);
+}
+
+struct BinOpCase
+{
+    ir::BinOpKind op;
+    const char *name;
+};
+
+class SolverBinOpProperty : public ::testing::TestWithParam<BinOpCase>
+{
+};
+
+/**
+ * Property: for random concrete a, b the constraint
+ * (x == a && y == b && r == x op y) is satisfiable and the model of r
+ * matches the IR's constant folder. This keeps the three semantics
+ * definitions (folder, evaluator, bit-blaster) in lock-step.
+ */
+TEST_P(SolverBinOpProperty, CircuitMatchesFolder)
+{
+    const BinOpCase c = GetParam();
+    Rng rng(0xc0ffee ^ static_cast<u64>(c.op));
+    for (unsigned width : {4u, 8u, 16u, 32u}) {
+        Solver solver;
+        for (int trial = 0; trial < 6; ++trial) {
+            const u64 a = truncate(rng.next(), width);
+            u64 b = truncate(rng.next(), width);
+            if (trial == 0)
+                b = 0; // Division-by-zero / shift-zero corner.
+            auto x = E::var(1, "x", width);
+            auto y = E::var(2, "y", width);
+            auto r = E::var(3, "r", width == 1 ? 1 : width);
+            auto op_expr = E::binop(c.op, x, y);
+            auto expected = E::binop(c.op, E::constant(width, a),
+                                     E::constant(width, b));
+            ASSERT_TRUE(expected->is_const());
+            std::vector<ExprRef> conds = {
+                E::eq(x, E::constant(width, a)),
+                E::eq(y, E::constant(width, b)),
+            };
+            if (op_expr->width() == 1) {
+                conds.push_back(expected->value()
+                                    ? op_expr
+                                    : E::lnot(op_expr));
+            } else {
+                conds.push_back(E::eq(op_expr, expected));
+            }
+            EXPECT_EQ(solver.check(conds), CheckResult::Sat)
+                << c.name << " w=" << width << " a=" << a << " b=" << b;
+            // And the negation must be unsatisfiable.
+            if (op_expr->width() != 1) {
+                std::vector<ExprRef> neg = {
+                    E::eq(x, E::constant(width, a)),
+                    E::eq(y, E::constant(width, b)),
+                    E::ne(op_expr, expected),
+                };
+                EXPECT_EQ(solver.check(neg), CheckResult::Unsat)
+                    << c.name << " w=" << width << " a=" << a
+                    << " b=" << b;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBinOps, SolverBinOpProperty,
+    ::testing::Values(
+        BinOpCase{ir::BinOpKind::Add, "add"},
+        BinOpCase{ir::BinOpKind::Sub, "sub"},
+        BinOpCase{ir::BinOpKind::Mul, "mul"},
+        BinOpCase{ir::BinOpKind::UDiv, "udiv"},
+        BinOpCase{ir::BinOpKind::URem, "urem"},
+        BinOpCase{ir::BinOpKind::SDiv, "sdiv"},
+        BinOpCase{ir::BinOpKind::SRem, "srem"},
+        BinOpCase{ir::BinOpKind::And, "and"},
+        BinOpCase{ir::BinOpKind::Or, "or"},
+        BinOpCase{ir::BinOpKind::Xor, "xor"},
+        BinOpCase{ir::BinOpKind::Shl, "shl"},
+        BinOpCase{ir::BinOpKind::LShr, "lshr"},
+        BinOpCase{ir::BinOpKind::AShr, "ashr"},
+        BinOpCase{ir::BinOpKind::Eq, "eq"},
+        BinOpCase{ir::BinOpKind::Ne, "ne"},
+        BinOpCase{ir::BinOpKind::ULt, "ult"},
+        BinOpCase{ir::BinOpKind::ULe, "ule"},
+        BinOpCase{ir::BinOpKind::SLt, "slt"},
+        BinOpCase{ir::BinOpKind::SLe, "sle"}),
+    [](const ::testing::TestParamInfo<BinOpCase> &info) {
+        return info.param.name;
+    });
+
+TEST(Solver, CastsAndIte)
+{
+    Solver solver;
+    auto x = E::var(1, "x", 8);
+    // zext: (zext16(x) == 0x00ff) forces x == 0xff.
+    ASSERT_EQ(solver.check({E::eq(E::zext(x, 16),
+                                  E::constant(16, 0xff))}),
+              CheckResult::Sat);
+    EXPECT_EQ(solver.model_value(x), 0xffu);
+    // sext: (sext16(x) == 0xff80) forces x == 0x80.
+    ASSERT_EQ(solver.check({E::eq(E::sext(x, 16),
+                                  E::constant(16, 0xff80))}),
+              CheckResult::Sat);
+    EXPECT_EQ(solver.model_value(x), 0x80u);
+    // ite: cond must be picked true to satisfy result == 7.
+    auto c = E::var(2, "c", 1);
+    auto sel = E::ite(c, E::constant(8, 7), E::constant(8, 9));
+    ASSERT_EQ(solver.check({E::eq(sel, E::constant(8, 7))}),
+              CheckResult::Sat);
+    EXPECT_EQ(solver.model_value(c), 1u);
+}
+
+TEST(Solver, ConcatExtractRoundTrip)
+{
+    Solver solver;
+    auto hi = E::var(1, "hi", 8);
+    auto lo = E::var(2, "lo", 8);
+    auto word = E::concat(hi, lo);
+    std::vector<ExprRef> conds = {
+        E::eq(word, E::constant(16, 0xbeef)),
+    };
+    ASSERT_EQ(solver.check(conds), CheckResult::Sat);
+    EXPECT_EQ(solver.model_value(hi), 0xbeu);
+    EXPECT_EQ(solver.model_value(lo), 0xefu);
+}
+
+TEST(Solver, StatsAccumulate)
+{
+    Solver solver;
+    auto x = E::var(1, "x", 8);
+    solver.check({E::eq(x, E::constant(8, 1))});
+    solver.check({E::ne(x, x)});
+    EXPECT_EQ(solver.stats().queries, 2u);
+    EXPECT_EQ(solver.stats().sat, 1u);
+    EXPECT_EQ(solver.stats().unsat, 1u);
+    EXPECT_GE(solver.stats().total_seconds, 0.0);
+}
+
+TEST(Assignment, EvalAndSatisfies)
+{
+    Assignment a;
+    a.set(1, 40);
+    auto x = E::var(1, "x", 32);
+    auto e = E::add(x, E::constant(32, 2));
+    EXPECT_EQ(a.eval(e), 42u);
+    EXPECT_TRUE(a.satisfies({E::eq(e, E::constant(32, 42))}));
+    EXPECT_FALSE(a.satisfies({E::eq(e, E::constant(32, 0))}));
+    // Unassigned variables default to zero.
+    auto y = E::var(2, "y", 32);
+    EXPECT_EQ(a.eval(y), 0u);
+}
+
+TEST(Solver, PathConditionShapedQuery)
+{
+    // A query shaped like real exploration: segment-limit check plus
+    // page-table-bit checks over a 32-bit address.
+    Solver solver;
+    auto esp = E::var(1, "esp", 32);
+    auto limit = E::var(2, "limit", 20);
+    auto pte_p = E::var(3, "pte_p", 1);
+    auto addr = E::sub(esp, E::constant(32, 4));
+    std::vector<ExprRef> conds = {
+        E::ule(addr, E::zext(limit, 32)),
+        E::eq(pte_p, E::bool_const(true)),
+        E::eq(E::band(addr, E::constant(32, 3)), E::constant(32, 0)),
+        E::ult(E::constant(32, 0x1000), addr),
+    };
+    ASSERT_EQ(solver.check(conds), CheckResult::Sat);
+    const u64 esp_val = solver.model_value(esp);
+    const u64 addr_val = truncate(esp_val - 4, 32);
+    EXPECT_LE(addr_val, solver.model_value(limit));
+    EXPECT_EQ(addr_val & 3, 0u);
+    EXPECT_GT(addr_val, 0x1000u);
+}
+
+} // namespace
+} // namespace pokeemu::solver

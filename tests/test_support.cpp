@@ -1,0 +1,83 @@
+/** @file Unit tests for the support layer (bit utils, RNG). */
+#include <gtest/gtest.h>
+
+#include "support/common.h"
+#include "support/rng.h"
+
+namespace pokeemu {
+namespace {
+
+TEST(BitUtils, MaskBits)
+{
+    EXPECT_EQ(mask_bits(1), 0x1u);
+    EXPECT_EQ(mask_bits(8), 0xffu);
+    EXPECT_EQ(mask_bits(32), 0xffffffffu);
+    EXPECT_EQ(mask_bits(64), ~u64{0});
+}
+
+TEST(BitUtils, Truncate)
+{
+    EXPECT_EQ(truncate(0x1ff, 8), 0xffu);
+    EXPECT_EQ(truncate(0x100, 8), 0x0u);
+    EXPECT_EQ(truncate(~u64{0}, 64), ~u64{0});
+}
+
+TEST(BitUtils, SignExtend)
+{
+    EXPECT_EQ(sign_extend(0x80, 8), -128);
+    EXPECT_EQ(sign_extend(0x7f, 8), 127);
+    EXPECT_EQ(sign_extend(0xffffffff, 32), -1);
+    EXPECT_EQ(sign_extend(1, 1), -1);
+    EXPECT_EQ(sign_extend(0, 1), 0);
+}
+
+TEST(BitUtils, GetSetBit)
+{
+    EXPECT_EQ(get_bit(0b1010, 1), 1u);
+    EXPECT_EQ(get_bit(0b1010, 0), 0u);
+    EXPECT_EQ(set_bit(0, 3, true), 0b1000u);
+    EXPECT_EQ(set_bit(0b1111, 2, false), 0b1011u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 16; ++i)
+        any_diff |= a.next() != b.next();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(7);
+    for (u64 bound : {u64{1}, u64{2}, u64{7}, u64{1000}}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng r(11);
+    bool hit[5] = {};
+    for (int i = 0; i < 500; ++i)
+        hit[r.below(5)] = true;
+    for (bool h : hit)
+        EXPECT_TRUE(h);
+}
+
+TEST(Panic, Throws)
+{
+    EXPECT_THROW(panic("boom"), std::logic_error);
+}
+
+} // namespace
+} // namespace pokeemu

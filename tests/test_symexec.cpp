@@ -1,0 +1,522 @@
+/** @file Tests for the symbolic execution engine (FuzzBALL analog). */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ir/builder.h"
+#include "symexec/explorer.h"
+#include "symexec/minimize.h"
+#include "symexec/summarize.h"
+
+namespace pokeemu::symexec {
+namespace {
+
+using ir::ExprRef;
+using ir::IrBuilder;
+using ir::Label;
+namespace E = ir::E;
+
+/**
+ * Initial-contents policy used throughout: bytes in [sym_base,
+ * sym_base + sym_len) are fresh symbolic variables named by address;
+ * everything else is a concrete zero byte.
+ */
+InitialByteFn
+make_initial(VarPool &pool, u32 sym_base, u32 sym_len)
+{
+    return [&pool, sym_base, sym_len](u32 addr) -> ExprRef {
+        if (addr >= sym_base && addr < sym_base + sym_len) {
+            char name[32];
+            std::snprintf(name, sizeof name, "mem_%08x", addr);
+            return pool.get(name, 8);
+        }
+        return E::constant(8, 0);
+    };
+}
+
+TEST(SymbolicMemory, RoundTripPreservesExpression)
+{
+    VarPool pool;
+    SymbolicMemory mem(make_initial(pool, 0, 0));
+    auto x = pool.get("x", 32);
+    mem.store(0x100, 4, x);
+    auto back = mem.load(0x100, 4);
+    // Byte-split then reassembled: the simplifier must fuse it back.
+    EXPECT_EQ(back.get(), x.get());
+}
+
+TEST(SymbolicMemory, LittleEndianLayout)
+{
+    VarPool pool;
+    SymbolicMemory mem(make_initial(pool, 0, 0));
+    mem.store(0x10, 4, E::constant(32, 0x11223344));
+    EXPECT_TRUE(mem.load_byte(0x10)->is_const(0x44));
+    EXPECT_TRUE(mem.load_byte(0x13)->is_const(0x11));
+    EXPECT_TRUE(mem.load(0x11, 2)->is_const(0x2233));
+}
+
+TEST(SymbolicMemory, OnDemandVariablesAreStable)
+{
+    VarPool pool;
+    SymbolicMemory a(make_initial(pool, 0x1000, 0x100));
+    SymbolicMemory b(make_initial(pool, 0x1000, 0x100));
+    auto va = a.load_byte(0x1010);
+    auto vb = b.load_byte(0x1010);
+    // Two memories over the same pool: same address, same variable.
+    EXPECT_TRUE(va->is_var());
+    EXPECT_EQ(va->var_id(), vb->var_id());
+}
+
+TEST(SymbolicMemory, UntouchedRegionsAreConcrete)
+{
+    VarPool pool;
+    SymbolicMemory mem(make_initial(pool, 0x1000, 0x10));
+    EXPECT_TRUE(mem.load_byte(0x2000)->is_const(0));
+    EXPECT_EQ(mem.touched_count(), 1u);
+}
+
+TEST(DecisionTree, ExhaustionPropagates)
+{
+    DecisionTree tree;
+    // Simulate: root has both directions feasible; each side is a
+    // leaf.
+    tree.set_feasibility(tree.root(), false, Feasibility::Yes);
+    tree.set_feasibility(tree.root(), true, Feasibility::Yes);
+    tree.finish_leaf({{tree.root(), false}});
+    EXPECT_FALSE(tree.exhausted());
+    tree.finish_leaf({{tree.root(), true}});
+    EXPECT_TRUE(tree.exhausted());
+}
+
+TEST(DecisionTree, InfeasibleCountsAsDone)
+{
+    DecisionTree tree;
+    tree.set_feasibility(tree.root(), false, Feasibility::Yes);
+    tree.set_feasibility(tree.root(), true, Feasibility::No);
+    EXPECT_FALSE(tree.exhausted());
+    tree.finish_leaf({{tree.root(), false}});
+    EXPECT_TRUE(tree.exhausted());
+}
+
+TEST(DecisionTree, EmptyPathExhaustsEverything)
+{
+    DecisionTree tree;
+    tree.finish_leaf({});
+    EXPECT_TRUE(tree.exhausted());
+}
+
+// ---------------------------------------------------------------------
+// Explorer on toy programs.
+// ---------------------------------------------------------------------
+
+TEST(Explorer, StraightLineIsOnePath)
+{
+    IrBuilder b("straight");
+    auto v = b.load(IrBuilder::imm32(0x1000), 4);
+    b.store(IrBuilder::imm32(0x2000), 4, E::add(v, IrBuilder::imm32(1)));
+    b.halt(0);
+    ir::Program p = b.finish();
+
+    VarPool pool;
+    PathExplorer ex(p, pool, make_initial(pool, 0x1000, 4));
+    u64 seen = 0;
+    auto stats = ex.explore([&](const PathInfo &, SymbolicMemory &) {
+        ++seen;
+    });
+    EXPECT_EQ(stats.paths, 1u);
+    EXPECT_EQ(seen, 1u);
+    EXPECT_TRUE(stats.complete);
+}
+
+/** Build: load a symbolic word, branch on (x < 10), halt 1 or 2. */
+ir::Program
+two_way_program()
+{
+    IrBuilder b("twoway");
+    auto x = b.load(IrBuilder::imm32(0x1000), 4);
+    Label lt = b.label(), ge = b.label();
+    b.cjmp(E::ult(x, IrBuilder::imm32(10)), lt, ge);
+    b.bind(lt);
+    b.halt(1);
+    b.bind(ge);
+    b.halt(2);
+    return b.finish();
+}
+
+TEST(Explorer, TwoWayBranchYieldsTwoPaths)
+{
+    ir::Program p = two_way_program();
+    VarPool pool;
+    PathExplorer ex(p, pool, make_initial(pool, 0x1000, 4));
+    std::set<u32> codes;
+    std::vector<u64> x_values;
+    auto stats = ex.explore([&](const PathInfo &info, SymbolicMemory &) {
+        codes.insert(info.halt_code);
+        // The assignment must satisfy the path condition and match the
+        // halt code's branch.
+        const u64 x = info.assignment.get(
+            pool.get("mem_00001000", 8)->var_id()) |
+            (info.assignment.get(pool.get("mem_00001001", 8)->var_id())
+             << 8) |
+            (info.assignment.get(pool.get("mem_00001002", 8)->var_id())
+             << 16) |
+            (info.assignment.get(pool.get("mem_00001003", 8)->var_id())
+             << 24);
+        x_values.push_back(x);
+        if (info.halt_code == 1)
+            EXPECT_LT(x, 10u);
+        else
+            EXPECT_GE(x, 10u);
+    });
+    EXPECT_EQ(stats.paths, 2u);
+    EXPECT_TRUE(stats.complete);
+    EXPECT_EQ(codes, (std::set<u32>{1, 2}));
+}
+
+TEST(Explorer, NestedBranchesEnumerateAllPaths)
+{
+    // Three independent symbolic bits -> exactly 8 paths with distinct
+    // halt codes 0..7.
+    IrBuilder b("threebits");
+    auto byte = b.load(IrBuilder::imm32(0x1000), 1);
+    ExprRef code = IrBuilder::imm32(0);
+    for (int i = 0; i < 3; ++i) {
+        Label set = b.label(), join = b.label();
+        // We cannot mutate `code` across labels without temps; instead
+        // assign via memory.
+        auto cur = b.load(IrBuilder::imm32(0x2000), 1);
+        b.cjmp(E::eq(E::extract(byte, i, 1), E::bool_const(true)), set,
+               join);
+        b.bind(set);
+        b.store(IrBuilder::imm32(0x2000), 1,
+                E::bor(cur, IrBuilder::imm8(1 << i)));
+        b.bind(join);
+        b.comment("next bit");
+    }
+    auto final_code = b.load(IrBuilder::imm32(0x2000), 1);
+    b.halt(E::zext(final_code, 32));
+    ir::Program p = b.finish();
+
+    VarPool pool;
+    PathExplorer ex(p, pool, make_initial(pool, 0x1000, 1));
+    std::set<u32> codes;
+    auto stats = ex.explore([&](const PathInfo &info, SymbolicMemory &) {
+        codes.insert(info.halt_code);
+    });
+    EXPECT_EQ(stats.paths, 8u);
+    EXPECT_TRUE(stats.complete);
+    EXPECT_EQ(codes.size(), 8u);
+    for (u32 c = 0; c < 8; ++c)
+        EXPECT_TRUE(codes.count(c)) << c;
+}
+
+TEST(Explorer, InfeasiblePathsAreNotEnumerated)
+{
+    // Branch 1 on (y < x); branch 2 on (x <= y). Directions (T,T) and
+    // (F,F) are contradictory, so exactly 2 of the 4 direction
+    // combinations are real paths.
+    IrBuilder b("infeasible");
+    auto x = b.load(IrBuilder::imm32(0x1000), 4);
+    auto y = b.load(IrBuilder::imm32(0x1004), 4);
+    Label a1 = b.label(), a2 = b.label();
+    b.cjmp(E::ult(y, x), a1, a2);
+    b.bind(a1);
+    b.store(IrBuilder::imm32(0x2000), 4, IrBuilder::imm32(1));
+    b.jmp(a2);
+    b.bind(a2);
+    Label b1 = b.label(), b2 = b.label();
+    b.cjmp(E::ule(x, y), b1, b2);
+    b.bind(b1);
+    b.halt(1);
+    b.bind(b2);
+    b.halt(2);
+    ir::Program p = b.finish();
+
+    VarPool pool;
+    PathExplorer ex(p, pool, make_initial(pool, 0x1000, 8));
+    u64 paths = 0;
+    std::set<u32> codes;
+    auto stats = ex.explore([&](const PathInfo &info, SymbolicMemory &) {
+        ++paths;
+        codes.insert(info.halt_code);
+        EXPECT_TRUE(info.assignment.satisfies(info.path_condition));
+    });
+    EXPECT_EQ(paths, 2u);
+    EXPECT_EQ(codes, (std::set<u32>{1, 2}));
+    EXPECT_TRUE(stats.complete);
+}
+
+TEST(Explorer, PathCapStopsExploration)
+{
+    // A loop over a symbolic 8-bit counter can have up to 256+1 paths;
+    // cap at 5.
+    IrBuilder b("loop");
+    Label head = b.here();
+    auto n = b.load(IrBuilder::imm32(0x1000), 1);
+    Label done = b.label();
+    b.if_goto(E::eq(n, IrBuilder::imm8(0)), done);
+    b.store(IrBuilder::imm32(0x1000), 1, E::sub(n, IrBuilder::imm8(1)));
+    b.jmp(head);
+    b.bind(done);
+    b.halt(0);
+    ir::Program p = b.finish();
+
+    VarPool pool;
+    ExplorerConfig cfg;
+    cfg.max_paths = 5;
+    PathExplorer ex(p, pool, make_initial(pool, 0x1000, 1), cfg);
+    auto stats = ex.explore([](const PathInfo &, SymbolicMemory &) {});
+    EXPECT_EQ(stats.paths, 5u);
+    EXPECT_FALSE(stats.complete);
+}
+
+TEST(Explorer, LoopOverSmallCounterTerminates)
+{
+    // 2-bit symbolic counter: exactly 4 paths (0..3 iterations).
+    IrBuilder b("loop2");
+    Label head = b.here();
+    auto n = b.load(IrBuilder::imm32(0x1000), 1);
+    Label done = b.label();
+    b.if_goto(E::eq(n, IrBuilder::imm8(0)), done);
+    b.store(IrBuilder::imm32(0x1000), 1, E::sub(n, IrBuilder::imm8(1)));
+    b.jmp(head);
+    b.bind(done);
+    b.halt(0);
+    ir::Program p = b.finish();
+
+    VarPool pool;
+    // Constrain the counter to 2 bits via the initial-contents policy:
+    // high 6 bits concrete zero by construction.
+    InitialByteFn init = [&pool](u32 addr) -> ExprRef {
+        if (addr == 0x1000) {
+            auto low = pool.get("n_low", 2);
+            return E::concat(E::constant(6, 0), low);
+        }
+        return E::constant(8, 0);
+    };
+    PathExplorer ex(p, pool, init);
+    std::set<u64> iteration_counts;
+    auto stats = ex.explore([&](const PathInfo &info, SymbolicMemory &) {
+        iteration_counts.insert(
+            info.assignment.get(pool.get("n_low", 2)->var_id()));
+    });
+    EXPECT_EQ(stats.paths, 4u);
+    EXPECT_TRUE(stats.complete);
+    EXPECT_EQ(iteration_counts,
+              (std::set<u64>{0, 1, 2, 3}));
+}
+
+TEST(Explorer, SingleRandomConcretizationPinsAddress)
+{
+    // Store through a symbolic pointer; the explorer must pick one
+    // address and the value must land there.
+    IrBuilder b("symstore");
+    auto ptr = b.load(IrBuilder::imm32(0x1000), 4);
+    b.store(ptr, 1, IrBuilder::imm8(0xab));
+    b.halt(0);
+    ir::Program p = b.finish();
+
+    VarPool pool;
+    PathExplorer ex(p, pool, make_initial(pool, 0x1000, 4));
+    u64 paths = 0;
+    ex.explore([&](const PathInfo &info, SymbolicMemory &mem) {
+        ++paths;
+        // Reconstruct the pinned pointer from the assignment.
+        u64 a = 0;
+        for (int i = 0; i < 4; ++i) {
+            char name[32];
+            std::snprintf(name, sizeof name, "mem_%08x", 0x1000 + i);
+            a |= info.assignment.get(pool.get(name, 8)->var_id())
+                 << (8 * i);
+        }
+        auto stored = mem.load_byte(static_cast<u32>(a));
+        EXPECT_TRUE(stored->is_const(0xab));
+    });
+    EXPECT_EQ(paths, 1u);
+}
+
+TEST(Explorer, ExhaustiveConcretizationEnumeratesAllValues)
+{
+    // A 2-bit symbolic index into a 4-entry table; Exhaustive policy
+    // must produce 4 paths, one per index.
+    IrBuilder b("table");
+    auto idx_byte = b.load(IrBuilder::imm32(0x1000), 1);
+    auto addr = b.assign(E::add(
+        IrBuilder::imm32(0x2000),
+        E::zext(E::extract(idx_byte, 0, 2), 32)));
+    auto entry = b.load(addr, 1, ir::ConcretizePolicy::Exhaustive);
+    b.halt(E::zext(entry, 32));
+    ir::Program p = b.finish();
+
+    VarPool pool;
+    InitialByteFn init = [&pool](u32 addr) -> ExprRef {
+        if (addr == 0x1000)
+            return pool.get("idx", 8);
+        if (addr >= 0x2000 && addr < 0x2004)
+            return E::constant(8, 10 + (addr - 0x2000));
+        return E::constant(8, 0);
+    };
+    PathExplorer ex(p, pool, init);
+    std::set<u32> entries;
+    auto stats = ex.explore([&](const PathInfo &info, SymbolicMemory &) {
+        entries.insert(info.halt_code);
+    });
+    EXPECT_EQ(stats.paths, 4u);
+    EXPECT_TRUE(stats.complete);
+    EXPECT_EQ(entries, (std::set<u32>{10, 11, 12, 13}));
+}
+
+TEST(Explorer, AssumePrunesInfeasiblePrefixes)
+{
+    IrBuilder b("assume");
+    auto x = b.load(IrBuilder::imm32(0x1000), 1);
+    b.assume(E::ult(x, IrBuilder::imm8(2)), "x < 2");
+    Label z = b.label(), nz = b.label();
+    b.cjmp(E::eq(x, IrBuilder::imm8(0)), z, nz);
+    b.bind(z);
+    b.halt(100);
+    b.bind(nz);
+    // x must be exactly 1 here.
+    b.assume(E::eq(x, IrBuilder::imm8(1)));
+    b.halt(101);
+    ir::Program p = b.finish();
+
+    VarPool pool;
+    PathExplorer ex(p, pool, make_initial(pool, 0x1000, 1));
+    std::set<u32> codes;
+    auto stats = ex.explore([&](const PathInfo &info, SymbolicMemory &) {
+        codes.insert(info.halt_code);
+    });
+    EXPECT_EQ(stats.paths, 2u);
+    EXPECT_TRUE(stats.complete);
+    EXPECT_EQ(codes, (std::set<u32>{100, 101}));
+}
+
+TEST(Explorer, SymbolicHaltCodeIsPinned)
+{
+    IrBuilder b("symhalt");
+    auto x = b.load(IrBuilder::imm32(0x1000), 1);
+    b.halt(E::zext(x, 32));
+    ir::Program p = b.finish();
+
+    VarPool pool;
+    PathExplorer ex(p, pool, make_initial(pool, 0x1000, 1));
+    u64 paths = 0;
+    ex.explore([&](const PathInfo &info, SymbolicMemory &) {
+        ++paths;
+        EXPECT_EQ(info.halt_code,
+                  info.assignment.get(
+                      pool.get("mem_00001000", 8)->var_id()));
+    });
+    EXPECT_EQ(paths, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Minimization (paper §3.4).
+// ---------------------------------------------------------------------
+
+TEST(Minimize, UnconstrainedBitsReturnToBaseline)
+{
+    VarPool pool;
+    auto x = pool.get("x", 32);
+    auto y = pool.get("y", 32);
+    // Path condition only constrains x's low byte.
+    std::vector<ExprRef> pc = {
+        E::eq(E::extract(x, 0, 8), E::constant(8, 0x7f)),
+    };
+    solver::Assignment assign;
+    assign.set(x->var_id(), 0xdeadbe7f);
+    assign.set(y->var_id(), 0x12345678);
+    solver::Assignment baseline;
+    baseline.set(x->var_id(), 0x11111100);
+    baseline.set(y->var_id(), 0xaaaaaaaa);
+
+    auto stats = minimize_against_baseline(assign, baseline, pc, pool);
+    // y is fully unconstrained: must return to baseline exactly.
+    EXPECT_EQ(assign.get(y->var_id()), 0xaaaaaaaau);
+    // x: upper 24 bits restored, low byte must stay 0x7f.
+    EXPECT_EQ(assign.get(x->var_id()), 0x1111117fu);
+    EXPECT_TRUE(assign.satisfies(pc));
+    EXPECT_LT(stats.bits_different_after, stats.bits_different_before);
+}
+
+TEST(Minimize, ConstrainedBitsAreKept)
+{
+    VarPool pool;
+    auto x = pool.get("x", 8);
+    std::vector<ExprRef> pc = {E::eq(x, E::constant(8, 0x55))};
+    solver::Assignment assign;
+    assign.set(x->var_id(), 0x55);
+    solver::Assignment baseline;
+    baseline.set(x->var_id(), 0x00);
+    minimize_against_baseline(assign, baseline, pc, pool);
+    EXPECT_EQ(assign.get(x->var_id()), 0x55u);
+}
+
+TEST(Minimize, RelationalConstraintKeepsSatisfaction)
+{
+    // pc: x + y == 100. Baseline x=0,y=0 cannot be fully reached, but
+    // whatever the minimizer does, satisfaction must be preserved.
+    VarPool pool;
+    auto x = pool.get("x", 16);
+    auto y = pool.get("y", 16);
+    std::vector<ExprRef> pc = {
+        E::eq(E::add(x, y), E::constant(16, 100))};
+    solver::Assignment assign;
+    assign.set(x->var_id(), 77);
+    assign.set(y->var_id(), 23);
+    solver::Assignment baseline; // zeros
+    minimize_against_baseline(assign, baseline, pc, pool);
+    EXPECT_TRUE(assign.satisfies(pc));
+}
+
+// ---------------------------------------------------------------------
+// Summarization (paper §3.3.2).
+// ---------------------------------------------------------------------
+
+TEST(Summarize, FoldsAllPathsIntoIte)
+{
+    // Helper: out = (x < 10) ? 1 : (x < 100 ? 2 : 3), written to 0x2000.
+    IrBuilder b("classify");
+    auto x = b.load(IrBuilder::imm32(0x1000), 4);
+    Label small = b.label(), rest = b.label(), mid = b.label(),
+          big = b.label();
+    b.cjmp(E::ult(x, IrBuilder::imm32(10)), small, rest);
+    b.bind(small);
+    b.store(IrBuilder::imm32(0x2000), 4, IrBuilder::imm32(1));
+    b.halt(0);
+    b.bind(rest);
+    b.cjmp(E::ult(x, IrBuilder::imm32(100)), mid, big);
+    b.bind(mid);
+    b.store(IrBuilder::imm32(0x2000), 4, IrBuilder::imm32(2));
+    b.halt(0);
+    b.bind(big);
+    b.store(IrBuilder::imm32(0x2000), 4, IrBuilder::imm32(3));
+    b.halt(0);
+    ir::Program p = b.finish();
+
+    VarPool pool;
+    Summary s = summarize_program(p, pool,
+                                  make_initial(pool, 0x1000, 4),
+                                  {{0x2000, 4}});
+    EXPECT_EQ(s.paths, 3u);
+    EXPECT_TRUE(s.complete);
+    ASSERT_EQ(s.outputs.size(), 1u);
+
+    // Evaluate the summary for representative inputs.
+    auto eval_at = [&](u32 xv) {
+        solver::Assignment a;
+        for (int i = 0; i < 4; ++i) {
+            char name[32];
+            std::snprintf(name, sizeof name, "mem_%08x", 0x1000 + i);
+            a.set(pool.get(name, 8)->var_id(), (xv >> (8 * i)) & 0xff);
+        }
+        return a.eval(s.outputs[0]);
+    };
+    EXPECT_EQ(eval_at(5), 1u);
+    EXPECT_EQ(eval_at(50), 2u);
+    EXPECT_EQ(eval_at(5000), 3u);
+}
+
+} // namespace
+} // namespace pokeemu::symexec
