@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_differences.dir/bench_differences.cpp.o"
+  "CMakeFiles/bench_differences.dir/bench_differences.cpp.o.d"
+  "bench_differences"
+  "bench_differences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_differences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

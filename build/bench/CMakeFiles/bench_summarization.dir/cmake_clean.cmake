@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_summarization.dir/bench_summarization.cpp.o"
+  "CMakeFiles/bench_summarization.dir/bench_summarization.cpp.o.d"
+  "bench_summarization"
+  "bench_summarization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_summarization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

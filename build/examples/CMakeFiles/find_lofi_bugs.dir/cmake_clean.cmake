@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_lofi_bugs.dir/find_lofi_bugs.cpp.o"
+  "CMakeFiles/find_lofi_bugs.dir/find_lofi_bugs.cpp.o.d"
+  "find_lofi_bugs"
+  "find_lofi_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_lofi_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

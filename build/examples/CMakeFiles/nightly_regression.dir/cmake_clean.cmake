@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nightly_regression.dir/nightly_regression.cpp.o"
+  "CMakeFiles/nightly_regression.dir/nightly_regression.cpp.o.d"
+  "nightly_regression"
+  "nightly_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nightly_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reverse_lifting.dir/reverse_lifting.cpp.o"
+  "CMakeFiles/reverse_lifting.dir/reverse_lifting.cpp.o.d"
+  "reverse_lifting"
+  "reverse_lifting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reverse_lifting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

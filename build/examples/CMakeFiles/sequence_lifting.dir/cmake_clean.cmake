@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_lifting.dir/sequence_lifting.cpp.o"
+  "CMakeFiles/sequence_lifting.dir/sequence_lifting.cpp.o.d"
+  "sequence_lifting"
+  "sequence_lifting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_lifting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbolic_explorer.dir/symbolic_explorer.cpp.o"
+  "CMakeFiles/symbolic_explorer.dir/symbolic_explorer.cpp.o.d"
+  "symbolic_explorer"
+  "symbolic_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbolic_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/assembler.cpp" "src/CMakeFiles/pokeemu.dir/arch/assembler.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/arch/assembler.cpp.o.d"
+  "/root/repo/src/arch/decoder.cpp" "src/CMakeFiles/pokeemu.dir/arch/decoder.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/arch/decoder.cpp.o.d"
+  "/root/repo/src/arch/descriptors.cpp" "src/CMakeFiles/pokeemu.dir/arch/descriptors.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/arch/descriptors.cpp.o.d"
+  "/root/repo/src/arch/insn_table.cpp" "src/CMakeFiles/pokeemu.dir/arch/insn_table.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/arch/insn_table.cpp.o.d"
+  "/root/repo/src/arch/paging.cpp" "src/CMakeFiles/pokeemu.dir/arch/paging.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/arch/paging.cpp.o.d"
+  "/root/repo/src/arch/snapshot.cpp" "src/CMakeFiles/pokeemu.dir/arch/snapshot.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/arch/snapshot.cpp.o.d"
+  "/root/repo/src/arch/state.cpp" "src/CMakeFiles/pokeemu.dir/arch/state.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/arch/state.cpp.o.d"
+  "/root/repo/src/backend/direct_cpu.cpp" "src/CMakeFiles/pokeemu.dir/backend/direct_cpu.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/backend/direct_cpu.cpp.o.d"
+  "/root/repo/src/backend/direct_ops.cpp" "src/CMakeFiles/pokeemu.dir/backend/direct_ops.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/backend/direct_ops.cpp.o.d"
+  "/root/repo/src/explore/insn_explorer.cpp" "src/CMakeFiles/pokeemu.dir/explore/insn_explorer.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/explore/insn_explorer.cpp.o.d"
+  "/root/repo/src/explore/state_explorer.cpp" "src/CMakeFiles/pokeemu.dir/explore/state_explorer.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/explore/state_explorer.cpp.o.d"
+  "/root/repo/src/explore/state_spec.cpp" "src/CMakeFiles/pokeemu.dir/explore/state_spec.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/explore/state_spec.cpp.o.d"
+  "/root/repo/src/harness/cluster.cpp" "src/CMakeFiles/pokeemu.dir/harness/cluster.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/harness/cluster.cpp.o.d"
+  "/root/repo/src/harness/filter.cpp" "src/CMakeFiles/pokeemu.dir/harness/filter.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/harness/filter.cpp.o.d"
+  "/root/repo/src/harness/runner.cpp" "src/CMakeFiles/pokeemu.dir/harness/runner.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/harness/runner.cpp.o.d"
+  "/root/repo/src/hifi/decoder_ir.cpp" "src/CMakeFiles/pokeemu.dir/hifi/decoder_ir.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/hifi/decoder_ir.cpp.o.d"
+  "/root/repo/src/hifi/hifi_emulator.cpp" "src/CMakeFiles/pokeemu.dir/hifi/hifi_emulator.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/hifi/hifi_emulator.cpp.o.d"
+  "/root/repo/src/hifi/semantics_core.cpp" "src/CMakeFiles/pokeemu.dir/hifi/semantics_core.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/hifi/semantics_core.cpp.o.d"
+  "/root/repo/src/hifi/semantics_ops.cpp" "src/CMakeFiles/pokeemu.dir/hifi/semantics_ops.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/hifi/semantics_ops.cpp.o.d"
+  "/root/repo/src/hifi/semantics_ops2.cpp" "src/CMakeFiles/pokeemu.dir/hifi/semantics_ops2.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/hifi/semantics_ops2.cpp.o.d"
+  "/root/repo/src/hifi/sequence.cpp" "src/CMakeFiles/pokeemu.dir/hifi/sequence.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/hifi/sequence.cpp.o.d"
+  "/root/repo/src/hw/vmm.cpp" "src/CMakeFiles/pokeemu.dir/hw/vmm.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/hw/vmm.cpp.o.d"
+  "/root/repo/src/ir/builder.cpp" "src/CMakeFiles/pokeemu.dir/ir/builder.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/ir/builder.cpp.o.d"
+  "/root/repo/src/ir/eval.cpp" "src/CMakeFiles/pokeemu.dir/ir/eval.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/ir/eval.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "src/CMakeFiles/pokeemu.dir/ir/expr.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/ir/expr.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/pokeemu.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/stmt.cpp" "src/CMakeFiles/pokeemu.dir/ir/stmt.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/ir/stmt.cpp.o.d"
+  "/root/repo/src/lofi/lofi_emulator.cpp" "src/CMakeFiles/pokeemu.dir/lofi/lofi_emulator.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/lofi/lofi_emulator.cpp.o.d"
+  "/root/repo/src/pokeemu/corpus.cpp" "src/CMakeFiles/pokeemu.dir/pokeemu/corpus.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/pokeemu/corpus.cpp.o.d"
+  "/root/repo/src/pokeemu/pipeline.cpp" "src/CMakeFiles/pokeemu.dir/pokeemu/pipeline.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/pokeemu/pipeline.cpp.o.d"
+  "/root/repo/src/pokeemu/random_tester.cpp" "src/CMakeFiles/pokeemu.dir/pokeemu/random_tester.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/pokeemu/random_tester.cpp.o.d"
+  "/root/repo/src/solver/bitblast.cpp" "src/CMakeFiles/pokeemu.dir/solver/bitblast.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/solver/bitblast.cpp.o.d"
+  "/root/repo/src/solver/sat.cpp" "src/CMakeFiles/pokeemu.dir/solver/sat.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/solver/sat.cpp.o.d"
+  "/root/repo/src/solver/solver.cpp" "src/CMakeFiles/pokeemu.dir/solver/solver.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/solver/solver.cpp.o.d"
+  "/root/repo/src/support/logging.cpp" "src/CMakeFiles/pokeemu.dir/support/logging.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/support/logging.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/pokeemu.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/support/rng.cpp.o.d"
+  "/root/repo/src/symexec/decision_tree.cpp" "src/CMakeFiles/pokeemu.dir/symexec/decision_tree.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/symexec/decision_tree.cpp.o.d"
+  "/root/repo/src/symexec/equivalence.cpp" "src/CMakeFiles/pokeemu.dir/symexec/equivalence.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/symexec/equivalence.cpp.o.d"
+  "/root/repo/src/symexec/explorer.cpp" "src/CMakeFiles/pokeemu.dir/symexec/explorer.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/symexec/explorer.cpp.o.d"
+  "/root/repo/src/symexec/memory.cpp" "src/CMakeFiles/pokeemu.dir/symexec/memory.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/symexec/memory.cpp.o.d"
+  "/root/repo/src/symexec/minimize.cpp" "src/CMakeFiles/pokeemu.dir/symexec/minimize.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/symexec/minimize.cpp.o.d"
+  "/root/repo/src/symexec/summarize.cpp" "src/CMakeFiles/pokeemu.dir/symexec/summarize.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/symexec/summarize.cpp.o.d"
+  "/root/repo/src/testgen/baseline.cpp" "src/CMakeFiles/pokeemu.dir/testgen/baseline.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/testgen/baseline.cpp.o.d"
+  "/root/repo/src/testgen/testgen.cpp" "src/CMakeFiles/pokeemu.dir/testgen/testgen.cpp.o" "gcc" "src/CMakeFiles/pokeemu.dir/testgen/testgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_arch.cpp" "tests/CMakeFiles/pokeemu_tests.dir/test_arch.cpp.o" "gcc" "tests/CMakeFiles/pokeemu_tests.dir/test_arch.cpp.o.d"
+  "/root/repo/tests/test_backends.cpp" "tests/CMakeFiles/pokeemu_tests.dir/test_backends.cpp.o" "gcc" "tests/CMakeFiles/pokeemu_tests.dir/test_backends.cpp.o.d"
+  "/root/repo/tests/test_corpus.cpp" "tests/CMakeFiles/pokeemu_tests.dir/test_corpus.cpp.o" "gcc" "tests/CMakeFiles/pokeemu_tests.dir/test_corpus.cpp.o.d"
+  "/root/repo/tests/test_equivalence.cpp" "tests/CMakeFiles/pokeemu_tests.dir/test_equivalence.cpp.o" "gcc" "tests/CMakeFiles/pokeemu_tests.dir/test_equivalence.cpp.o.d"
+  "/root/repo/tests/test_explore.cpp" "tests/CMakeFiles/pokeemu_tests.dir/test_explore.cpp.o" "gcc" "tests/CMakeFiles/pokeemu_tests.dir/test_explore.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/pokeemu_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/pokeemu_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_hifi_semantics.cpp" "tests/CMakeFiles/pokeemu_tests.dir/test_hifi_semantics.cpp.o" "gcc" "tests/CMakeFiles/pokeemu_tests.dir/test_hifi_semantics.cpp.o.d"
+  "/root/repo/tests/test_ir.cpp" "tests/CMakeFiles/pokeemu_tests.dir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/pokeemu_tests.dir/test_ir.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/pokeemu_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/pokeemu_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/pokeemu_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/pokeemu_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_sequence.cpp" "tests/CMakeFiles/pokeemu_tests.dir/test_sequence.cpp.o" "gcc" "tests/CMakeFiles/pokeemu_tests.dir/test_sequence.cpp.o.d"
+  "/root/repo/tests/test_solver.cpp" "tests/CMakeFiles/pokeemu_tests.dir/test_solver.cpp.o" "gcc" "tests/CMakeFiles/pokeemu_tests.dir/test_solver.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/pokeemu_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/pokeemu_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_symexec.cpp" "tests/CMakeFiles/pokeemu_tests.dir/test_symexec.cpp.o" "gcc" "tests/CMakeFiles/pokeemu_tests.dir/test_symexec.cpp.o.d"
+  "/root/repo/tests/test_testgen.cpp" "tests/CMakeFiles/pokeemu_tests.dir/test_testgen.cpp.o" "gcc" "tests/CMakeFiles/pokeemu_tests.dir/test_testgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pokeemu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
