@@ -1,0 +1,114 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+
+namespace pokeemu::analysis {
+
+using ir::StmtKind;
+
+namespace {
+
+bool
+is_terminator(StmtKind kind)
+{
+    return kind == StmtKind::CJmp || kind == StmtKind::Jmp ||
+           kind == StmtKind::Halt;
+}
+
+} // namespace
+
+Cfg
+Cfg::build(const ir::Program &program)
+{
+    Cfg cfg;
+    const u32 n = static_cast<u32>(program.stmts.size());
+    if (n == 0)
+        return cfg;
+
+    // Leaders: stmt 0, every label target, every post-terminator stmt.
+    std::vector<bool> leader(n, false);
+    leader[0] = true;
+    for (const u32 pos : program.label_pos) {
+        assert(pos < n && "Cfg precondition: labels bound in range");
+        leader[pos] = true;
+    }
+    for (u32 i = 0; i + 1 < n; ++i) {
+        if (is_terminator(program.stmts[i].kind))
+            leader[i + 1] = true;
+    }
+
+    cfg.block_of_.resize(n);
+    for (u32 i = 0; i < n; ++i) {
+        if (leader[i]) {
+            BasicBlock block;
+            block.first = i;
+            cfg.blocks_.push_back(block);
+        }
+        cfg.block_of_[i] = static_cast<BlockId>(cfg.blocks_.size() - 1);
+    }
+    for (std::size_t b = 0; b < cfg.blocks_.size(); ++b) {
+        cfg.blocks_[b].end = b + 1 < cfg.blocks_.size()
+            ? cfg.blocks_[b + 1].first
+            : n;
+    }
+
+    for (BlockId b = 0; b < cfg.num_blocks(); ++b) {
+        BasicBlock &block = cfg.blocks_[b];
+        const ir::Stmt &last = program.stmts[block.last()];
+        switch (last.kind) {
+          case StmtKind::CJmp:
+            block.succs.push_back(
+                cfg.block_of_[program.label_pos[last.target_true]]);
+            block.succs.push_back(
+                cfg.block_of_[program.label_pos[last.target_false]]);
+            break;
+          case StmtKind::Jmp:
+            block.succs.push_back(
+                cfg.block_of_[program.label_pos[last.target_true]]);
+            break;
+          case StmtKind::Halt:
+            break;
+          default:
+            if (block.end < n)
+                block.succs.push_back(cfg.block_of_[block.end]);
+            else
+                block.falls_off_end = true;
+            break;
+        }
+        // A CJmp with both targets equal yields one edge, not two.
+        std::sort(block.succs.begin(), block.succs.end());
+        block.succs.erase(
+            std::unique(block.succs.begin(), block.succs.end()),
+            block.succs.end());
+    }
+    for (BlockId b = 0; b < cfg.num_blocks(); ++b) {
+        for (const BlockId s : cfg.blocks_[b].succs)
+            cfg.blocks_[s].preds.push_back(b);
+    }
+
+    // Iterative DFS from the entry: reachability + postorder, which
+    // reversed gives the dataflow iteration order.
+    cfg.reachable_.assign(cfg.num_blocks(), false);
+    std::vector<std::pair<BlockId, u32>> stack; // (block, next succ).
+    std::vector<BlockId> postorder;
+    cfg.reachable_[cfg.entry()] = true;
+    stack.emplace_back(cfg.entry(), 0);
+    while (!stack.empty()) {
+        auto &[b, next] = stack.back();
+        const BasicBlock &block = cfg.blocks_[b];
+        if (next < block.succs.size()) {
+            const BlockId s = block.succs[next++];
+            if (!cfg.reachable_[s]) {
+                cfg.reachable_[s] = true;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            postorder.push_back(b);
+            stack.pop_back();
+        }
+    }
+    cfg.rpo_.assign(postorder.rbegin(), postorder.rend());
+    return cfg;
+}
+
+} // namespace pokeemu::analysis

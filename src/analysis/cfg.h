@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Control-flow graph over an ir::Program, shared by the verifier and
+ * the lint passes.
+ *
+ * Statements are partitioned into maximal basic blocks (leaders: the
+ * entry statement, every label target, every successor of a
+ * terminator). Edges follow the statement semantics: CJmp has two
+ * label successors, Jmp one, Halt none, and every other final
+ * statement falls through to the next block. A block whose control can
+ * run past the last statement of the program records `falls_off_end`
+ * instead of a successor — the verifier turns that into a
+ * missing-Halt error.
+ *
+ * Precondition: every label in the program is bound in range
+ * (label_pos[l] < stmts.size()). The verifier establishes this before
+ * building a Cfg; building one from a program with dangling labels is
+ * undefined.
+ */
+#ifndef POKEEMU_ANALYSIS_CFG_H
+#define POKEEMU_ANALYSIS_CFG_H
+
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace pokeemu::analysis {
+
+/** Block identifier; an index into Cfg::blocks(). */
+using BlockId = u32;
+
+/** A maximal straight-line run of statements. */
+struct BasicBlock
+{
+    u32 first = 0;  ///< Index of the first statement.
+    u32 end = 0;    ///< One past the last statement.
+    std::vector<BlockId> succs;
+    std::vector<BlockId> preds;
+    /** Control can run past stmts.size() (no terminator, last block). */
+    bool falls_off_end = false;
+
+    u32 size() const { return end - first; }
+    u32 last() const { return end - 1; }
+};
+
+/** See file comment. */
+class Cfg
+{
+  public:
+    /** Partition @p program into blocks and wire the edges. */
+    static Cfg build(const ir::Program &program);
+
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+    u32 num_blocks() const { return static_cast<u32>(blocks_.size()); }
+
+    /** Block containing statement @p stmt_index. */
+    BlockId block_of(u32 stmt_index) const
+    {
+        return block_of_[stmt_index];
+    }
+
+    /** Entry block (contains statement 0); programs are non-empty. */
+    BlockId entry() const { return 0; }
+
+    /** True when @p block is reachable from the entry. */
+    bool reachable(BlockId block) const { return reachable_[block]; }
+
+    /**
+     * Reachable blocks in reverse postorder (entry first; every block
+     * before its successors except on back edges). The natural
+     * iteration order for forward dataflow.
+     */
+    const std::vector<BlockId> &reverse_postorder() const
+    {
+        return rpo_;
+    }
+
+  private:
+    std::vector<BasicBlock> blocks_;
+    std::vector<BlockId> block_of_; ///< stmt index -> block id.
+    std::vector<bool> reachable_;
+    std::vector<BlockId> rpo_;
+};
+
+} // namespace pokeemu::analysis
+
+#endif // POKEEMU_ANALYSIS_CFG_H

@@ -1,0 +1,60 @@
+#include "analysis/diagnostic.h"
+
+namespace pokeemu::analysis {
+
+const char *
+severity_name(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+std::string
+Diagnostic::to_string() const
+{
+    std::string out = severity_name(severity);
+    out += ": [";
+    out += pass;
+    out += "] ";
+    if (stmt_index != kNoStmt) {
+        out += "stmt ";
+        out += std::to_string(stmt_index);
+        out += ": ";
+    }
+    out += message;
+    return out;
+}
+
+std::size_t
+Report::count(Severity severity) const
+{
+    std::size_t n = 0;
+    for (const Diagnostic &d : diagnostics_)
+        if (d.severity == severity)
+            ++n;
+    return n;
+}
+
+void
+Report::merge(const Report &other)
+{
+    diagnostics_.insert(diagnostics_.end(), other.diagnostics_.begin(),
+                        other.diagnostics_.end());
+}
+
+std::string
+Report::to_string() const
+{
+    std::string out;
+    for (const Diagnostic &d : diagnostics_) {
+        out += d.to_string();
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace pokeemu::analysis

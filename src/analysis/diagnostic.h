@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Structured findings produced by the IR static-analysis passes.
+ *
+ * Every verifier check and lint pass reports through a Report so that
+ * callers (unit tests, the ir_lint driver, the explorer's fail-fast
+ * hook) can distinguish severities programmatically instead of parsing
+ * panic strings. Error-severity findings mean the program is malformed
+ * and must not be executed; warnings flag likely-unintended but
+ * executable constructs; notes are advisory.
+ */
+#ifndef POKEEMU_ANALYSIS_DIAGNOSTIC_H
+#define POKEEMU_ANALYSIS_DIAGNOSTIC_H
+
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace pokeemu::analysis {
+
+enum class Severity : u8 { Note, Warning, Error };
+
+/** Printable severity name, e.g. "error". */
+const char *severity_name(Severity severity);
+
+/** Sentinel stmt_index for program-level findings (no one statement). */
+constexpr u32 kNoStmt = ~u32{0};
+
+/** One finding from one pass; see file comment for severity meaning. */
+struct Diagnostic
+{
+    Severity severity = Severity::Note;
+    u32 stmt_index = kNoStmt; ///< Statement the finding anchors to.
+    std::string pass;         ///< Emitting pass, e.g. "verifier".
+    std::string message;
+
+    /** Render as "error: [verifier] stmt 3: ...". */
+    std::string to_string() const;
+};
+
+/** The findings of a pass pipeline over one program. */
+class Report
+{
+  public:
+    void add(Severity severity, u32 stmt_index, std::string pass,
+             std::string message)
+    {
+        diagnostics_.push_back({severity, stmt_index, std::move(pass),
+                                std::move(message)});
+    }
+
+    void error(u32 stmt_index, std::string pass, std::string message)
+    {
+        add(Severity::Error, stmt_index, std::move(pass),
+            std::move(message));
+    }
+
+    void warning(u32 stmt_index, std::string pass, std::string message)
+    {
+        add(Severity::Warning, stmt_index, std::move(pass),
+            std::move(message));
+    }
+
+    void note(u32 stmt_index, std::string pass, std::string message)
+    {
+        add(Severity::Note, stmt_index, std::move(pass),
+            std::move(message));
+    }
+
+    const std::vector<Diagnostic> &diagnostics() const
+    {
+        return diagnostics_;
+    }
+
+    bool empty() const { return diagnostics_.empty(); }
+
+    std::size_t count(Severity severity) const;
+
+    bool has_errors() const { return count(Severity::Error) != 0; }
+
+    /** Append another report's findings (pipeline accumulation). */
+    void merge(const Report &other);
+
+    /** All findings, one per line. Empty string when clean. */
+    std::string to_string() const;
+
+  private:
+    std::vector<Diagnostic> diagnostics_;
+};
+
+} // namespace pokeemu::analysis
+
+#endif // POKEEMU_ANALYSIS_DIAGNOSTIC_H

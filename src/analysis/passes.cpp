@@ -1,0 +1,283 @@
+#include "analysis/passes.h"
+
+#include "analysis/walk.h"
+#include "ir/expr.h"
+
+namespace pokeemu::analysis {
+
+using ir::Expr;
+using ir::ExprKind;
+using ir::ExprRef;
+using ir::StmtKind;
+
+namespace {
+
+/** True when @p x is logical-not of @p y (either nesting order). */
+bool
+is_negation_of(const ExprRef &x, const ExprRef &y)
+{
+    const auto not_of = [](const ExprRef &a, const ExprRef &b) {
+        return a->kind() == ExprKind::UnOp &&
+               a->unop() == ir::UnOpKind::Not &&
+               Expr::equal(a->a(), b);
+    };
+    return not_of(x, y) || not_of(y, x);
+}
+
+} // namespace
+
+void
+pass_unreachable(const ir::Program &program, const Cfg &cfg,
+                 Report &report)
+{
+    constexpr const char *kPass = "unreachable";
+    for (BlockId b = 0; b < cfg.num_blocks(); ++b) {
+        if (cfg.reachable(b))
+            continue;
+        const BasicBlock &block = cfg.blocks()[b];
+        // IrBuilder::finish() appends a guard Halt when the program
+        // does not already end in one; after a trailing jump that
+        // guard is unreachable by construction. Expected, so a note.
+        const bool is_guard_halt =
+            block.end == program.stmts.size() && block.size() == 1 &&
+            program.stmts[block.first].kind == StmtKind::Halt;
+        const std::string range =
+            block.size() == 1
+                ? "statement " + std::to_string(block.first)
+                : "statements " + std::to_string(block.first) + ".." +
+                      std::to_string(block.end - 1);
+        if (is_guard_halt) {
+            report.note(block.first, kPass,
+                        "unreachable builder guard Halt");
+        } else {
+            report.warning(block.first, kPass,
+                           "unreachable: no path from the entry "
+                           "executes " + range);
+        }
+    }
+}
+
+void
+pass_dead_code(const ir::Program &program, const Cfg &cfg,
+               Report &report)
+{
+    constexpr const char *kPass = "dead-code";
+    const u32 num_temps = program.num_temps();
+    const u32 nb = cfg.num_blocks();
+
+    // Backward liveness to a fixpoint: live_out[b] is the union of the
+    // successors' live_in, and the transfer walks the block backward.
+    std::vector<std::vector<bool>> live_in(
+        nb, std::vector<bool>(num_temps, false));
+    const auto block_live_in = [&](BlockId b) {
+        const BasicBlock &block = cfg.blocks()[b];
+        std::vector<bool> live(num_temps, false);
+        for (const BlockId s : block.succs) {
+            for (u32 t = 0; t < num_temps; ++t)
+                live[t] = live[t] || live_in[s][t];
+        }
+        for (u32 i = block.end; i-- > block.first;) {
+            const ir::Stmt &s = program.stmts[i];
+            const s64 def = stmt_def(s);
+            if (def >= 0 && def < static_cast<s64>(num_temps))
+                live[static_cast<u32>(def)] = false;
+            for_each_stmt_use(s, [&](u32 t, unsigned) {
+                if (t < num_temps)
+                    live[t] = true;
+            });
+        }
+        return live;
+    };
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Postorder (successors before predecessors) converges fastest
+        // for a backward problem.
+        const auto &rpo = cfg.reverse_postorder();
+        for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
+            std::vector<bool> next = block_live_in(*it);
+            if (next != live_in[*it]) {
+                live_in[*it] = std::move(next);
+                changed = true;
+            }
+        }
+    }
+
+    for (const BlockId b : cfg.reverse_postorder()) {
+        const BasicBlock &block = cfg.blocks()[b];
+        std::vector<bool> live(num_temps, false);
+        for (const BlockId s : block.succs) {
+            for (u32 t = 0; t < num_temps; ++t)
+                live[t] = live[t] || live_in[s][t];
+        }
+        for (u32 i = block.end; i-- > block.first;) {
+            const ir::Stmt &s = program.stmts[i];
+            const s64 def = stmt_def(s);
+            const bool def_live =
+                def >= 0 && def < static_cast<s64>(num_temps) &&
+                live[static_cast<u32>(def)];
+            if (s.kind == StmtKind::Assign && !def_live) {
+                report.warning(i, kPass,
+                               "dead assignment: the value of t" +
+                                   std::to_string(s.temp) +
+                                   " is never used");
+            } else if (s.kind == StmtKind::Load && !def_live) {
+                report.note(i, kPass,
+                            "loaded value t" + std::to_string(s.temp) +
+                                " is never used (the load still "
+                                "concretizes its address)");
+            }
+            if (def >= 0 && def < static_cast<s64>(num_temps))
+                live[static_cast<u32>(def)] = false;
+            for_each_stmt_use(s, [&](u32 t, unsigned) {
+                if (t < num_temps)
+                    live[t] = true;
+            });
+        }
+    }
+
+    // Within-block dead stores at constant addresses: a store fully
+    // overwritten before any possible read. Any Load, or any store
+    // through a symbolic address, may alias and keeps prior stores
+    // live.
+    struct PendingStore
+    {
+        u32 stmt_index;
+        u64 addr;
+        unsigned size;
+    };
+    for (const BlockId b : cfg.reverse_postorder()) {
+        const BasicBlock &block = cfg.blocks()[b];
+        std::vector<PendingStore> pending;
+        for (u32 i = block.first; i < block.end; ++i) {
+            const ir::Stmt &s = program.stmts[i];
+            if (s.kind == StmtKind::Load) {
+                pending.clear();
+            } else if (s.kind == StmtKind::Store) {
+                if (!s.addr || !s.addr->is_const()) {
+                    pending.clear();
+                    continue;
+                }
+                const u64 lo = s.addr->value();
+                const u64 hi = lo + s.size;
+                std::vector<PendingStore> kept;
+                for (const PendingStore &p : pending) {
+                    if (lo <= p.addr && p.addr + p.size <= hi) {
+                        report.warning(
+                            p.stmt_index, kPass,
+                            "dead store: bytes [" +
+                                std::to_string(p.addr) + ", " +
+                                std::to_string(p.addr + p.size) +
+                                ") are overwritten by stmt " +
+                                std::to_string(i) +
+                                " before any read");
+                    } else if (p.addr < hi && lo < p.addr + p.size) {
+                        // Partially overlapped: no longer a candidate.
+                    } else {
+                        kept.push_back(p);
+                    }
+                }
+                pending = std::move(kept);
+                pending.push_back({i, lo, s.size});
+            }
+        }
+    }
+}
+
+void
+pass_assume_placement(const ir::Program &program, const Cfg &cfg,
+                      Report &report)
+{
+    constexpr const char *kPass = "assume-placement";
+    for (const BlockId b : cfg.reverse_postorder()) {
+        const BasicBlock &block = cfg.blocks()[b];
+        bool after_memory = false;
+        for (u32 i = block.first; i < block.end; ++i) {
+            const ir::Stmt &s = program.stmts[i];
+            if (s.kind == StmtKind::Load || s.kind == StmtKind::Store) {
+                after_memory = true;
+                continue;
+            }
+            if (s.kind != StmtKind::Assume || !s.expr)
+                continue;
+            if (s.expr->is_const()) {
+                if (s.expr->value() != 0) {
+                    report.note(i, kPass,
+                                "vacuous assume of constant true");
+                } else {
+                    report.warning(i, kPass,
+                                   "assume of constant false makes "
+                                   "every path through it infeasible");
+                }
+                continue;
+            }
+            if (after_memory) {
+                report.note(i, kPass,
+                            "assume after a memory access in this "
+                            "block; hoisting it earlier prunes "
+                            "infeasible paths sooner");
+            }
+        }
+
+        // An Assume leading the block is redundant when every
+        // reachable predecessor edge is a CJmp that just decided the
+        // same condition.
+        u32 first_real = block.first;
+        while (first_real < block.end &&
+               program.stmts[first_real].kind == StmtKind::Comment) {
+            ++first_real;
+        }
+        if (first_real >= block.end ||
+            program.stmts[first_real].kind != StmtKind::Assume) {
+            continue;
+        }
+        const ExprRef &cond = program.stmts[first_real].expr;
+        if (!cond || cond->is_const())
+            continue;
+        bool any_pred = false;
+        bool all_redundant = true;
+        for (const BlockId p : block.preds) {
+            if (!cfg.reachable(p))
+                continue;
+            any_pred = true;
+            const ir::Stmt &last = program.stmts[cfg.blocks()[p].last()];
+            if (last.kind != StmtKind::CJmp) {
+                all_redundant = false;
+                break;
+            }
+            const bool via_true =
+                cfg.block_of(program.label_pos[last.target_true]) == b;
+            const bool via_false =
+                cfg.block_of(program.label_pos[last.target_false]) == b;
+            const bool redundant =
+                (via_true && !via_false &&
+                 Expr::equal(cond, last.expr)) ||
+                (via_false && !via_true &&
+                 is_negation_of(cond, last.expr));
+            if (!redundant) {
+                all_redundant = false;
+                break;
+            }
+        }
+        if (any_pred && all_redundant) {
+            report.note(first_real, kPass,
+                        "assume restates the branch condition that "
+                        "guards this block");
+        }
+    }
+}
+
+Report
+run_pipeline(const ir::Program &program)
+{
+    Report report = Verifier::check(program);
+    if (report.has_errors())
+        return report;
+    const Cfg cfg = Cfg::build(program);
+    pass_unreachable(program, cfg, report);
+    pass_dead_code(program, cfg, report);
+    pass_assume_placement(program, cfg, report);
+    return report;
+}
+
+} // namespace pokeemu::analysis

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Diagnostic lint passes over a verified IR program, and the standard
+ * pipeline combining them with the verifier.
+ *
+ * Each pass reads the program through a shared Cfg and appends
+ * findings to a Report. Lints never produce error severity: they flag
+ * constructs that execute correctly but waste exploration work or
+ * indicate generator mistakes (unreachable code, values computed and
+ * dropped, path constraints added later than necessary).
+ */
+#ifndef POKEEMU_ANALYSIS_PASSES_H
+#define POKEEMU_ANALYSIS_PASSES_H
+
+#include "analysis/cfg.h"
+#include "analysis/diagnostic.h"
+#include "analysis/verifier.h"
+
+namespace pokeemu::analysis {
+
+/**
+ * Flag statements no path from the entry can execute. The guard Halt
+ * that IrBuilder::finish() appends after a trailing jump is reported
+ * as a note; any other unreachable region is a warning.
+ */
+void pass_unreachable(const ir::Program &program, const Cfg &cfg,
+                      Report &report);
+
+/**
+ * Backward-liveness pass: flag Assigns whose value no later statement
+ * can read (warning), Loads whose value is never read (note — a load
+ * still concretizes its address, so it is not semantically dead), and
+ * Stores fully overwritten at the same constant address before any
+ * intervening read (warning).
+ */
+void pass_dead_code(const ir::Program &program, const Cfg &cfg,
+                    Report &report);
+
+/**
+ * Assume-placement lints: an Assume after a Load/Store in its block
+ * constrains the path later than necessary (note); an Assume of the
+ * same condition the controlling branch just decided is redundant
+ * (note); a constant-true Assume is vacuous (note) and a
+ * constant-false one makes every path through it infeasible
+ * (warning).
+ */
+void pass_assume_placement(const ir::Program &program, const Cfg &cfg,
+                           Report &report);
+
+/**
+ * The standard pipeline: Verifier::check, then — only when the
+ * program verified clean of errors, since the lints assume a
+ * well-formed CFG — every lint pass above.
+ */
+Report run_pipeline(const ir::Program &program);
+
+} // namespace pokeemu::analysis
+
+#endif // POKEEMU_ANALYSIS_PASSES_H

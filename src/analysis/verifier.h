@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Structural well-formedness verifier for IR programs.
+ *
+ * The whole pipeline — symbolic exploration, test generation, and
+ * cross-backend comparison — trusts the hand-written semantics
+ * generators; a width mismatch or dangling jump there silently
+ * corrupts every downstream result. The verifier machine-checks any
+ * ir::Program before it is executed:
+ *
+ *  - every label is bound to a statement inside the program;
+ *  - every statement is shape-correct for its kind (operand presence,
+ *    Load/Store sizes 1/2/4 with 32-bit addresses, 1-bit branch and
+ *    assume conditions, 32-bit halt codes);
+ *  - every expression tree is width-correct for its operator
+ *    (BinOpKind/UnOpKind/CastKind/Ite rules), and every Temp
+ *    reference matches Program::temp_width;
+ *  - every temp is defined (by an Assign or Load) on every path
+ *    before it is used — never-defined uses are errors, uses missing
+ *    a definition on only some paths are warnings;
+ *  - control cannot run past the end of the program, and every
+ *    reachable statement can reach a Halt (a reachable region with no
+ *    path to Halt is a guaranteed infinite loop).
+ *
+ * Error severity means "do not execute this program": the explorer
+ * checks it in its constructor and fails fast (explorer.cpp), and
+ * tools/ir_lint gates its exit status on it.
+ */
+#ifndef POKEEMU_ANALYSIS_VERIFIER_H
+#define POKEEMU_ANALYSIS_VERIFIER_H
+
+#include "analysis/diagnostic.h"
+#include "ir/stmt.h"
+
+namespace pokeemu::analysis {
+
+/** See file comment. */
+class Verifier
+{
+  public:
+    /** Run every check on @p program and collect the findings. */
+    static Report check(const ir::Program &program);
+};
+
+} // namespace pokeemu::analysis
+
+#endif // POKEEMU_ANALYSIS_VERIFIER_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Small statement/expression traversal helpers shared by the verifier
+ * and the lint passes: which temps a statement uses and defines, and a
+ * DAG-safe expression walk.
+ */
+#ifndef POKEEMU_ANALYSIS_WALK_H
+#define POKEEMU_ANALYSIS_WALK_H
+
+#include <unordered_set>
+
+#include "ir/stmt.h"
+
+namespace pokeemu::analysis {
+
+/**
+ * Invoke @p fn(temp_id, width) for every Temp leaf of @p expr.
+ * Shared subtrees are visited once per distinct node.
+ */
+template <typename Fn>
+void
+for_each_temp_use(const ir::ExprRef &expr, Fn &&fn)
+{
+    if (!expr)
+        return;
+    std::unordered_set<const ir::Expr *> seen;
+    std::vector<const ir::Expr *> stack{expr.get()};
+    while (!stack.empty()) {
+        const ir::Expr *e = stack.back();
+        stack.pop_back();
+        if (!e || !seen.insert(e).second)
+            continue;
+        if (e->kind() == ir::ExprKind::Temp)
+            fn(e->temp_id(), e->width());
+        stack.push_back(e->a().get());
+        stack.push_back(e->b().get());
+        stack.push_back(e->c().get());
+    }
+}
+
+/** Invoke @p fn(temp_id, width) for every temp @p stmt reads. */
+template <typename Fn>
+void
+for_each_stmt_use(const ir::Stmt &stmt, Fn &&fn)
+{
+    // Every statement kind reads at most expr and addr; defs are
+    // separate (stmt_def below).
+    for_each_temp_use(stmt.expr, fn);
+    for_each_temp_use(stmt.addr, fn);
+}
+
+/**
+ * The temp @p stmt writes, or -1 when it writes none (only Assign and
+ * Load define a temp).
+ */
+inline s64
+stmt_def(const ir::Stmt &stmt)
+{
+    if (stmt.kind == ir::StmtKind::Assign ||
+        stmt.kind == ir::StmtKind::Load) {
+        return stmt.temp;
+    }
+    return -1;
+}
+
+} // namespace pokeemu::analysis
+
+#endif // POKEEMU_ANALYSIS_WALK_H

@@ -1,5 +1,7 @@
 #include "symexec/explorer.h"
 
+#include "analysis/verifier.h"
+
 namespace pokeemu::symexec {
 
 using ir::ExprRef;
@@ -19,6 +21,16 @@ PathExplorer::PathExplorer(const ir::Program &program, VarPool &pool,
       config_(config), rng_(config.seed)
 {
     program_.validate();
+#ifndef NDEBUG
+    // Fail fast on malformed programs instead of producing garbage
+    // paths; this build keeps assertions on, so the full verifier runs
+    // here too (it is cheap next to path exploration).
+    const analysis::Report report = analysis::Verifier::check(program_);
+    if (report.has_errors()) {
+        panic("explorer: program '" + program_.name +
+              "' failed verification:\n" + report.to_string());
+    }
+#endif
 }
 
 ExprRef

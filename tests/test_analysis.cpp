@@ -1,0 +1,473 @@
+/**
+ * @file
+ * Tests for the IR static-analysis subsystem (analysis/): positive
+ * coverage — every shipped semantics program verifies clean of
+ * errors — and negative coverage proving each verifier check and lint
+ * pass actually fires on a program crafted to violate it.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.h"
+#include "analysis/passes.h"
+#include "analysis/verifier.h"
+#include "arch/decoder.h"
+#include "hifi/decoder_ir.h"
+#include "hifi/semantics.h"
+#include "ir/builder.h"
+
+namespace pokeemu {
+namespace {
+
+using analysis::Cfg;
+using analysis::Report;
+using analysis::Severity;
+using analysis::Verifier;
+using ir::ExprRef;
+using ir::IrBuilder;
+using ir::Program;
+using ir::Stmt;
+using ir::StmtKind;
+namespace E = ir::E;
+
+/** True when @p report holds a finding of @p severity mentioning
+ *  @p needle. */
+bool
+has_finding(const Report &report, Severity severity,
+            const std::string &needle)
+{
+    for (const analysis::Diagnostic &d : report.diagnostics()) {
+        if (d.severity == severity &&
+            d.message.find(needle) != std::string::npos) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/** A minimal well-formed program: assign then halt. */
+Program
+trivial_program()
+{
+    IrBuilder b("trivial");
+    b.halt(0);
+    return b.finish();
+}
+
+// ---------------------------------------------------------------------
+// Positive cases: the shipped semantics, decoder, and helper programs
+// all verify clean of error-severity findings.
+// ---------------------------------------------------------------------
+
+TEST(AnalysisPositive, EveryInsnTableProgramVerifiesClean)
+{
+    const auto &table = arch::insn_table();
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        const std::vector<u8> bytes =
+            arch::canonical_encoding(static_cast<int>(i));
+        arch::DecodedInsn insn;
+        ASSERT_EQ(arch::decode(bytes.data(), bytes.size(), insn),
+                  arch::DecodeStatus::Ok)
+            << "entry " << i << " (" << table[i].mnemonic << ")";
+        const Report report =
+            analysis::run_pipeline(hifi::build_semantics(insn));
+        EXPECT_FALSE(report.has_errors())
+            << "entry " << i << " (" << table[i].mnemonic << "):\n"
+            << report.to_string();
+    }
+}
+
+TEST(AnalysisPositive, DecoderAndHelperProgramsVerifyClean)
+{
+    const Report decoder =
+        analysis::run_pipeline(hifi::build_decoder_program());
+    EXPECT_FALSE(decoder.has_errors()) << decoder.to_string();
+
+    const Report helper =
+        analysis::run_pipeline(hifi::build_descriptor_load_helper());
+    EXPECT_FALSE(helper.has_errors()) << helper.to_string();
+}
+
+TEST(AnalysisPositive, TrivialProgramIsCompletelyClean)
+{
+    EXPECT_TRUE(analysis::run_pipeline(trivial_program()).empty());
+}
+
+// ---------------------------------------------------------------------
+// Cfg construction.
+// ---------------------------------------------------------------------
+
+TEST(AnalysisCfg, DiamondPartitionsIntoFourReachableBlocks)
+{
+    IrBuilder b("diamond");
+    const ExprRef cond = E::var(0, "c", 1);
+    const ir::Label then_l = b.label();
+    const ir::Label else_l = b.label();
+    const ir::Label join = b.label();
+    b.cjmp(cond, then_l, else_l);
+    b.bind(then_l);
+    b.jmp(join);
+    b.bind(else_l);
+    b.jmp(join);
+    b.bind(join);
+    b.halt(0);
+    const Program p = b.finish();
+
+    const Cfg cfg = Cfg::build(p);
+    ASSERT_EQ(cfg.num_blocks(), 4u);
+    EXPECT_EQ(cfg.blocks()[cfg.entry()].succs.size(), 2u);
+    const auto &rpo = cfg.reverse_postorder();
+    ASSERT_EQ(rpo.size(), 4u);
+    EXPECT_EQ(rpo.front(), cfg.entry());
+    // The join is last in RPO and has both arms as predecessors.
+    const analysis::BlockId join_block = rpo.back();
+    EXPECT_EQ(cfg.blocks()[join_block].preds.size(), 2u);
+    for (analysis::BlockId blk = 0; blk < cfg.num_blocks(); ++blk)
+        EXPECT_TRUE(cfg.reachable(blk));
+}
+
+TEST(AnalysisCfg, CodeAfterHaltFormsUnreachableBlock)
+{
+    Program p;
+    p.name = "after-halt";
+    Stmt halt;
+    halt.kind = StmtKind::Halt;
+    halt.expr = E::constant(32, 0);
+    p.stmts.push_back(halt);
+    p.stmts.push_back(halt);
+    const Cfg cfg = Cfg::build(p);
+    ASSERT_EQ(cfg.num_blocks(), 2u);
+    EXPECT_TRUE(cfg.reachable(0));
+    EXPECT_FALSE(cfg.reachable(1));
+}
+
+// ---------------------------------------------------------------------
+// Negative cases: each verifier check fires.
+// ---------------------------------------------------------------------
+
+TEST(AnalysisVerifier, DanglingLabelIsAnError)
+{
+    Program p = trivial_program();
+    p.label_pos.push_back(17); // Way past the end.
+    const Report report = Verifier::check(p);
+    EXPECT_TRUE(has_finding(report, Severity::Error,
+                            "unbound or out of range"));
+}
+
+TEST(AnalysisVerifier, AssignWidthMismatchIsAnError)
+{
+    Program p;
+    p.name = "width-mismatch";
+    p.temp_width.push_back(8);
+    Stmt assign;
+    assign.kind = StmtKind::Assign;
+    assign.temp = 0;
+    assign.expr = E::constant(32, 5); // 32-bit value into 8-bit temp.
+    p.stmts.push_back(assign);
+    Stmt halt;
+    halt.kind = StmtKind::Halt;
+    halt.expr = E::constant(32, 0);
+    p.stmts.push_back(halt);
+    const Report report = Verifier::check(p);
+    EXPECT_TRUE(has_finding(report, Severity::Error,
+                            "assign of 32-bit value"));
+}
+
+TEST(AnalysisVerifier, UseBeforeDefIsAnError)
+{
+    Program p;
+    p.name = "use-before-def";
+    p.temp_width.push_back(32);
+    Stmt halt;
+    halt.kind = StmtKind::Halt;
+    halt.expr = E::temp(0, 32); // t0 is never assigned.
+    p.stmts.push_back(halt);
+    const Report report = Verifier::check(p);
+    EXPECT_TRUE(
+        has_finding(report, Severity::Error, "never defined"));
+}
+
+TEST(AnalysisVerifier, PartialDefinitionIsAWarningNotAnError)
+{
+    // t assigned on one arm of a diamond only, used after the join.
+    IrBuilder b("partial-def");
+    Program p;
+    {
+        const ExprRef cond = E::var(0, "c", 1);
+        const ir::Label skip = b.label();
+        b.unless_goto(cond, skip);
+        const ExprRef t = b.assign(E::var(1, "x", 32));
+        (void)t;
+        b.bind(skip);
+        b.halt(E::temp(0, 32));
+        p = b.finish();
+    }
+    const Report report = Verifier::check(p);
+    EXPECT_FALSE(report.has_errors()) << report.to_string();
+    EXPECT_TRUE(has_finding(report, Severity::Warning,
+                            "may be used before definition"));
+}
+
+TEST(AnalysisVerifier, MissingHaltIsAnError)
+{
+    Program p;
+    p.name = "missing-halt";
+    p.temp_width.push_back(32);
+    Stmt assign;
+    assign.kind = StmtKind::Assign;
+    assign.temp = 0;
+    assign.expr = E::constant(32, 1);
+    p.stmts.push_back(assign); // Control runs off the end.
+    const Report report = Verifier::check(p);
+    EXPECT_TRUE(has_finding(report, Severity::Error,
+                            "run past the end"));
+}
+
+TEST(AnalysisVerifier, EmptyProgramIsAnError)
+{
+    const Report report = Verifier::check(Program{});
+    EXPECT_TRUE(has_finding(report, Severity::Error, "empty program"));
+}
+
+TEST(AnalysisVerifier, InfiniteLoopIsAnError)
+{
+    IrBuilder b("spin");
+    const ir::Label top = b.here();
+    b.jmp(top);
+    const Report report = Verifier::check(b.finish());
+    EXPECT_TRUE(has_finding(report, Severity::Error,
+                            "guaranteed infinite loop"));
+}
+
+TEST(AnalysisVerifier, BadLoadSizeIsAnError)
+{
+    Program p;
+    p.name = "bad-load";
+    p.temp_width.push_back(24);
+    Stmt load;
+    load.kind = StmtKind::Load;
+    load.temp = 0;
+    load.addr = E::constant(32, 0x1000);
+    load.size = 3;
+    p.stmts.push_back(load);
+    Stmt halt;
+    halt.kind = StmtKind::Halt;
+    halt.expr = E::constant(32, 0);
+    p.stmts.push_back(halt);
+    const Report report = Verifier::check(p);
+    EXPECT_TRUE(has_finding(report, Severity::Error,
+                            "access size 3 not in {1, 2, 4}"));
+}
+
+TEST(AnalysisVerifier, NarrowBranchConditionIsAnError)
+{
+    Program p;
+    p.name = "wide-cond";
+    p.label_pos.push_back(1);
+    Stmt cjmp;
+    cjmp.kind = StmtKind::CJmp;
+    cjmp.expr = E::var(0, "c", 8); // Must be 1 bit.
+    cjmp.target_true = 0;
+    cjmp.target_false = 0;
+    p.stmts.push_back(cjmp);
+    Stmt halt;
+    halt.kind = StmtKind::Halt;
+    halt.expr = E::constant(32, 0);
+    p.stmts.push_back(halt);
+    const Report report = Verifier::check(p);
+    EXPECT_TRUE(has_finding(report, Severity::Error,
+                            "condition must be 1 bit wide"));
+}
+
+TEST(AnalysisVerifier, TempReferenceWidthMismatchIsAnError)
+{
+    Program p;
+    p.name = "temp-ref-width";
+    p.temp_width.push_back(32);
+    Stmt assign;
+    assign.kind = StmtKind::Assign;
+    assign.temp = 0;
+    assign.expr = E::constant(32, 0);
+    p.stmts.push_back(assign);
+    Stmt halt;
+    halt.kind = StmtKind::Halt;
+    // References the 32-bit t0 at width 16.
+    halt.expr = E::zext(E::temp(0, 16), 32);
+    p.stmts.push_back(halt);
+    const Report report = Verifier::check(p);
+    EXPECT_TRUE(has_finding(report, Severity::Error,
+                            "referenced at width 16 but declared 32"));
+}
+
+TEST(AnalysisVerifier, UndeclaredTempInExpressionIsAnError)
+{
+    Program p;
+    p.name = "undeclared-temp";
+    Stmt halt;
+    halt.kind = StmtKind::Halt;
+    halt.expr = E::temp(4, 32); // No temps declared at all.
+    p.stmts.push_back(halt);
+    const Report report = Verifier::check(p);
+    EXPECT_TRUE(has_finding(report, Severity::Error,
+                            "undeclared temp"));
+}
+
+// ---------------------------------------------------------------------
+// Lint passes.
+// ---------------------------------------------------------------------
+
+TEST(AnalysisLint, UnreachableCodeIsAWarning)
+{
+    Program p;
+    p.name = "unreachable";
+    p.temp_width.push_back(32);
+    Stmt halt;
+    halt.kind = StmtKind::Halt;
+    halt.expr = E::constant(32, 0);
+    p.stmts.push_back(halt);
+    Stmt assign; // Never executed.
+    assign.kind = StmtKind::Assign;
+    assign.temp = 0;
+    assign.expr = E::constant(32, 1);
+    p.stmts.push_back(assign);
+    p.stmts.push_back(halt);
+    const Report report = analysis::run_pipeline(p);
+    EXPECT_FALSE(report.has_errors()) << report.to_string();
+    EXPECT_TRUE(
+        has_finding(report, Severity::Warning, "unreachable"));
+}
+
+TEST(AnalysisLint, BuilderGuardHaltIsOnlyANote)
+{
+    // End the body on a backward jmp so finish() appends its guard
+    // Halt, which is unreachable by construction.
+    IrBuilder b("guarded");
+    const ir::Label halt_l = b.label();
+    const ir::Label skip = b.label();
+    b.jmp(skip);
+    b.bind(halt_l);
+    b.halt(0);
+    b.bind(skip);
+    b.jmp(halt_l);
+    const Program p = b.finish();
+    ASSERT_EQ(p.stmts.back().kind, StmtKind::Halt);
+    const Report report = analysis::run_pipeline(p);
+    EXPECT_FALSE(report.has_errors()) << report.to_string();
+    EXPECT_FALSE(has_finding(report, Severity::Warning,
+                             "unreachable"));
+    EXPECT_TRUE(has_finding(report, Severity::Note, "guard Halt"));
+}
+
+TEST(AnalysisLint, DeadAssignmentIsAWarning)
+{
+    IrBuilder b("dead-assign");
+    b.assign(E::var(0, "x", 32), "unused");
+    b.halt(0);
+    const Report report = analysis::run_pipeline(b.finish());
+    EXPECT_FALSE(report.has_errors());
+    EXPECT_TRUE(has_finding(report, Severity::Warning,
+                            "dead assignment"));
+}
+
+TEST(AnalysisLint, DeadStoreIsAWarning)
+{
+    IrBuilder b("dead-store");
+    b.store(E::constant(32, 0x2000), 4, E::var(0, "x", 32));
+    b.store(E::constant(32, 0x2000), 4, E::var(1, "y", 32));
+    b.halt(0);
+    const Report report = analysis::run_pipeline(b.finish());
+    EXPECT_TRUE(has_finding(report, Severity::Warning, "dead store"));
+}
+
+TEST(AnalysisLint, InterveningLoadKeepsStoreAlive)
+{
+    IrBuilder b("live-store");
+    b.store(E::constant(32, 0x2000), 4, E::var(0, "x", 32));
+    const ExprRef loaded = b.load(E::constant(32, 0x2000), 4);
+    b.store(E::constant(32, 0x2000), 4, E::var(1, "y", 32));
+    b.halt(E::zext(E::extract(loaded, 0, 8), 32));
+    const Report report = analysis::run_pipeline(b.finish());
+    EXPECT_FALSE(has_finding(report, Severity::Warning, "dead store"));
+}
+
+TEST(AnalysisLint, RedundantAssumeAfterBranchIsANote)
+{
+    IrBuilder b("redundant-assume");
+    const ExprRef cond = E::var(0, "c", 1);
+    const ir::Label yes = b.label();
+    const ir::Label no = b.label();
+    b.cjmp(cond, yes, no);
+    b.bind(yes);
+    b.assume(cond); // The branch already decided this.
+    b.halt(1);
+    b.bind(no);
+    b.halt(0);
+    const Report report = analysis::run_pipeline(b.finish());
+    EXPECT_TRUE(has_finding(report, Severity::Note,
+                            "restates the branch condition"));
+}
+
+TEST(AnalysisLint, AssumeAfterMemoryAccessIsANote)
+{
+    IrBuilder b("late-assume");
+    b.store(E::constant(32, 0x3000), 4, E::var(0, "x", 32));
+    b.assume(E::var(1, "c", 1));
+    b.halt(0);
+    const Report report = analysis::run_pipeline(b.finish());
+    EXPECT_TRUE(has_finding(report, Severity::Note,
+                            "assume after a memory access"));
+}
+
+TEST(AnalysisLint, ConstantFalseAssumeIsAWarning)
+{
+    IrBuilder b("false-assume");
+    b.assume(E::bool_const(false));
+    b.halt(0);
+    const Report report = analysis::run_pipeline(b.finish());
+    EXPECT_TRUE(has_finding(report, Severity::Warning,
+                            "constant false"));
+}
+
+TEST(AnalysisLint, LintsAreSkippedWhenVerificationFails)
+{
+    Program p;
+    p.name = "broken";
+    p.label_pos.push_back(42); // Dangling label.
+    Stmt halt;
+    halt.kind = StmtKind::Halt;
+    halt.expr = E::constant(32, 0);
+    p.stmts.push_back(halt);
+    const Report report = analysis::run_pipeline(p);
+    EXPECT_TRUE(report.has_errors());
+    for (const analysis::Diagnostic &d : report.diagnostics())
+        EXPECT_EQ(d.pass, "verifier");
+}
+
+// ---------------------------------------------------------------------
+// Report plumbing.
+// ---------------------------------------------------------------------
+
+TEST(AnalysisReport, CountsAndFormatting)
+{
+    Report report;
+    report.error(3, "verifier", "broken thing");
+    report.warning(analysis::kNoStmt, "lint", "iffy thing");
+    report.note(0, "lint", "fyi");
+    EXPECT_EQ(report.count(Severity::Error), 1u);
+    EXPECT_EQ(report.count(Severity::Warning), 1u);
+    EXPECT_EQ(report.count(Severity::Note), 1u);
+    EXPECT_TRUE(report.has_errors());
+    const std::string text = report.to_string();
+    EXPECT_NE(text.find("error: [verifier] stmt 3: broken thing"),
+              std::string::npos);
+    // Program-level findings carry no statement anchor.
+    EXPECT_NE(text.find("warning: [lint] iffy thing"),
+              std::string::npos);
+
+    Report other;
+    other.error(1, "verifier", "more");
+    report.merge(other);
+    EXPECT_EQ(report.count(Severity::Error), 2u);
+}
+
+} // namespace
+} // namespace pokeemu

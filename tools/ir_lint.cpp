@@ -1,0 +1,179 @@
+/**
+ * @file
+ * ir_lint: run the IR verifier and lint passes over every instruction
+ * semantics program in the insn_table, plus the symbolically explored
+ * decoder and the descriptor-load helper.
+ *
+ * For each instruction the driver lifts the semantics exactly the way
+ * the pipeline does — canonical encoding, concrete decode, IR
+ * generation — and runs analysis::run_pipeline over the result. The
+ * exit status is nonzero when any error-severity finding exists, so
+ * the ctest registration (tools/CMakeLists.txt) makes semantics
+ * regressions fail the suite.
+ *
+ * Usage:
+ *   ir_lint --all            lint every program (default)
+ *   ir_lint --insn N         lint one table entry
+ *   ir_lint --verbose        print notes too, with statement text
+ *   ir_lint --quiet          print errors only
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/passes.h"
+#include "arch/decoder.h"
+#include "arch/insn_table.h"
+#include "hifi/decoder_ir.h"
+#include "hifi/semantics.h"
+#include "ir/printer.h"
+
+namespace {
+
+using namespace pokeemu;
+
+struct Options
+{
+    bool verbose = false;
+    bool quiet = false;
+    int only_insn = -1; ///< -1: every program.
+};
+
+struct Totals
+{
+    std::size_t programs = 0;
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+    std::size_t notes = 0;
+};
+
+void
+print_findings(const ir::Program &program,
+               const analysis::Report &report, const Options &opt)
+{
+    for (const analysis::Diagnostic &d : report.diagnostics()) {
+        if (d.severity == analysis::Severity::Note && !opt.verbose)
+            continue;
+        if (d.severity != analysis::Severity::Error && opt.quiet)
+            continue;
+        std::printf("  %s\n", d.to_string().c_str());
+        if (opt.verbose && d.stmt_index != analysis::kNoStmt &&
+            d.stmt_index < program.stmts.size()) {
+            std::printf(
+                "      > %s\n",
+                ir::to_string(program.stmts[d.stmt_index]).c_str());
+        }
+    }
+}
+
+void
+lint_program(const std::string &title, const ir::Program &program,
+             const Options &opt, Totals &totals)
+{
+    const analysis::Report report = analysis::run_pipeline(program);
+    const std::size_t errors =
+        report.count(analysis::Severity::Error);
+    const std::size_t warnings =
+        report.count(analysis::Severity::Warning);
+    const std::size_t notes = report.count(analysis::Severity::Note);
+    ++totals.programs;
+    totals.errors += errors;
+    totals.warnings += warnings;
+    totals.notes += notes;
+
+    const bool print_header =
+        errors != 0 || (!opt.quiet && warnings != 0) ||
+        (opt.verbose && !report.empty());
+    if (print_header) {
+        std::printf("%s: %zu error%s, %zu warning%s, %zu note%s\n",
+                    title.c_str(), errors, errors == 1 ? "" : "s",
+                    warnings, warnings == 1 ? "" : "s", notes,
+                    notes == 1 ? "" : "s");
+        print_findings(program, report, opt);
+    }
+}
+
+int
+lint_insn(int index, const Options &opt, Totals &totals)
+{
+    const arch::InsnDesc &desc = arch::insn_table()[index];
+    const std::vector<u8> bytes = arch::canonical_encoding(index);
+    arch::DecodedInsn insn;
+    if (arch::decode(bytes.data(), bytes.size(), insn) !=
+        arch::DecodeStatus::Ok) {
+        std::printf("[%3d] %s: canonical encoding does not decode\n",
+                    index, desc.mnemonic);
+        ++totals.errors;
+        return 1;
+    }
+    char title[128];
+    std::snprintf(title, sizeof title, "[%3d] %s", index,
+                  desc.mnemonic);
+    lint_program(title, hifi::build_semantics(insn), opt, totals);
+    return 0;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--all] [--insn N] [--verbose] [--quiet]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--all")) {
+            opt.only_insn = -1;
+        } else if (!std::strcmp(argv[i], "--insn") && i + 1 < argc) {
+            char *end = nullptr;
+            const long v = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || v < 0)
+                return usage(argv[0]);
+            opt.only_insn = static_cast<int>(v);
+        } else if (!std::strcmp(argv[i], "--verbose") ||
+                   !std::strcmp(argv[i], "-v")) {
+            opt.verbose = true;
+        } else if (!std::strcmp(argv[i], "--quiet") ||
+                   !std::strcmp(argv[i], "-q")) {
+            opt.quiet = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    Totals totals;
+    const int table_size =
+        static_cast<int>(arch::insn_table().size());
+    if (opt.only_insn >= 0) {
+        if (opt.only_insn >= table_size) {
+            std::fprintf(stderr, "ir_lint: --insn %d out of range\n",
+                         opt.only_insn);
+            return 2;
+        }
+        lint_insn(opt.only_insn, opt, totals);
+    } else {
+        for (int i = 0; i < table_size; ++i)
+            lint_insn(i, opt, totals);
+        lint_program("[decoder]", hifi::build_decoder_program(), opt,
+                     totals);
+        lint_program("[descriptor-load helper]",
+                     hifi::build_descriptor_load_helper(), opt,
+                     totals);
+    }
+
+    std::printf("ir_lint: %zu program%s checked: %zu error%s, "
+                "%zu warning%s, %zu note%s\n",
+                totals.programs, totals.programs == 1 ? "" : "s",
+                totals.errors, totals.errors == 1 ? "" : "s",
+                totals.warnings, totals.warnings == 1 ? "" : "s",
+                totals.notes, totals.notes == 1 ? "" : "s");
+    return totals.errors == 0 ? 0 : 1;
+}
