@@ -59,6 +59,10 @@ explore_program(const ir::Program &semantics, const StateSpec &spec,
     config.max_steps = options.max_steps;
     config.seed = options.seed;
     config.preconditions = spec.preconditions(pool);
+    config.deadline = options.deadline;
+    config.solver_query_ms = options.solver_query_ms;
+    config.solver_query_steps = options.solver_query_steps;
+    config.injector = options.injector;
 
     symexec::PathExplorer explorer(semantics, pool,
                                    spec.initial_fn(pool), config);

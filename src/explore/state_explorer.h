@@ -13,6 +13,7 @@
 #include "explore/state_spec.h"
 #include "hifi/semantics.h"
 #include "hifi/sequence.h"
+#include "support/fault.h"
 #include "symexec/minimize.h"
 
 namespace pokeemu::explore {
@@ -31,6 +32,15 @@ struct StateExploreOptions
     bool minimize = true;
     /** Hi-Fi far-pointer fetch order (see SemanticsOptions). */
     bool hifi_far_fetch_order = true;
+    /** Whole-exploration budget; expiry ends the exploration
+     *  gracefully with `stats.deadline_expired` set. */
+    support::Deadline deadline{};
+    /** Per-solver-query budget (0 = unlimited); over-budget queries
+     *  throw FaultError(SolverTimeout). */
+    u64 solver_query_ms = 0;
+    u64 solver_query_steps = 0;
+    /** Chaos hook threaded down to explorer and solver (not owned). */
+    support::FaultInjector *injector = nullptr;
 };
 
 /** One explored path's test state. */

@@ -1,6 +1,8 @@
 #include "harness/cluster.h"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
 #include <sstream>
 
 #include "arch/layout.h"
@@ -166,7 +168,13 @@ RootCauseClusterer::add(u64 test_id, const arch::DecodedInsn &insn,
                         const arch::SnapshotDiff &diff,
                         const arch::Snapshot &a, const arch::Snapshot &b)
 {
-    const std::string cause = classify_difference(insn, diff, a, b);
+    add_named(test_id, insn, classify_difference(insn, diff, a, b));
+}
+
+void
+RootCauseClusterer::add_named(u64 test_id, const arch::DecodedInsn &insn,
+                              const std::string &cause)
+{
     Cluster &c = clusters_[cause];
     if (c.count == 0) {
         c.root_cause = cause;
@@ -175,6 +183,45 @@ RootCauseClusterer::add(u64 test_id, const arch::DecodedInsn &insn,
     ++c.count;
     c.mnemonics.insert(insn.desc->mnemonic);
     ++total_;
+}
+
+void
+RootCauseClusterer::save(std::ostream &out) const
+{
+    out << "clusters " << clusters_.size() << "\n";
+    for (const auto &[cause, c] : clusters_) {
+        out << cause << " " << c.count << " " << c.example_test << " "
+            << c.mnemonics.size();
+        for (const auto &m : c.mnemonics)
+            out << " " << m;
+        out << "\n";
+    }
+}
+
+void
+RootCauseClusterer::load(std::istream &in)
+{
+    clusters_.clear();
+    total_ = 0;
+    std::string tag;
+    std::size_t n = 0;
+    if (!(in >> tag >> n) || tag != "clusters")
+        throw std::logic_error("cluster checkpoint: bad header");
+    for (std::size_t i = 0; i < n; ++i) {
+        Cluster c;
+        std::size_t nmnem = 0;
+        if (!(in >> c.root_cause >> c.count >> c.example_test >> nmnem))
+            throw std::logic_error("cluster checkpoint: truncated row");
+        for (std::size_t m = 0; m < nmnem; ++m) {
+            std::string mnem;
+            if (!(in >> mnem))
+                throw std::logic_error(
+                    "cluster checkpoint: truncated mnemonics");
+            c.mnemonics.insert(mnem);
+        }
+        total_ += c.count;
+        clusters_.emplace(c.root_cause, std::move(c));
+    }
 }
 
 std::vector<Cluster>

@@ -13,6 +13,7 @@
 #ifndef POKEEMU_HARNESS_CLUSTER_H
 #define POKEEMU_HARNESS_CLUSTER_H
 
+#include <iosfwd>
 #include <map>
 #include <set>
 
@@ -52,8 +53,23 @@ class RootCauseClusterer
              const arch::SnapshotDiff &diff, const arch::Snapshot &a,
              const arch::Snapshot &b);
 
+    /**
+     * Record a difference with a pre-computed root cause — used for
+     * divergences that are not state diffs, e.g. "one backend timed
+     * out" (where snapshot comparison would be spurious).
+     */
+    void add_named(u64 test_id, const arch::DecodedInsn &insn,
+                   const std::string &cause);
+
     /** Clusters sorted by descending population. */
     std::vector<Cluster> clusters() const;
+
+    /// @name Checkpoint support (whitespace-separated text rows).
+    /// @{
+    void save(std::ostream &out) const;
+    /** Replaces contents; throws std::logic_error on malformed input. */
+    void load(std::istream &in);
+    /// @}
 
     u64 total() const { return total_; }
 

@@ -1,6 +1,23 @@
 #include "harness/runner.h"
 
+#include "testgen/testgen.h"
+
 namespace pokeemu::harness {
+
+namespace {
+
+support::FaultSite
+injection_site(Backend backend)
+{
+    switch (backend) {
+      case Backend::HiFi: return support::FaultSite::BackendHiFi;
+      case Backend::LoFi: return support::FaultSite::BackendLoFi;
+      case Backend::Hardware: return support::FaultSite::BackendHw;
+    }
+    return support::FaultSite::BackendHw;
+}
+
+} // namespace
 
 const char *
 backend_name(Backend backend)
@@ -35,12 +52,27 @@ TestRunner::run_one_into(Backend backend,
                          const std::vector<u8> &test_program,
                          BackendRun &out)
 {
+    if (config_.injector) {
+        config_.injector->maybe_fail(
+            injection_site(backend),
+            std::string("runner: ") + backend_name(backend));
+    }
+
     // Build the test image in the reusable buffer: copy the immutable
     // baseline template, then install the test program.
     const std::vector<u8> &tpl = testgen::baseline_ram_template();
     image_.assign(tpl.begin(), tpl.end());
-    assert(arch::layout::kPhysTestCode + test_program.size() <=
-           image_.size());
+    // An oversized program would overrun the image (UB in a build
+    // without asserts); reject it as a quarantinable per-test fault.
+    if (test_program.size() > testgen::kMaxTestProgramBytes ||
+        arch::layout::kPhysTestCode + test_program.size() >
+            image_.size()) {
+        throw support::FaultError(
+            support::FaultClass::Execution,
+            "runner: test program (" +
+                std::to_string(test_program.size()) +
+                " bytes) exceeds the test-code region");
+    }
     std::copy(test_program.begin(), test_program.end(),
               image_.begin() + arch::layout::kPhysTestCode);
     const arch::CpuState reset = testgen::make_reset_state();

@@ -11,6 +11,7 @@
 #include "hifi/hifi_emulator.h"
 #include "hw/vmm.h"
 #include "lofi/lofi_emulator.h"
+#include "support/fault.h"
 #include "testgen/baseline.h"
 
 namespace pokeemu::harness {
@@ -45,6 +46,8 @@ class TestRunner
         lofi::BugConfig bugs{};
         hifi::SemanticsOptions hifi_options{};
         u64 max_insns = 1u << 14;
+        /** Chaos hook: one occurrence per backend run (not owned). */
+        support::FaultInjector *injector = nullptr;
     };
 
     TestRunner(); ///< Default configuration (all Lo-Fi bugs seeded).
@@ -61,6 +64,10 @@ class TestRunner
      * Like run_one, but snapshots into @p out's reusable buffers.
      * Tests run by the thousand and a fresh 4 MiB snapshot allocation
      * per run would dominate the measured execution cost.
+     *
+     * Throws FaultError(Execution) for a test program too large for
+     * the test-code region (quarantinable per-test fault rather than
+     * an image overrun).
      */
     void run_one_into(Backend backend,
                       const std::vector<u8> &test_program,

@@ -12,6 +12,19 @@ namespace {
 
 constexpr const char *kMagic = "pokeemu-corpus-v1";
 
+/**
+ * Malformed corpus input is a caller-facing error (the documented
+ * std::logic_error of load_corpus), not an internal invariant — a
+ * truncated file must not read as a library bug.
+ */
+[[noreturn]] void
+corpus_error(const std::string &message)
+{
+    throw std::logic_error("corpus: " + message);
+}
+
+} // namespace
+
 std::string
 hex_encode(const std::vector<u8> &bytes)
 {
@@ -29,14 +42,14 @@ std::vector<u8>
 hex_decode(const std::string &hex)
 {
     if (hex.size() % 2)
-        panic("corpus: odd hex length");
+        corpus_error("odd hex length");
     std::vector<u8> out(hex.size() / 2);
     auto nibble = [](char c) -> unsigned {
         if (c >= '0' && c <= '9')
             return static_cast<unsigned>(c - '0');
         if (c >= 'a' && c <= 'f')
             return static_cast<unsigned>(c - 'a' + 10);
-        panic("corpus: bad hex digit");
+        corpus_error("bad hex digit");
     };
     for (std::size_t i = 0; i < out.size(); ++i) {
         out[i] = static_cast<u8>((nibble(hex[2 * i]) << 4) |
@@ -44,8 +57,6 @@ hex_decode(const std::string &hex)
     }
     return out;
 }
-
-} // namespace
 
 void
 save_corpus(std::ostream &out, const std::vector<GeneratedTest> &tests)
@@ -63,16 +74,17 @@ load_corpus(std::istream &in)
 {
     std::string magic;
     if (!std::getline(in, magic) || magic != kMagic)
-        panic("corpus: bad header");
+        corpus_error("bad header");
     std::size_t count = 0;
-    in >> count;
+    if (!(in >> count))
+        corpus_error("missing entry count");
     std::vector<CorpusTest> tests;
-    tests.reserve(count);
+    tests.reserve(std::min<std::size_t>(count, 1u << 20));
     for (std::size_t i = 0; i < count; ++i) {
         CorpusTest t;
         std::string hex;
         if (!(in >> t.id >> t.test_insn_offset >> t.mnemonic >> hex))
-            panic("corpus: truncated entry");
+            corpus_error("truncated entry");
         t.code = hex_decode(hex);
         tests.push_back(std::move(t));
     }

@@ -33,6 +33,14 @@ struct CorpusTest
     std::string mnemonic;
 };
 
+/// @name Serialization idiom shared with checkpoint files
+/// (resilience.h): lowercase hex, no separators.
+/// @{
+std::string hex_encode(const std::vector<u8> &bytes);
+/** Throws std::logic_error on odd length or non-hex characters. */
+std::vector<u8> hex_decode(const std::string &hex);
+/// @}
+
 /** Serialize @p tests to @p out. */
 void save_corpus(std::ostream &out,
                  const std::vector<GeneratedTest> &tests);

@@ -8,6 +8,10 @@
 
 namespace pokeemu {
 
+using support::FaultClass;
+using support::FaultSite;
+using support::Stage;
+
 namespace {
 
 double
@@ -18,24 +22,149 @@ seconds_since(std::chrono::steady_clock::time_point start)
         .count();
 }
 
+/** splitmix64-style fingerprint accumulation. */
+u64
+fp_mix(u64 x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+void
+fp_add(u64 &h, u64 v)
+{
+    h = fp_mix(h ^ fp_mix(v));
+}
+
 } // namespace
+
+u64
+options_fingerprint(const PipelineOptions &options)
+{
+    u64 h = 0x706f6b65656d7531ULL; // "pokeemu1"
+    fp_add(h, options.max_paths_per_insn);
+    fp_add(h, options.max_paths_rep);
+    fp_add(h, options.seed);
+    fp_add(h, options.instruction_filter.size());
+    for (int index : options.instruction_filter)
+        fp_add(h, static_cast<u64>(index));
+    fp_add(h, options.max_instructions);
+    fp_add(h, options.use_descriptor_summary);
+    fp_add(h, options.minimize);
+    fp_add(h, options.max_insns_per_test);
+    const lofi::BugConfig &b = options.bugs;
+    fp_add(h, (u64{b.no_segment_checks} << 0) |
+               (u64{b.leave_nonatomic} << 1) |
+               (u64{b.cmpxchg_nonatomic} << 2) |
+               (u64{b.iret_pop_order} << 3) |
+               (u64{b.rdmsr_no_gp} << 4) |
+               (u64{b.no_accessed_flag} << 5) |
+               (u64{b.reject_valid_encodings} << 6) |
+               (u64{b.undef_flags_divergence} << 7));
+    return h;
+}
 
 Pipeline::Pipeline(PipelineOptions options)
     : options_(options),
-      summary_(hifi::summarize_descriptor_load(summary_pool_))
+      summary_(hifi::summarize_descriptor_load(summary_pool_)),
+      injector_(options.resilience.faults)
 {
     spec_ = std::make_unique<explore::StateSpec>(
         testgen::baseline_cpu_state(), testgen::baseline_ram_after_init(),
         &summary_);
+    checkpoint_.fingerprint = options_fingerprint(options_);
+    const ResilienceOptions &res = options_.resilience;
+    if (res.resume && !res.checkpoint_path.empty()) {
+        resumed_ = load_checkpoint_file(res.checkpoint_path);
+        if (resumed_ &&
+            resumed_->fingerprint != checkpoint_.fingerprint) {
+            throw std::logic_error(
+                "checkpoint: '" + res.checkpoint_path +
+                "' was written under different pipeline options; "
+                "refusing to resume");
+        }
+    }
 }
 
 Pipeline::~Pipeline() = default;
+
+void
+Pipeline::quarantine(Stage stage, std::string unit, FaultClass cls,
+                     std::string message)
+{
+    log_warn("pipeline: quarantined [", support::stage_name(stage),
+             "] ", unit, ": ", message);
+    stats_.quarantine.add(stage, std::move(unit), cls,
+                          std::move(message));
+}
+
+void
+Pipeline::write_checkpoint()
+{
+    if (options_.resilience.checkpoint_path.empty())
+        return;
+    save_checkpoint_file(options_.resilience.checkpoint_path,
+                         checkpoint_);
+    ++stats_.checkpoints_written;
+}
+
+void
+Pipeline::restore_unit(const CheckpointUnit &unit, u64 &next_test_id)
+{
+    ++stats_.instructions_explored;
+    if (unit.complete)
+        ++stats_.instructions_complete;
+    if (unit.budget_incomplete)
+        ++stats_.budget_incomplete;
+    stats_.total_paths += unit.paths;
+    stats_.solver_queries += unit.solver_queries;
+    stats_.minimize_bits_before += unit.minimize_bits_before;
+    stats_.minimize_bits_after += unit.minimize_bits_after;
+    stats_.generation_failures += unit.generation_failures;
+
+    for (const CheckpointTest &saved : unit.tests) {
+        GeneratedTest test;
+        test.id = saved.id;
+        test.table_index = saved.table_index;
+        // Re-decode the test instruction from the program bytes (the
+        // corpus-replay idiom); listing/gadget metadata is not
+        // persisted, only what re-execution needs.
+        if (saved.test_insn_offset >= saved.code.size())
+            throw std::logic_error(
+                "checkpoint: test offset out of range");
+        u8 buf[arch::kMaxInsnLength] = {};
+        const std::size_t n = std::min<std::size_t>(
+            arch::kMaxInsnLength,
+            saved.code.size() - saved.test_insn_offset);
+        std::copy_n(saved.code.begin() + saved.test_insn_offset, n,
+                    buf);
+        if (arch::decode(buf, arch::kMaxInsnLength, test.insn) !=
+            arch::DecodeStatus::Ok) {
+            throw std::logic_error(
+                "checkpoint: persisted test does not decode");
+        }
+        test.program.code = saved.code;
+        test.program.test_insn_offset = saved.test_insn_offset;
+        test.halt_code = saved.halt_code;
+        next_test_id = std::max(next_test_id, saved.id + 1);
+        tests_.push_back(std::move(test));
+        ++stats_.test_programs;
+    }
+    ++stats_.units_resumed;
+}
 
 void
 Pipeline::explore_and_generate()
 {
     assert(!explored_);
     explored_ = true;
+
+    const ResilienceOptions &res = options_.resilience;
+    const BudgetOptions &budgets = res.budgets;
+    support::FaultInjector *inj =
+        injector_.enabled() ? &injector_ : nullptr;
 
     // ---- Stage 1: instruction-set exploration (paper §3.2). ----
     // When the caller names the instructions directly, the (costly)
@@ -74,6 +203,9 @@ Pipeline::explore_and_generate()
     }
 
     // ---- Stages 2+3: per-instruction exploration + generation. ----
+    // Each instruction is one quarantinable unit of work: a fault in
+    // its exploration or a test's generation is recorded in the
+    // quarantine ledger and the sweep continues.
     explore::StateExploreOptions xopt;
     xopt.max_paths = options_.max_paths_per_insn;
     xopt.seed = options_.seed;
@@ -81,29 +213,114 @@ Pipeline::explore_and_generate()
     xopt.minimize = options_.minimize;
 
     u64 next_test_id = 0;
+    // Restore checkpointed units first, in checkpoint order: tests_
+    // must stay ordered exactly as the checkpoint's execution
+    // counters were accumulated (they cover a tests_ prefix), and
+    // freshly explored units — e.g. ones a previous session
+    // quarantined — must land after that prefix, not interleaved.
+    if (resumed_) {
+        for (const CheckpointUnit &done : resumed_->explored) {
+            restore_unit(done, next_test_id);
+            checkpoint_.explored.push_back(done);
+        }
+    }
+
+    u32 units_since_checkpoint = 0;
+    u32 fresh_units = 0;
     for (const auto &[index, bytes] : selected) {
+        if (resumed_ && resumed_->find_unit(index))
+            continue; // Restored above.
+
+        const std::string unit_name =
+            "insn " + std::to_string(index) + " (" +
+            arch::insn_table()[index].mnemonic + ")";
+
+        // Graceful preemption: a time-sliced shard stops after its
+        // quota of fresh units and leaves the rest to a later resume.
+        if (res.explore_at_most_units &&
+            fresh_units >= res.explore_at_most_units) {
+            break;
+        }
+        ++fresh_units;
+
         arch::DecodedInsn insn;
         const auto status =
             arch::decode(bytes.data(), bytes.size(), insn);
         if (status != arch::DecodeStatus::Ok ||
             insn.table_index != index) {
-            panic("pipeline: representative bytes failed to decode");
+            quarantine(Stage::StateExploration, unit_name,
+                       FaultClass::Decode,
+                       "representative bytes failed to decode");
+            continue;
         }
 
         t0 = std::chrono::steady_clock::now();
-        explore::StateExploreOptions per_insn = xopt;
-        if (insn.rep || insn.repne) {
-            per_insn.max_paths =
-                std::min(xopt.max_paths, options_.max_paths_rep);
-            per_insn.max_steps = 3000;
+        const auto explore_with_budget =
+            [&](double scale) -> explore::StateExploreResult {
+            explore::StateExploreOptions per_insn = xopt;
+            if (insn.rep || insn.repne) {
+                per_insn.max_paths =
+                    std::min(xopt.max_paths, options_.max_paths_rep);
+                per_insn.max_steps = 3000;
+            }
+            per_insn.deadline = support::Deadline::with(
+                static_cast<u64>(
+                    static_cast<double>(budgets.insn_exploration_ms) *
+                    scale),
+                static_cast<u64>(
+                    static_cast<double>(
+                        budgets.insn_exploration_steps) *
+                    scale));
+            per_insn.solver_query_ms = static_cast<u64>(
+                static_cast<double>(budgets.solver_query_ms) * scale);
+            per_insn.solver_query_steps = static_cast<u64>(
+                static_cast<double>(budgets.solver_query_steps) *
+                scale);
+            per_insn.injector = inj;
+            return explore_instruction(insn, *spec_, &summary_,
+                                       per_insn);
+        };
+
+        auto guarded =
+            support::try_run([&] { return explore_with_budget(1.0); });
+        // Budgets degrade gracefully: one escalated retry before the
+        // unit is accepted as incomplete (deadline expiry mid-unit) or
+        // quarantined (a solver query that cannot finish in budget).
+        const bool over_budget =
+            (!guarded.ok() &&
+             guarded.cls == FaultClass::SolverTimeout) ||
+            (guarded.ok() && guarded->stats.deadline_expired);
+        if (over_budget && budgets.escalation > 1.0) {
+            ++stats_.budget_retries;
+            auto retry = support::try_run(
+                [&] { return explore_with_budget(budgets.escalation); });
+            if (retry.ok() || !guarded.ok())
+                guarded = std::move(retry);
         }
-        explore::StateExploreResult explored = explore_instruction(
-            insn, *spec_, &summary_, per_insn);
         stats_.t_state_exploration += seconds_since(t0);
+        if (!guarded.ok()) {
+            quarantine(Stage::StateExploration, unit_name, guarded.cls,
+                       guarded.message);
+            continue;
+        }
+        const explore::StateExploreResult explored =
+            std::move(*guarded);
+
+        CheckpointUnit cu;
+        cu.table_index = index;
+        cu.complete = explored.stats.complete;
+        cu.budget_incomplete = explored.stats.deadline_expired;
+        cu.paths = explored.stats.paths;
+        cu.solver_queries = explored.stats.solver_queries;
+        cu.minimize_bits_before =
+            explored.minimize.bits_different_before;
+        cu.minimize_bits_after = explored.minimize.bits_different_after;
 
         ++stats_.instructions_explored;
         if (explored.stats.complete)
             ++stats_.instructions_complete;
+        if (explored.stats.deadline_expired)
+            ++stats_.budget_incomplete;
         stats_.total_paths += explored.stats.paths;
         stats_.solver_queries += explored.stats.solver_queries;
         stats_.minimize_bits_before +=
@@ -112,87 +329,217 @@ Pipeline::explore_and_generate()
             explored.minimize.bits_different_after;
 
         // Stage 3: one test program per path (paper Figure 1(3)).
+        // Each test's generation is its own quarantinable unit.
         t0 = std::chrono::steady_clock::now();
-        for (const explore::ExploredPath &path : explored.paths) {
-            testgen::GenResult gen = testgen::generate_test_program(
-                insn, path.assignment, *spec_, explored.pool);
-            if (gen.status != testgen::GenStatus::Ok) {
+        for (std::size_t p = 0; p < explored.paths.size(); ++p) {
+            const explore::ExploredPath &path = explored.paths[p];
+            auto gen = support::try_run([&] {
+                if (inj) {
+                    inj->maybe_fail(FaultSite::Generation,
+                                    "testgen: " + unit_name);
+                }
+                return testgen::generate_test_program(
+                    insn, path.assignment, *spec_, explored.pool);
+            });
+            if (!gen.ok()) {
+                quarantine(Stage::Generation,
+                           unit_name + " path " + std::to_string(p),
+                           gen.cls, gen.message);
+                continue;
+            }
+            if (gen->status != testgen::GenStatus::Ok) {
                 ++stats_.generation_failures;
+                ++cu.generation_failures;
                 continue;
             }
             GeneratedTest test;
             test.id = next_test_id++;
             test.table_index = index;
             test.insn = insn;
-            test.program = std::move(gen.program);
+            test.program = std::move(gen->program);
             test.halt_code = path.halt_code;
+
+            CheckpointTest saved;
+            saved.id = test.id;
+            saved.table_index = index;
+            saved.test_insn_offset = test.program.test_insn_offset;
+            saved.halt_code = test.halt_code;
+            saved.code = test.program.code;
+            cu.tests.push_back(std::move(saved));
+
             tests_.push_back(std::move(test));
             ++stats_.test_programs;
         }
         stats_.t_generation += seconds_since(t0);
+
+        checkpoint_.explored.push_back(std::move(cu));
+        if (++units_since_checkpoint >=
+            res.checkpoint_every_units) {
+            units_since_checkpoint = 0;
+            write_checkpoint();
+        }
     }
+    if (units_since_checkpoint != 0)
+        write_checkpoint();
 }
 
 void
 Pipeline::execute_and_compare()
 {
+    const ResilienceOptions &res = options_.resilience;
     harness::TestRunner::Config cfg;
     cfg.bugs = options_.bugs;
     cfg.max_insns = options_.max_insns_per_test;
+    cfg.injector = injector_.enabled() ? &injector_ : nullptr;
     harness::TestRunner runner(cfg);
+
+    // Resume: execution proceeds in test order, so the checkpoint's
+    // counters and clusters cover exactly the first executed_count
+    // tests; restore them and skip that prefix.
+    std::size_t start = 0;
+    if (resumed_ && resumed_->execution.executed_count > 0) {
+        const CheckpointExecution &e = resumed_->execution;
+        start = static_cast<std::size_t>(
+            std::min<u64>(e.executed_count, tests_.size()));
+        stats_.tests_executed = e.tests_executed;
+        stats_.lofi_raw_diffs = e.lofi_raw_diffs;
+        stats_.hifi_raw_diffs = e.hifi_raw_diffs;
+        stats_.lofi_diffs = e.lofi_diffs;
+        stats_.hifi_diffs = e.hifi_diffs;
+        stats_.filtered_undefined = e.filtered_undefined;
+        stats_.timeouts = e.timeouts;
+        stats_.hifi_timeouts = e.hifi_timeouts;
+        stats_.lofi_timeouts = e.lofi_timeouts;
+        stats_.hw_timeouts = e.hw_timeouts;
+        stats_.lofi_clusters = e.lofi_clusters;
+        stats_.hifi_clusters = e.hifi_clusters;
+        stats_.tests_resumed = start;
+    }
+
+    const auto sync_execution = [&](std::size_t executed_count) {
+        CheckpointExecution &e = checkpoint_.execution;
+        e.executed_count = executed_count;
+        e.tests_executed = stats_.tests_executed;
+        e.lofi_raw_diffs = stats_.lofi_raw_diffs;
+        e.hifi_raw_diffs = stats_.hifi_raw_diffs;
+        e.lofi_diffs = stats_.lofi_diffs;
+        e.hifi_diffs = stats_.hifi_diffs;
+        e.filtered_undefined = stats_.filtered_undefined;
+        e.timeouts = stats_.timeouts;
+        e.hifi_timeouts = stats_.hifi_timeouts;
+        e.lofi_timeouts = stats_.lofi_timeouts;
+        e.hw_timeouts = stats_.hw_timeouts;
+        e.lofi_clusters = stats_.lofi_clusters;
+        e.hifi_clusters = stats_.hifi_clusters;
+    };
 
     // Reused across tests: fresh 4 MiB snapshot allocations per test
     // would dominate (and distort) the measured execution costs.
     harness::BackendRun hifi_run, lofi_run, hw_run;
-    for (const GeneratedTest &test : tests_) {
-        auto t0 = std::chrono::steady_clock::now();
-        runner.run_one_into(harness::Backend::HiFi, test.program.code,
-                            hifi_run);
-        stats_.t_execution_hifi += seconds_since(t0);
+    u32 tests_since_checkpoint = 0;
+    std::size_t done = start;
+    for (std::size_t i = start; i < tests_.size(); ++i) {
+        // Graceful preemption (see explore_and_generate).
+        if (res.execute_at_most_tests &&
+            i - start >= res.execute_at_most_tests) {
+            break;
+        }
+        const GeneratedTest &test = tests_[i];
+        // One test's three-way execution is one quarantinable unit.
+        bool exec_faulted = false;
+        try {
+            auto t0 = std::chrono::steady_clock::now();
+            runner.run_one_into(harness::Backend::HiFi,
+                                test.program.code, hifi_run);
+            stats_.t_execution_hifi += seconds_since(t0);
 
-        t0 = std::chrono::steady_clock::now();
-        runner.run_one_into(harness::Backend::LoFi, test.program.code,
-                            lofi_run);
-        stats_.t_execution_lofi += seconds_since(t0);
+            t0 = std::chrono::steady_clock::now();
+            runner.run_one_into(harness::Backend::LoFi,
+                                test.program.code, lofi_run);
+            stats_.t_execution_lofi += seconds_since(t0);
 
-        t0 = std::chrono::steady_clock::now();
-        runner.run_one_into(harness::Backend::Hardware,
-                            test.program.code, hw_run);
-        stats_.t_execution_hw += seconds_since(t0);
-
-        ++stats_.tests_executed;
-        if (hifi_run.timed_out || lofi_run.timed_out ||
-            hw_run.timed_out) {
-            ++stats_.timeouts;
-            continue;
+            t0 = std::chrono::steady_clock::now();
+            runner.run_one_into(harness::Backend::Hardware,
+                                test.program.code, hw_run);
+            stats_.t_execution_hw += seconds_since(t0);
+        } catch (const support::FaultError &e) {
+            quarantine(Stage::Execution,
+                       "test " + std::to_string(test.id),
+                       e.fault_class(), e.what());
+            exec_faulted = true;
+        } catch (const std::exception &e) {
+            quarantine(Stage::Execution,
+                       "test " + std::to_string(test.id),
+                       FaultClass::Internal, e.what());
+            exec_faulted = true;
         }
 
-        t0 = std::chrono::steady_clock::now();
-        const auto analyze = [&](const harness::BackendRun &run,
-                                 u64 &raw, u64 &real,
-                                 harness::RootCauseClusterer &cl) {
-            const arch::SnapshotDiff diff =
-                arch::diff_snapshots(run.snapshot, hw_run.snapshot);
-            if (diff.empty())
-                return;
-            ++raw;
-            const harness::FilterResult filtered =
-                harness::filter_undefined(test.insn, run.snapshot,
-                                          hw_run.snapshot, diff);
-            if (filtered.fully_filtered()) {
-                ++stats_.filtered_undefined;
-                return;
+        if (!exec_faulted) {
+            ++stats_.tests_executed;
+            stats_.hifi_timeouts += hifi_run.timed_out;
+            stats_.lofi_timeouts += lofi_run.timed_out;
+            stats_.hw_timeouts += hw_run.timed_out;
+
+            if (hw_run.timed_out) {
+                // No oracle to compare against: excluded entirely.
+                ++stats_.timeouts;
+            } else {
+                auto t0 = std::chrono::steady_clock::now();
+                const auto analyze =
+                    [&](const harness::BackendRun &run, u64 &raw,
+                        u64 &real, harness::RootCauseClusterer &cl,
+                        const char *backend) {
+                        if (run.timed_out) {
+                            // A timeout on one backend is its own
+                            // root cause — comparing its (mid-flight)
+                            // snapshot against hardware would report
+                            // a spurious state diff.
+                            ++raw;
+                            ++real;
+                            cl.add_named(
+                                test.id, test.insn,
+                                std::string("timeout-only-") +
+                                    backend);
+                            return;
+                        }
+                        const arch::SnapshotDiff diff =
+                            arch::diff_snapshots(run.snapshot,
+                                                 hw_run.snapshot);
+                        if (diff.empty())
+                            return;
+                        ++raw;
+                        const harness::FilterResult filtered =
+                            harness::filter_undefined(
+                                test.insn, run.snapshot,
+                                hw_run.snapshot, diff);
+                        if (filtered.fully_filtered()) {
+                            ++stats_.filtered_undefined;
+                            return;
+                        }
+                        ++real;
+                        cl.add(test.id, test.insn, filtered.remaining,
+                               run.snapshot, hw_run.snapshot);
+                    };
+                analyze(lofi_run, stats_.lofi_raw_diffs,
+                        stats_.lofi_diffs, stats_.lofi_clusters,
+                        "lofi");
+                analyze(hifi_run, stats_.hifi_raw_diffs,
+                        stats_.hifi_diffs, stats_.hifi_clusters,
+                        "hifi");
+                stats_.t_comparison += seconds_since(t0);
             }
-            ++real;
-            cl.add(test.id, test.insn, filtered.remaining,
-                   run.snapshot, hw_run.snapshot);
-        };
-        analyze(lofi_run, stats_.lofi_raw_diffs, stats_.lofi_diffs,
-                stats_.lofi_clusters);
-        analyze(hifi_run, stats_.hifi_raw_diffs, stats_.hifi_diffs,
-                stats_.hifi_clusters);
-        stats_.t_comparison += seconds_since(t0);
+        }
+
+        done = i + 1;
+        if (++tests_since_checkpoint >= res.checkpoint_every_tests) {
+            tests_since_checkpoint = 0;
+            sync_execution(done);
+            write_checkpoint();
+        }
     }
+    sync_execution(done);
+    if (tests_since_checkpoint != 0 || done == start)
+        write_checkpoint();
 }
 
 const PipelineStats &
@@ -217,6 +564,10 @@ PipelineStats::to_string() const
        << instructions_complete << " with complete path coverage ("
        << t_state_exploration << "s, " << solver_queries
        << " solver queries)\n";
+    if (budget_retries || budget_incomplete) {
+        os << "budgets: " << budget_retries << " escalated retries, "
+           << budget_incomplete << " instructions budget-incomplete\n";
+    }
     os << "minimization: " << minimize_bits_before
        << " differing bits -> " << minimize_bits_after << "\n";
     os << "stage 3 (test generation): " << test_programs
@@ -225,7 +576,9 @@ PipelineStats::to_string() const
     os << "stage 4 (execution): " << tests_executed << " tests ("
        << "hifi " << t_execution_hifi << "s, lofi " << t_execution_lofi
        << "s, hw " << t_execution_hw << "s), " << timeouts
-       << " timeouts\n";
+       << " excluded by oracle timeout (timed out: hifi "
+       << hifi_timeouts << ", lofi " << lofi_timeouts << ", hw "
+       << hw_timeouts << ")\n";
     os << "stage 5 (comparison, " << t_comparison << "s):\n";
     os << "  lofi vs hw: " << lofi_raw_diffs << " raw, " << lofi_diffs
        << " after undefined-behaviour filtering\n";
@@ -233,6 +586,14 @@ PipelineStats::to_string() const
        << " after filtering\n";
     os << "  " << filtered_undefined
        << " differences were entirely undefined behaviour\n";
+    if (units_resumed || tests_resumed) {
+        os << "resume: " << units_resumed << " instructions and "
+           << tests_resumed << " executed tests from checkpoint\n";
+    }
+    if (checkpoints_written)
+        os << "checkpoints written: " << checkpoints_written << "\n";
+    if (quarantine.total() != 0)
+        os << quarantine.to_string();
     os << "lofi root causes:\n" << lofi_clusters.to_string();
     os << "hifi root causes:\n" << hifi_clusters.to_string();
     return os.str();

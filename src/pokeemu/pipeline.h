@@ -23,6 +23,8 @@
 #include "explore/state_explorer.h"
 #include "harness/cluster.h"
 #include "harness/runner.h"
+#include "pokeemu/resilience.h"
+#include "support/fault.h"
 #include "testgen/testgen.h"
 
 namespace pokeemu {
@@ -45,7 +47,16 @@ struct PipelineOptions
     bool minimize = true;
     lofi::BugConfig bugs{};
     u64 max_insns_per_test = 1u << 14;
+    /** Fault isolation: budgets, checkpoint/resume, chaos plan. */
+    ResilienceOptions resilience{};
 };
+
+/**
+ * Hash of every PipelineOptions field that affects results (not the
+ * resilience knobs themselves). A checkpoint records it; resume under
+ * different options throws instead of mixing incompatible progress.
+ */
+u64 options_fingerprint(const PipelineOptions &options);
 
 /** Everything a pipeline run measures (feeds EXPERIMENTS.md). */
 struct PipelineStats
@@ -69,9 +80,23 @@ struct PipelineStats
     u64 lofi_diffs = 0;      ///< After undefined-behaviour filtering.
     u64 hifi_diffs = 0;
     u64 filtered_undefined = 0;
+    /** Tests excluded from comparison: the hardware oracle timed out.
+     *  A timeout on a single emulator backend is NOT counted here —
+     *  it is classified as its own root-cause cluster
+     *  ("timeout-only-<backend>"). */
     u64 timeouts = 0;
+    u64 hifi_timeouts = 0; ///< Per-backend timed_out totals.
+    u64 lofi_timeouts = 0;
+    u64 hw_timeouts = 0;
     harness::RootCauseClusterer lofi_clusters;
     harness::RootCauseClusterer hifi_clusters;
+    // Fault isolation.
+    support::QuarantineReport quarantine;
+    u64 budget_retries = 0;    ///< Units granted an escalated retry.
+    u64 budget_incomplete = 0; ///< Units still over budget after it.
+    u64 units_resumed = 0;     ///< Stage-2/3 units from a checkpoint.
+    u64 tests_resumed = 0;     ///< Stage-4/5 tests from a checkpoint.
+    u64 checkpoints_written = 0;
     // Timing (seconds) per stage.
     double t_insn_exploration = 0;
     double t_state_exploration = 0;
@@ -118,7 +143,21 @@ class Pipeline
         return summary_;
     }
 
+    /** The chaos injector's accounting (occurrences/faults per site). */
+    const support::FaultInjector &injector() const { return injector_; }
+
   private:
+    /** Quarantine one unit of work and keep sweeping. */
+    void quarantine(support::Stage stage, std::string unit,
+                    support::FaultClass cls, std::string message);
+
+    /** Restore one completed stage-2/3 unit from the loaded
+     *  checkpoint into stats_/tests_. */
+    void restore_unit(const CheckpointUnit &unit, u64 &next_test_id);
+
+    /** Write checkpoint_ to the configured path (if any). */
+    void write_checkpoint();
+
     PipelineOptions options_;
     PipelineStats stats_;
     symexec::VarPool summary_pool_;
@@ -126,6 +165,9 @@ class Pipeline
     std::unique_ptr<explore::StateSpec> spec_;
     std::vector<GeneratedTest> tests_;
     bool explored_ = false;
+    support::FaultInjector injector_;
+    Checkpoint checkpoint_;              ///< Progress being built.
+    std::optional<Checkpoint> resumed_;  ///< Loaded prior progress.
 };
 
 } // namespace pokeemu

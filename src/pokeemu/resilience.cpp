@@ -1,0 +1,164 @@
+#include "pokeemu/resilience.h"
+
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "pokeemu/corpus.h"
+
+namespace pokeemu {
+
+namespace {
+
+constexpr const char *kMagic = "pokeemu-checkpoint-v1";
+
+[[noreturn]] void
+checkpoint_error(const std::string &message)
+{
+    throw std::logic_error("checkpoint: " + message);
+}
+
+void
+expect_tag(std::istream &in, const char *tag)
+{
+    std::string got;
+    if (!(in >> got) || got != tag)
+        checkpoint_error(std::string("expected '") + tag + "', got '" +
+                         got + "'");
+}
+
+} // namespace
+
+const CheckpointUnit *
+Checkpoint::find_unit(int table_index) const
+{
+    for (const CheckpointUnit &u : explored) {
+        if (u.table_index == table_index)
+            return &u;
+    }
+    return nullptr;
+}
+
+void
+save_checkpoint(std::ostream &out, const Checkpoint &checkpoint)
+{
+    out << kMagic << "\n";
+    out << "fingerprint " << checkpoint.fingerprint << "\n";
+    out << "explored " << checkpoint.explored.size() << "\n";
+    for (const CheckpointUnit &u : checkpoint.explored) {
+        out << "unit " << u.table_index << " " << u.complete << " "
+            << u.budget_incomplete << " " << u.paths << " "
+            << u.solver_queries << " " << u.minimize_bits_before << " "
+            << u.minimize_bits_after << " " << u.generation_failures
+            << " " << u.tests.size() << "\n";
+        for (const CheckpointTest &t : u.tests) {
+            out << "test " << t.id << " " << t.table_index << " "
+                << t.test_insn_offset << " " << t.halt_code << " "
+                << hex_encode(t.code) << "\n";
+        }
+    }
+    const CheckpointExecution &e = checkpoint.execution;
+    out << "executed " << e.executed_count << "\n";
+    out << "counters " << e.tests_executed << " " << e.lofi_raw_diffs
+        << " " << e.hifi_raw_diffs << " " << e.lofi_diffs << " "
+        << e.hifi_diffs << " " << e.filtered_undefined << " "
+        << e.timeouts << " " << e.hifi_timeouts << " "
+        << e.lofi_timeouts << " " << e.hw_timeouts << "\n";
+    e.lofi_clusters.save(out);
+    e.hifi_clusters.save(out);
+    out << "end\n";
+}
+
+Checkpoint
+load_checkpoint(std::istream &in)
+{
+    std::string magic;
+    if (!std::getline(in, magic) || magic != kMagic)
+        checkpoint_error("bad header (version mismatch?)");
+
+    Checkpoint cp;
+    expect_tag(in, "fingerprint");
+    if (!(in >> cp.fingerprint))
+        checkpoint_error("bad fingerprint");
+
+    expect_tag(in, "explored");
+    std::size_t nunits = 0;
+    if (!(in >> nunits))
+        checkpoint_error("bad unit count");
+    cp.explored.reserve(std::min<std::size_t>(nunits, 1u << 20));
+    for (std::size_t i = 0; i < nunits; ++i) {
+        expect_tag(in, "unit");
+        CheckpointUnit u;
+        std::size_t ntests = 0;
+        if (!(in >> u.table_index >> u.complete >>
+              u.budget_incomplete >> u.paths >> u.solver_queries >>
+              u.minimize_bits_before >> u.minimize_bits_after >>
+              u.generation_failures >> ntests)) {
+            checkpoint_error("truncated unit row");
+        }
+        u.tests.reserve(std::min<std::size_t>(ntests, 1u << 20));
+        for (std::size_t t = 0; t < ntests; ++t) {
+            expect_tag(in, "test");
+            CheckpointTest test;
+            std::string hex;
+            if (!(in >> test.id >> test.table_index >>
+                  test.test_insn_offset >> test.halt_code >> hex)) {
+                checkpoint_error("truncated test row");
+            }
+            test.code = hex_decode(hex);
+            u.tests.push_back(std::move(test));
+        }
+        cp.explored.push_back(std::move(u));
+    }
+
+    expect_tag(in, "executed");
+    CheckpointExecution &e = cp.execution;
+    if (!(in >> e.executed_count))
+        checkpoint_error("bad executed count");
+    expect_tag(in, "counters");
+    if (!(in >> e.tests_executed >> e.lofi_raw_diffs >>
+          e.hifi_raw_diffs >> e.lofi_diffs >> e.hifi_diffs >>
+          e.filtered_undefined >> e.timeouts >> e.hifi_timeouts >>
+          e.lofi_timeouts >> e.hw_timeouts)) {
+        checkpoint_error("truncated counters row");
+    }
+    e.lofi_clusters.load(in);
+    e.hifi_clusters.load(in);
+    expect_tag(in, "end");
+    return cp;
+}
+
+void
+save_checkpoint_file(const std::string &path,
+                     const Checkpoint &checkpoint)
+{
+    // Write-then-rename so an interrupted write never leaves a
+    // truncated checkpoint where a resumable one used to be.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            checkpoint_error("cannot open '" + tmp + "' for writing");
+        save_checkpoint(out, checkpoint);
+        if (!out)
+            checkpoint_error("write to '" + tmp + "' failed");
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        checkpoint_error("rename to '" + path +
+                         "' failed: " + ec.message());
+}
+
+std::optional<Checkpoint>
+load_checkpoint_file(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+    return load_checkpoint(in);
+}
+
+} // namespace pokeemu

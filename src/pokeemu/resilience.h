@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Pipeline resilience: budgets, checkpoint/resume, and chaos plans.
+ *
+ * A campaign-scale sweep (the paper's 68,977 candidates / 610,516
+ * paths) is hours of work; deviation hunts are restart-heavy. This
+ * module gives the pipeline the three properties that make restarts
+ * cheap and stragglers harmless:
+ *
+ *  - BudgetOptions: per-instruction exploration and per-solver-query
+ *    deadlines (wall clock and/or steps), with one escalation retry
+ *    before a unit is marked budget-incomplete — the time-domain
+ *    analog of the paper's 8192-path cap.
+ *  - Checkpoint: versioned serialization of per-stage progress
+ *    (explored units with their generated tests, executed-test
+ *    counters and clusters), written after each batch; `resume` skips
+ *    completed units. The format follows the corpus.cpp idiom: a
+ *    self-describing whitespace-separated text container.
+ *  - FaultPlan (support/fault.h): the chaos configuration the
+ *    chaos_pipeline ctest uses to prove containment.
+ */
+#ifndef POKEEMU_POKEEMU_RESILIENCE_H
+#define POKEEMU_POKEEMU_RESILIENCE_H
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "support/fault.h"
+
+namespace pokeemu {
+
+/** Deadlines for the expensive per-unit work; 0 = unlimited. */
+struct BudgetOptions
+{
+    /** Whole-instruction exploration budget (stage 2). Steps are
+     *  interpreted IR statements across all of the unit's paths. */
+    u64 insn_exploration_ms = 0;
+    u64 insn_exploration_steps = 0;
+    /** Per-solver-query budget; steps are SAT search iterations. */
+    u64 solver_query_ms = 0;
+    u64 solver_query_steps = 0;
+    /** Budget multiplier for the single retry granted to a unit that
+     *  ran out of budget before being marked incomplete. */
+    double escalation = 4.0;
+
+    bool
+    any_exploration_limit() const
+    {
+        return insn_exploration_ms || insn_exploration_steps;
+    }
+};
+
+/** Everything the fault-isolation layer can be configured with. */
+struct ResilienceOptions
+{
+    BudgetOptions budgets{};
+    /** Checkpoint file; empty disables checkpointing. */
+    std::string checkpoint_path;
+    /** Skip units already completed in checkpoint_path (a missing
+     *  file silently starts from scratch). */
+    bool resume = false;
+    /** Stage-2/3 units per checkpoint write. */
+    u32 checkpoint_every_units = 8;
+    /** Stage-4/5 tests per checkpoint write. */
+    u32 checkpoint_every_tests = 64;
+    /**
+     * Graceful preemption for time-sliced, resumable shards: stop
+     * stage 2/3 after this many freshly explored units this session
+     * (0 = no limit), checkpointing before returning; a later resume
+     * completes the sweep.
+     */
+    u32 explore_at_most_units = 0;
+    /** Same for stage 4/5: freshly executed tests this session. */
+    u32 execute_at_most_tests = 0;
+    /** Chaos plan (probability 0 = inert). */
+    support::FaultPlan faults{};
+};
+
+/** One generated test as persisted in a checkpoint. */
+struct CheckpointTest
+{
+    u64 id = 0;
+    int table_index = 0;
+    u32 test_insn_offset = 0;
+    u32 halt_code = 0;
+    std::vector<u8> code;
+};
+
+/** One completed stage-2/3 unit (everything its instruction
+ *  contributed to PipelineStats, plus its tests). */
+struct CheckpointUnit
+{
+    int table_index = 0;
+    bool complete = false;
+    bool budget_incomplete = false;
+    u64 paths = 0;
+    u64 solver_queries = 0;
+    u64 minimize_bits_before = 0;
+    u64 minimize_bits_after = 0;
+    u64 generation_failures = 0;
+    std::vector<CheckpointTest> tests;
+};
+
+/** Stage-4/5 progress: counters and clusters over the first
+ *  `executed_count` generated tests (execution is in test order). */
+struct CheckpointExecution
+{
+    u64 executed_count = 0;
+    u64 tests_executed = 0;
+    u64 lofi_raw_diffs = 0;
+    u64 hifi_raw_diffs = 0;
+    u64 lofi_diffs = 0;
+    u64 hifi_diffs = 0;
+    u64 filtered_undefined = 0;
+    u64 timeouts = 0;
+    u64 hifi_timeouts = 0;
+    u64 lofi_timeouts = 0;
+    u64 hw_timeouts = 0;
+    harness::RootCauseClusterer lofi_clusters;
+    harness::RootCauseClusterer hifi_clusters;
+};
+
+/** A pipeline run's persisted progress. */
+struct Checkpoint
+{
+    /** Hash of every option that affects results; resume refuses a
+     *  checkpoint written under different options. */
+    u64 fingerprint = 0;
+    std::vector<CheckpointUnit> explored;
+    CheckpointExecution execution;
+
+    const CheckpointUnit *find_unit(int table_index) const;
+};
+
+/** Serialize @p checkpoint to @p out (versioned text container). */
+void save_checkpoint(std::ostream &out, const Checkpoint &checkpoint);
+
+/** Parse a checkpoint; throws std::logic_error on malformed input. */
+Checkpoint load_checkpoint(std::istream &in);
+
+/** Atomic file write (temp file + rename); throws on I/O failure. */
+void save_checkpoint_file(const std::string &path,
+                          const Checkpoint &checkpoint);
+
+/** Load @p path; nullopt when the file does not exist, throws
+ *  std::logic_error when it exists but is malformed. */
+std::optional<Checkpoint> load_checkpoint_file(const std::string &path);
+
+} // namespace pokeemu
+
+#endif // POKEEMU_POKEEMU_RESILIENCE_H

@@ -268,7 +268,8 @@ SatSolver::pick_branch()
 }
 
 SatResult
-SatSolver::solve(const std::vector<Lit> &assumptions)
+SatSolver::solve(const std::vector<Lit> &assumptions,
+                 support::Deadline *deadline)
 {
     if (root_conflict_)
         return SatResult::Unsat;
@@ -282,6 +283,15 @@ SatSolver::solve(const std::vector<Lit> &assumptions)
     u64 conflicts_this_restart = 0;
 
     for (;;) {
+        if (deadline && deadline->consume()) {
+            // Leave the solver reusable: learned clauses stay, the
+            // trail unwinds to the root before the next query anyway.
+            backtrack(0);
+            throw support::FaultError(
+                support::FaultClass::SolverTimeout,
+                "sat: query deadline expired after " +
+                    std::to_string(conflicts_) + " total conflicts");
+        }
         const s32 conflict = propagate();
         if (conflict != -1) {
             ++conflicts_;

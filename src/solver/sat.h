@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "support/common.h"
+#include "support/fault.h"
 
 namespace pokeemu::solver {
 
@@ -61,8 +62,14 @@ class SatSolver
      * Solve under the given assumption literals. The assumptions are
      * treated as temporary unit clauses; learned clauses persist
      * across calls, which is what gives incrementality.
+     *
+     * A non-null @p deadline is consumed once per search-loop
+     * iteration; when it expires, the query aborts with a FaultError
+     * classed SolverTimeout (the solver itself stays usable — learned
+     * clauses are kept and the next query starts clean).
      */
-    SatResult solve(const std::vector<Lit> &assumptions = {});
+    SatResult solve(const std::vector<Lit> &assumptions = {},
+                    support::Deadline *deadline = nullptr);
 
     /** Model value of @p v after a Sat result. */
     bool model_value(SatVar v) const;

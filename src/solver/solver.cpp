@@ -15,6 +15,10 @@ Solver::~Solver() = default;
 CheckResult
 Solver::check(const std::vector<ir::ExprRef> &conditions)
 {
+    if (injector_) {
+        injector_->maybe_fail(support::FaultSite::SolverQuery,
+                              "solver.check");
+    }
     const auto start = std::chrono::steady_clock::now();
 
     std::vector<Lit> assumptions;
@@ -34,9 +38,23 @@ Solver::check(const std::vector<ir::ExprRef> &conditions)
     if (trivially_false) {
         result = CheckResult::Unsat;
     } else {
-        result = sat_->solve(assumptions) == SatResult::Sat
-            ? CheckResult::Sat
-            : CheckResult::Unsat;
+        support::Deadline deadline =
+            support::Deadline::with(budget_ms_, budget_steps_);
+        support::Deadline *limit =
+            deadline.limited() ? &deadline : nullptr;
+        try {
+            result = sat_->solve(assumptions, limit) == SatResult::Sat
+                ? CheckResult::Sat
+                : CheckResult::Unsat;
+        } catch (const support::FaultError &) {
+            ++stats_.queries;
+            ++stats_.timed_out;
+            stats_.total_seconds += std::chrono::duration<double>(
+                                        std::chrono::steady_clock::now() -
+                                        start)
+                                        .count();
+            throw;
+        }
     }
 
     const auto stop = std::chrono::steady_clock::now();

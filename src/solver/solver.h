@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "solver/bitblast.h"
+#include "support/fault.h"
 
 namespace pokeemu::solver {
 
@@ -27,6 +28,7 @@ struct SolverStats
     u64 queries = 0;
     u64 sat = 0;
     u64 unsat = 0;
+    u64 timed_out = 0; ///< Queries aborted by the per-query deadline.
     double total_seconds = 0.0;
     double max_seconds = 0.0;
 };
@@ -42,8 +44,30 @@ class Solver
      * Check satisfiability of the conjunction of @p conditions (each a
      * 1-bit expression). After Sat, the model is available through
      * model_value() until the next check.
+     *
+     * When a per-query budget is set, a query that exceeds it throws
+     * FaultError(SolverTimeout); the solver remains usable.
      */
     CheckResult check(const std::vector<ir::ExprRef> &conditions);
+
+    /**
+     * Per-query budget: wall-clock milliseconds and/or SAT search-loop
+     * iterations (0 disables the respective limit). Applies to every
+     * subsequent check().
+     */
+    void
+    set_query_budget(u64 ms, u64 steps = 0)
+    {
+        budget_ms_ = ms;
+        budget_steps_ = steps;
+    }
+
+    /** Chaos hook: checked once per check() call (not owned). */
+    void
+    set_fault_injector(support::FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
 
     /** Model value for @p expr (typically a Var) after Sat. */
     u64 model_value(const ir::ExprRef &expr) const;
@@ -57,6 +81,9 @@ class Solver
     std::unique_ptr<SatSolver> sat_;
     std::unique_ptr<BitBlaster> blaster_;
     SolverStats stats_;
+    u64 budget_ms_ = 0;    ///< 0 = unlimited.
+    u64 budget_steps_ = 0; ///< 0 = unlimited.
+    support::FaultInjector *injector_ = nullptr;
 };
 
 /**

@@ -1,0 +1,145 @@
+#include "support/fault.h"
+
+#include <sstream>
+
+namespace pokeemu::support {
+
+const char *
+stage_name(Stage stage)
+{
+    switch (stage) {
+      case Stage::InsnExploration: return "insn-exploration";
+      case Stage::StateExploration: return "state-exploration";
+      case Stage::Generation: return "generation";
+      case Stage::Execution: return "execution";
+      case Stage::Comparison: return "comparison";
+    }
+    return "?";
+}
+
+const char *
+fault_class_name(FaultClass cls)
+{
+    switch (cls) {
+      case FaultClass::Internal: return "internal";
+      case FaultClass::Decode: return "decode";
+      case FaultClass::SolverTimeout: return "solver-timeout";
+      case FaultClass::BudgetExhausted: return "budget-exhausted";
+      case FaultClass::Execution: return "execution";
+      case FaultClass::Injected: return "injected";
+    }
+    return "?";
+}
+
+const char *
+fault_site_name(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::SolverQuery: return "solver-query";
+      case FaultSite::Exploration: return "exploration";
+      case FaultSite::Generation: return "generation";
+      case FaultSite::BackendHiFi: return "backend-hifi";
+      case FaultSite::BackendLoFi: return "backend-lofi";
+      case FaultSite::BackendHw: return "backend-hw";
+    }
+    return "?";
+}
+
+u64
+QuarantineReport::count(Stage stage) const
+{
+    u64 n = 0;
+    for (const QuarantinedUnit &u : units_)
+        n += u.stage == stage;
+    return n;
+}
+
+u64
+QuarantineReport::count(FaultClass cls) const
+{
+    u64 n = 0;
+    for (const QuarantinedUnit &u : units_)
+        n += u.cls == cls;
+    return n;
+}
+
+std::string
+QuarantineReport::to_string() const
+{
+    std::ostringstream os;
+    os << "quarantined units: " << units_.size() << "\n";
+    for (const QuarantinedUnit &u : units_) {
+        os << "  [" << stage_name(u.stage) << "] " << u.unit << ": "
+           << fault_class_name(u.cls) << " (" << u.message << ")\n";
+    }
+    return os.str();
+}
+
+FaultPlan
+FaultPlan::only(FaultSite site, double probability, u64 seed)
+{
+    FaultPlan plan;
+    plan.probability = probability;
+    plan.seed = seed;
+    for (bool &armed : plan.armed)
+        armed = false;
+    plan.armed[static_cast<std::size_t>(site)] = true;
+    return plan;
+}
+
+namespace {
+
+/** splitmix64 finalizer: a good 64->64 mixer for counter streams. */
+u64
+mix64(u64 x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+void
+FaultInjector::maybe_fail(FaultSite site, const std::string &where)
+{
+    const auto s = static_cast<std::size_t>(site);
+    const u64 occurrence = occurrences_[s]++;
+    if (plan_.probability <= 0.0 || !plan_.armed[s])
+        return;
+    // Map hash(seed, site, occurrence) to [0, 1): independent streams
+    // per site, so occurrence i of a site fails identically across
+    // runs whatever the interleaving with other sites.
+    const u64 h = mix64(plan_.seed ^ mix64((u64{s} << 32) | 1) ^
+                        mix64(occurrence));
+    const double draw =
+        static_cast<double>(h >> 11) * 0x1.0p-53; // 53 uniform bits.
+    if (draw < plan_.probability) {
+        ++injected_[s];
+        throw FaultError(FaultClass::Injected,
+                         "injected fault at " +
+                             std::string(fault_site_name(site)) +
+                             " occurrence " +
+                             std::to_string(occurrence) + " (" + where +
+                             ")");
+    }
+}
+
+u64
+FaultInjector::total_injected() const
+{
+    u64 n = 0;
+    for (u64 i : injected_)
+        n += i;
+    return n;
+}
+
+void
+FaultInjector::reset()
+{
+    for (std::size_t i = 0; i < kNumFaultSites; ++i)
+        occurrences_[i] = injected_[i] = 0;
+}
+
+} // namespace pokeemu::support

@@ -20,6 +20,9 @@ PathExplorer::PathExplorer(const ir::Program &program, VarPool &pool,
     : program_(program), pool_(pool), initial_(std::move(initial)),
       config_(config), rng_(config.seed)
 {
+    solver_.set_query_budget(config_.solver_query_ms,
+                             config_.solver_query_steps);
+    solver_.set_fault_injector(config_.injector);
     program_.validate();
 #ifndef NDEBUG
     // Fail fast on malformed programs instead of producing garbage
@@ -178,6 +181,8 @@ PathExplorer::run_one_path(RunState &run, u32 &halt_code)
     for (;;) {
         if (run.steps >= config_.max_steps)
             return RunOutcome::StepLimit;
+        if (config_.deadline.consume())
+            return RunOutcome::DeadlineExpired;
         assert(ip < program_.stmts.size());
         const ir::Stmt &s = program_.stmts[ip];
         ++run.steps;
@@ -269,6 +274,11 @@ PathExplorer::explore(const PathCallback &on_path)
     assert(!explored_);
     explored_ = true;
 
+    if (config_.injector) {
+        config_.injector->maybe_fail(support::FaultSite::Exploration,
+                                     "explorer: " + program_.name);
+    }
+
     ExploreStats stats;
     // Safety valve: dead-end prefixes do not count as paths, but they
     // must not allow unbounded looping either.
@@ -277,6 +287,10 @@ PathExplorer::explore(const PathCallback &on_path)
 
     while (!tree_.exhausted() && stats.paths < config_.max_paths &&
            runs < max_runs) {
+        if (config_.deadline.limited() && config_.deadline.expired()) {
+            stats.deadline_expired = true;
+            break;
+        }
         ++runs;
         RunState run(initial_, program_.num_temps());
         u32 halt_code = 0;
@@ -290,6 +304,14 @@ PathExplorer::explore(const PathCallback &on_path)
         if (precondition_failed)
             panic("explorer: unsatisfiable precondition");
         const RunOutcome outcome = run_one_path(run, halt_code);
+        if (outcome == RunOutcome::DeadlineExpired) {
+            // Graceful degradation: the partial path is discarded (it
+            // never reached a leaf) but everything completed before it
+            // stands. finish_leaf is skipped so a budget-escalation
+            // retry re-enters the same subtree.
+            stats.deadline_expired = true;
+            break;
+        }
         tree_.finish_leaf(run.path);
 
         if (outcome == RunOutcome::Infeasible) {

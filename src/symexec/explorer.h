@@ -28,6 +28,7 @@
 
 #include "ir/stmt.h"
 #include "solver/solver.h"
+#include "support/fault.h"
 #include "support/rng.h"
 #include "symexec/decision_tree.h"
 #include "symexec/memory.h"
@@ -51,6 +52,19 @@ struct ExplorerConfig
      * infeasible.
      */
     std::vector<ir::ExprRef> preconditions;
+    /**
+     * Whole-exploration budget (wall clock and/or interpreted
+     * statements). When it expires the exploration stops gracefully:
+     * paths completed so far are kept, `complete` stays false and
+     * `deadline_expired` is set. Default: unlimited.
+     */
+    support::Deadline deadline{};
+    /** Per-solver-query budget (0 = unlimited); an over-budget query
+     *  throws FaultError(SolverTimeout) out of explore(). */
+    u64 solver_query_ms = 0;
+    u64 solver_query_steps = 0;
+    /** Chaos hook threaded down to the solver (not owned). */
+    support::FaultInjector *injector = nullptr;
 };
 
 /** How one explored path terminated. */
@@ -76,6 +90,7 @@ struct ExploreStats
     u64 infeasible = 0;       ///< Prefixes abandoned at an Assume.
     u64 step_limited = 0;     ///< Paths that hit the step budget.
     bool complete = false;    ///< Decision tree exhausted under cap.
+    bool deadline_expired = false; ///< Stopped by config.deadline.
     u64 solver_queries = 0;
     u64 tree_nodes = 0;
 };
@@ -126,7 +141,12 @@ class PathExplorer
         }
     };
 
-    enum class RunOutcome : u8 { Halted, Infeasible, StepLimit };
+    enum class RunOutcome : u8 {
+        Halted,
+        Infeasible,
+        StepLimit,
+        DeadlineExpired ///< config.deadline ran out mid-path.
+    };
 
     RunOutcome run_one_path(RunState &run, u32 &halt_code);
 

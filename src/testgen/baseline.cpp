@@ -180,6 +180,8 @@ baseline_result()
         // program, whose hlt stops execution.
         const auto stop = hw.run(1024);
         if (stop != backend::StopReason::Halted)
+            // Construction-time invariant shared by every unit of
+            // work, not attributable to one. lint: allow-panic
             panic("baseline initializer did not halt cleanly");
         BaselineResult r{hw.cpu(), hw.snapshot().ram};
         // The state we hand to exploration is the state at the test

@@ -387,7 +387,7 @@ generate_sequence_test_program(
     result.program.listing.push_back("hlt   // the end");
     result.program.code = a.bytes();
 
-    if (result.program.code.size() > 0xf00) {
+    if (result.program.code.size() > kMaxTestProgramBytes) {
         result.status = GenStatus::TooLarge;
         return result;
     }

@@ -18,6 +18,15 @@
 
 namespace pokeemu::testgen {
 
+/**
+ * Hard cap on a generated test program's size: the initializer, test
+ * instruction(s) and hlt must fit the test-code page with room for the
+ * halting-handler return path. Generation reports TooLarge beyond it;
+ * the runner rejects (quarantinable FaultError, not UB) anything that
+ * would overrun the baseline image.
+ */
+constexpr u32 kMaxTestProgramBytes = 0xf00;
+
 /** A complete generated test program. */
 struct TestProgram
 {

@@ -64,6 +64,28 @@ TEST(Corpus, MalformedInputRejected)
 
     std::stringstream bad_hex("pokeemu-corpus-v1\n1\n1 0 push zz\n");
     EXPECT_THROW(load_corpus(bad_hex), std::logic_error);
+
+    std::stringstream no_count("pokeemu-corpus-v1\n");
+    EXPECT_THROW(load_corpus(no_count), std::logic_error);
+
+    std::stringstream odd_hex("pokeemu-corpus-v1\n1\n1 0 push fff\n");
+    EXPECT_THROW(load_corpus(odd_hex), std::logic_error);
+}
+
+TEST(Corpus, MalformedInputIsADocumentedErrorNotAPanic)
+{
+    // A corrupt corpus file is a caller-input problem, not an internal
+    // invariant failure: the message must identify the corpus loader,
+    // not claim a pokeemu panic.
+    std::stringstream bad("pokeemu-corpus-v1\n1\n1 0 push zz\n");
+    try {
+        load_corpus(bad);
+        FAIL() << "expected std::logic_error";
+    } catch (const std::logic_error &e) {
+        const std::string what = e.what();
+        EXPECT_EQ(what.rfind("corpus:", 0), 0u) << what;
+        EXPECT_EQ(what.find("panic"), std::string::npos) << what;
+    }
 }
 
 TEST(Corpus, ReplayFindsSeededBugsAndPassesWhenFixed)

@@ -1,0 +1,412 @@
+/**
+ * @file
+ * Chaos harness for the fault-isolation layer (registered as a ctest).
+ *
+ * Proves the containment properties the pipeline claims:
+ *
+ *  1. With faults injected at every site, the sweep runs to
+ *     completion — nothing escapes a stage boundary.
+ *  2. Exactly the faulted units are quarantined (the ledger matches
+ *     the injector's accounting, record by record).
+ *  3. Surviving units are byte-identical to a fault-free reference
+ *     run (compared through the per-unit checkpoint records).
+ *  4. A --resume from a mid-sweep checkpoint — whether the sweep was
+ *     preempted gracefully or lost units to chaos — reproduces the
+ *     fault-free run's stats.
+ *
+ * All scenarios use fixed seeds; the whole suite is deterministic.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/decoder.h"
+#include "pokeemu/pipeline.h"
+
+namespace fs = std::filesystem;
+using namespace pokeemu;
+using support::FaultClass;
+using support::FaultPlan;
+using support::FaultSite;
+using support::Stage;
+
+namespace {
+
+int g_failures = 0;
+
+void
+check(bool ok, const std::string &what)
+{
+    if (!ok) {
+        ++g_failures;
+        std::printf("FAIL: %s\n", what.c_str());
+    }
+}
+
+void
+check_eq(u64 got, u64 want, const std::string &what)
+{
+    if (got != want) {
+        ++g_failures;
+        std::printf("FAIL: %s: got %llu, want %llu\n", what.c_str(),
+                    static_cast<unsigned long long>(got),
+                    static_cast<unsigned long long>(want));
+    }
+}
+
+int
+index_of(std::initializer_list<u8> bytes)
+{
+    std::vector<u8> buf(bytes);
+    buf.resize(arch::kMaxInsnLength, 0);
+    arch::DecodedInsn insn;
+    if (arch::decode(buf.data(), buf.size(), insn) !=
+        arch::DecodeStatus::Ok) {
+        std::printf("FAIL: chaos instruction does not decode\n");
+        std::exit(1);
+    }
+    return insn.table_index;
+}
+
+/** Small, fast sweep covering every stage (a rep would be overkill). */
+PipelineOptions
+base_options()
+{
+    PipelineOptions options;
+    options.instruction_filter = {
+        index_of({0x50}),             // push eax
+        index_of({0xc9}),             // leave
+        index_of({0x0f, 0x32}),       // rdmsr
+        index_of({0x8e, 0xd8}),       // mov ds, ax
+        index_of({0x74, 0x00}),       // jz
+        index_of({0xd3, 0xe0}),       // shl eax, cl
+    };
+    options.max_paths_per_insn = 16;
+    return options;
+}
+
+/** The counters two equivalent runs must agree on. */
+std::vector<std::pair<const char *, u64>>
+counters(const PipelineStats &s)
+{
+    return {
+        {"instructions_explored", s.instructions_explored},
+        {"instructions_complete", s.instructions_complete},
+        {"total_paths", s.total_paths},
+        {"solver_queries", s.solver_queries},
+        {"minimize_bits_before", s.minimize_bits_before},
+        {"minimize_bits_after", s.minimize_bits_after},
+        {"test_programs", s.test_programs},
+        {"generation_failures", s.generation_failures},
+        {"tests_executed", s.tests_executed},
+        {"lofi_raw_diffs", s.lofi_raw_diffs},
+        {"hifi_raw_diffs", s.hifi_raw_diffs},
+        {"lofi_diffs", s.lofi_diffs},
+        {"hifi_diffs", s.hifi_diffs},
+        {"filtered_undefined", s.filtered_undefined},
+        {"timeouts", s.timeouts},
+        {"hifi_timeouts", s.hifi_timeouts},
+        {"lofi_timeouts", s.lofi_timeouts},
+        {"hw_timeouts", s.hw_timeouts},
+    };
+}
+
+/** Cluster tables as comparable values (example ids are allowed to
+ *  differ between runs whose test-id assignment order differs). */
+std::map<std::string, std::pair<u64, std::string>>
+cluster_map(const harness::RootCauseClusterer &cl)
+{
+    std::map<std::string, std::pair<u64, std::string>> out;
+    for (const harness::Cluster &c : cl.clusters()) {
+        std::string mnemonics;
+        for (const std::string &m : c.mnemonics)
+            mnemonics += m + " ";
+        out[c.root_cause] = {c.count, mnemonics};
+    }
+    return out;
+}
+
+void
+check_stats_equal(const PipelineStats &got, const PipelineStats &want,
+                  const std::string &label)
+{
+    const auto g = counters(got), w = counters(want);
+    for (std::size_t i = 0; i < g.size(); ++i)
+        check_eq(g[i].second, w[i].second, label + ": " + g[i].first);
+    check(cluster_map(got.lofi_clusters) ==
+              cluster_map(want.lofi_clusters),
+          label + ": lofi cluster tables differ");
+    check(cluster_map(got.hifi_clusters) ==
+              cluster_map(want.hifi_clusters),
+          label + ": hifi cluster tables differ");
+}
+
+/** Every surviving unit in @p got must be byte-identical to the
+ *  fault-free reference unit (ids may shift when earlier units were
+ *  quarantined, so they are deliberately not compared). */
+void
+check_surviving_units(const Checkpoint &got, const Checkpoint &ref,
+                      bool compare_tests, const std::string &label)
+{
+    for (const CheckpointUnit &unit : got.explored) {
+        const CheckpointUnit *want = ref.find_unit(unit.table_index);
+        const std::string where =
+            label + ": unit " + std::to_string(unit.table_index);
+        check(want != nullptr, where + " missing from reference");
+        if (!want)
+            continue;
+        check_eq(unit.complete, want->complete, where + ": complete");
+        check_eq(unit.paths, want->paths, where + ": paths");
+        check_eq(unit.solver_queries, want->solver_queries,
+                 where + ": solver_queries");
+        if (!compare_tests)
+            continue;
+        check_eq(unit.tests.size(), want->tests.size(),
+                 where + ": test count");
+        for (std::size_t i = 0;
+             i < std::min(unit.tests.size(), want->tests.size()); ++i) {
+            check(unit.tests[i].code == want->tests[i].code &&
+                      unit.tests[i].halt_code ==
+                          want->tests[i].halt_code,
+                  where + ": test " + std::to_string(i) + " differs");
+        }
+    }
+}
+
+struct SitePlan
+{
+    FaultSite site;
+    double probability;
+    Stage stage; ///< Where its quarantine records must land.
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double rate = 0.05;
+    u64 seed = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--rate") && i + 1 < argc)
+            rate = std::atof(argv[++i]);
+        else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc)
+            seed = std::strtoull(argv[++i], nullptr, 0);
+        else {
+            std::printf("usage: chaos_pipeline [--rate P] [--seed N]\n");
+            return 2;
+        }
+    }
+
+    const fs::path dir = fs::current_path() / "chaos_pipeline.work";
+    fs::create_directories(dir);
+    const auto cp = [&](const char *name) {
+        return (dir / name).string();
+    };
+
+    // ---- Reference: fault-free run, checkpointed for per-unit
+    // comparison. ----
+    std::printf("[reference] fault-free run\n");
+    PipelineOptions ref_opts = base_options();
+    ref_opts.resilience.checkpoint_path = cp("reference.cp");
+    Pipeline reference(ref_opts);
+    const PipelineStats &ref = reference.run();
+    const Checkpoint ref_cp =
+        *load_checkpoint_file(cp("reference.cp"));
+    check(ref.quarantine.total() == 0, "reference: quarantine not empty");
+    check(ref.test_programs > 20, "reference: too few test programs");
+
+    // ---- 1+2+3: per-site containment. ----
+    const SitePlan sites[] = {
+        {FaultSite::SolverQuery, 0.05, Stage::StateExploration},
+        {FaultSite::Exploration, 0.50, Stage::StateExploration},
+        {FaultSite::Generation, 0.25, Stage::Generation},
+        {FaultSite::BackendHiFi, 0.10, Stage::Execution},
+        {FaultSite::BackendLoFi, 0.10, Stage::Execution},
+        {FaultSite::BackendHw, 0.10, Stage::Execution},
+    };
+    for (const SitePlan &plan : sites) {
+        const std::string label =
+            std::string("site ") + support::fault_site_name(plan.site);
+        std::printf("[%s] p=%.2f\n", label.c_str(), plan.probability);
+        PipelineOptions opts = base_options();
+        opts.resilience.checkpoint_path = cp("site.cp");
+        opts.resilience.faults =
+            FaultPlan::only(plan.site, plan.probability, seed);
+        Pipeline chaos(opts);
+        const PipelineStats &s = chaos.run(); // Must not throw.
+        const support::FaultInjector &inj = chaos.injector();
+
+        check(inj.injected(plan.site) > 0,
+              label + ": no faults injected (vacuous; raise p)");
+        // Exactly the faulted units are quarantined: one injected
+        // fault aborts exactly one unit of work.
+        check_eq(s.quarantine.total(), inj.total_injected(),
+                 label + ": quarantine total vs injected");
+        for (const support::QuarantinedUnit &q :
+             s.quarantine.units()) {
+            check(q.cls == FaultClass::Injected,
+                  label + ": quarantine class not Injected");
+            check(q.stage == plan.stage,
+                  label + ": quarantine stage mismatch");
+        }
+
+        const Checkpoint site_cp = *load_checkpoint_file(cp("site.cp"));
+        const bool exploration_site =
+            plan.site == FaultSite::SolverQuery ||
+            plan.site == FaultSite::Exploration;
+        // Generation faults thin a unit's test list without touching
+        // its exploration results; elsewhere surviving units must be
+        // byte-identical, tests included.
+        check_surviving_units(site_cp, ref_cp,
+                              plan.site != FaultSite::Generation,
+                              label);
+        if (exploration_site) {
+            check_eq(s.instructions_explored +
+                         s.quarantine.count(Stage::StateExploration),
+                     ref.instructions_explored,
+                     label + ": explored + quarantined vs reference");
+        } else if (plan.site == FaultSite::Generation) {
+            // A quarantined path would otherwise have become either a
+            // test program or a generation failure.
+            check_eq(s.test_programs + s.generation_failures +
+                         inj.total_injected(),
+                     ref.test_programs + ref.generation_failures,
+                     label + ": tests + quarantined vs reference");
+            check_eq(s.total_paths, ref.total_paths,
+                     label + ": exploration perturbed");
+        } else {
+            check_eq(s.tests_executed + inj.total_injected(),
+                     ref.tests_executed,
+                     label + ": executed + quarantined vs reference");
+            check_eq(s.total_paths, ref.total_paths,
+                     label + ": exploration perturbed");
+        }
+    }
+
+    // ---- 4a: graceful preemption mid-explore, then resume. ----
+    std::printf("[resume] preempted after 3 explore units\n");
+    {
+        PipelineOptions opts = base_options();
+        opts.resilience.checkpoint_path = cp("preempt_explore.cp");
+        opts.resilience.explore_at_most_units = 3;
+        opts.resilience.checkpoint_every_units = 2;
+        Pipeline first(opts);
+        first.run();
+        check_eq(first.stats().instructions_explored, 3,
+                 "preempt-explore: first session unit count");
+
+        PipelineOptions ropts = base_options();
+        ropts.resilience.checkpoint_path = cp("preempt_explore.cp");
+        ropts.resilience.resume = true;
+        Pipeline second(ropts);
+        const PipelineStats &s = second.run();
+        check_eq(s.units_resumed, 3, "preempt-explore: units resumed");
+        check(s.tests_resumed > 0, "preempt-explore: tests resumed");
+        check_stats_equal(s, ref, "preempt-explore resume");
+    }
+
+    // ---- 4b: graceful preemption mid-execution, then resume. ----
+    std::printf("[resume] preempted after 5 executed tests\n");
+    {
+        PipelineOptions opts = base_options();
+        opts.resilience.checkpoint_path = cp("preempt_exec.cp");
+        opts.resilience.execute_at_most_tests = 5;
+        opts.resilience.checkpoint_every_tests = 2;
+        Pipeline first(opts);
+        first.run();
+        check_eq(first.stats().tests_executed, 5,
+                 "preempt-exec: first session executed count");
+
+        PipelineOptions ropts = base_options();
+        ropts.resilience.checkpoint_path = cp("preempt_exec.cp");
+        ropts.resilience.resume = true;
+        Pipeline second(ropts);
+        const PipelineStats &s = second.run();
+        check_eq(s.tests_resumed, 5, "preempt-exec: tests resumed");
+        check_eq(s.units_resumed, ref.instructions_explored,
+                 "preempt-exec: units resumed");
+        check_stats_equal(s, ref, "preempt-exec resume");
+    }
+
+    // ---- 4c: chaos run loses units, resume recovers them. ----
+    std::printf("[resume] chaos run, then fault-free resume\n");
+    {
+        PipelineOptions opts = base_options();
+        opts.resilience.checkpoint_path = cp("chaos_resume.cp");
+        // Whole-unit exploration faults only: quarantined units are
+        // absent from the checkpoint, so a fault-free resume recovers
+        // the complete fault-free result. (Generation/backend faults
+        // are terminal for their unit by design — not re-run here,
+        // and the per-query solver site fires so often that a
+        // unit-level probability would leave no survivors.)
+        opts.resilience.faults =
+            FaultPlan::only(FaultSite::Exploration, 0.5, seed);
+        Pipeline chaos(opts);
+        const PipelineStats &cs = chaos.run();
+        check(cs.quarantine.total() > 0,
+              "chaos-resume: no units quarantined (vacuous; raise p)");
+        check(cs.quarantine.total() < ref.instructions_explored,
+              "chaos-resume: no survivors (vacuous; lower p)");
+
+        PipelineOptions ropts = base_options();
+        ropts.resilience.checkpoint_path = cp("chaos_resume.cp");
+        ropts.resilience.resume = true;
+        Pipeline recovered(ropts);
+        const PipelineStats &s = recovered.run();
+        check(s.quarantine.total() == 0,
+              "chaos-resume: resume quarantined units");
+        check_eq(s.units_resumed,
+                 ref.instructions_explored - cs.quarantine.total(),
+                 "chaos-resume: survivors resumed");
+        check_stats_equal(s, ref, "chaos-resume");
+    }
+
+    // ---- 5: resume refuses a checkpoint from different options. ----
+    std::printf("[fingerprint] resume under different options\n");
+    {
+        PipelineOptions opts = base_options();
+        opts.max_paths_per_insn = 8; // Different fingerprint.
+        opts.resilience.checkpoint_path = cp("reference.cp");
+        opts.resilience.resume = true;
+        bool threw = false;
+        try {
+            Pipeline p(opts);
+        } catch (const std::logic_error &) {
+            threw = true;
+        }
+        check(threw, "fingerprint: incompatible resume not refused");
+    }
+
+    // ---- 6: the headline run — ~5% faults at every site. ----
+    std::printf("[chaos] all sites, p=%.2f, seed=%llu\n", rate,
+                static_cast<unsigned long long>(seed));
+    {
+        PipelineOptions opts = base_options();
+        opts.resilience.faults.probability = rate;
+        opts.resilience.faults.seed = seed;
+        Pipeline chaos(opts);
+        const PipelineStats &s = chaos.run(); // Must not throw.
+        const support::FaultInjector &inj = chaos.injector();
+        check(inj.total_injected() > 0,
+              "chaos: no faults injected (vacuous; raise rate)");
+        check_eq(s.quarantine.total(), inj.total_injected(),
+                 "chaos: quarantine total vs injected");
+        for (const support::QuarantinedUnit &q : s.quarantine.units())
+            check(q.cls == FaultClass::Injected,
+                  "chaos: quarantine class not Injected");
+        std::printf("%s", s.to_string().c_str());
+    }
+
+    fs::remove_all(dir);
+    if (g_failures != 0) {
+        std::printf("chaos_pipeline: %d check(s) FAILED\n", g_failures);
+        return 1;
+    }
+    std::printf("chaos_pipeline: all checks passed\n");
+    return 0;
+}

@@ -16,11 +16,17 @@
  *   ir_lint --insn N         lint one table entry
  *   ir_lint --verbose        print notes too, with statement text
  *   ir_lint --quiet          print errors only
+ *   ir_lint --panic-scan D.. flag bare panic() calls in stage-interior
+ *                            sources under the given directories
  */
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "analysis/passes.h"
 #include "arch/decoder.h"
@@ -118,9 +124,83 @@ int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--all] [--insn N] [--verbose] [--quiet]\n",
+                 "usage: %s [--all] [--insn N] [--verbose] [--quiet] "
+                 "[--panic-scan DIR...]\n",
                  argv0);
     return 2;
+}
+
+/**
+ * Does @p line contain a bare panic() call? Stage-interior code must
+ * throw support::FaultError (quarantinable, unit-attributable)
+ * instead; panic() is reserved for global invariants and needs an
+ * explicit `lint: allow-panic` marker on the call or the line above.
+ */
+bool
+line_calls_panic(const std::string &line)
+{
+    const std::size_t comment = line.find("//");
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first != std::string::npos && line[first] == '*')
+        return false; // Block-comment body.
+    for (std::size_t pos = line.find("panic(");
+         pos != std::string::npos; pos = line.find("panic(", pos + 1)) {
+        if (comment != std::string::npos && pos > comment)
+            break; // Only mentioned in a trailing comment.
+        if (pos > 0 &&
+            (std::isalnum(static_cast<unsigned char>(line[pos - 1])) ||
+             line[pos - 1] == '_')) {
+            continue; // Part of a longer identifier.
+        }
+        return true;
+    }
+    return false;
+}
+
+/** Scan stage-interior sources for unmarked panic() calls. */
+int
+panic_scan(const std::vector<std::string> &dirs)
+{
+    namespace fs = std::filesystem;
+    static const char *kAllowMarker = "lint: allow-panic";
+    std::size_t files = 0, findings = 0;
+    for (const std::string &dir : dirs) {
+        if (!fs::is_directory(dir)) {
+            std::fprintf(stderr,
+                         "ir_lint: --panic-scan: '%s' is not a "
+                         "directory\n",
+                         dir.c_str());
+            return 2;
+        }
+        for (const auto &entry :
+             fs::recursive_directory_iterator(dir)) {
+            const fs::path &path = entry.path();
+            if (path.extension() != ".cpp" && path.extension() != ".h")
+                continue;
+            ++files;
+            std::ifstream in(path);
+            std::string line, previous;
+            for (std::size_t lineno = 1; std::getline(in, line);
+                 ++lineno, previous = line) {
+                if (!line_calls_panic(line))
+                    continue;
+                if (line.find(kAllowMarker) != std::string::npos ||
+                    previous.find(kAllowMarker) != std::string::npos)
+                    continue;
+                ++findings;
+                std::printf("%s:%zu: bare panic() in stage-interior "
+                            "code; throw support::FaultError (or mark "
+                            "'%s')\n",
+                            path.string().c_str(), lineno,
+                            kAllowMarker);
+            }
+        }
+    }
+    std::printf("ir_lint: panic-scan: %zu file%s scanned, %zu "
+                "finding%s\n",
+                files, files == 1 ? "" : "s", findings,
+                findings == 1 ? "" : "s");
+    return findings == 0 ? 0 : 1;
 }
 
 } // namespace
@@ -130,6 +210,12 @@ main(int argc, char **argv)
 {
     Options opt;
     for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--panic-scan")) {
+            std::vector<std::string> dirs(argv + i + 1, argv + argc);
+            if (dirs.empty())
+                return usage(argv[0]);
+            return panic_scan(dirs);
+        }
         if (!std::strcmp(argv[i], "--all")) {
             opt.only_insn = -1;
         } else if (!std::strcmp(argv[i], "--insn") && i + 1 < argc) {
