@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Sharded-campaign scaling bench: run the same campaign workload at
+ * 1, 2 and 4 workers, verify the merged reports are byte-identical,
+ * and emit machine-readable results to BENCH_campaign.json —
+ * wall-clock, paths/s, tests/s, solver-memo hit rate, and speedup vs
+ * 1 worker — so perf numbers accumulate per PR.
+ *
+ * Scale knobs: POKEEMU_INSNS (workload size, default 12) and
+ * POKEEMU_PATHS (per-instruction cap, default 24). `--smoke` shrinks
+ * both so the ctest registration finishes in seconds. Note the
+ * speedup column only means something on a multi-core machine; the
+ * JSON records nproc so single-core CI numbers are not misread.
+ */
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "pokeemu/shard.h"
+
+using namespace pokeemu;
+
+namespace {
+
+struct Row
+{
+    u32 shards = 0;
+    double wall_seconds = 0;
+    double paths_per_second = 0;
+    double tests_per_second = 0;
+    double cache_hit_rate = 0;
+    double speedup_vs_1 = 0;
+    u64 paths = 0;
+    u64 tests = 0;
+};
+
+CampaignOptions
+base_options(bool smoke)
+{
+    CampaignOptions options;
+    options.pipeline.max_paths_per_insn =
+        bench::env_u64("POKEEMU_PATHS", smoke ? 16 : 24);
+    // Solver-bound workload: the table's leading entries are
+    // straight-line ALU ops that explore one or two paths and barely
+    // touch the solver, so a table-prefix workload would measure the
+    // decoder, not the campaign hot loop. Sample the multi-path
+    // families instead — iret, string moves, far-pointer loads,
+    // stack ops, shifts — where feasibility queries dominate.
+    static constexpr int kWorkload[] = {
+        274, // iret: deepest path tree in the table
+        201, // movsd
+        266, // les
+        80,  // push r
+        181, // pop r/m
+        206, // stosb
+        267, // lds
+        340, // lss
+        245, // shl r/m,cl
+        81,  // push r
+        341, // lfs
+        342, // lgs
+    };
+    for (int index : kWorkload)
+        options.pipeline.instruction_filter.push_back(index);
+    options.pipeline.max_instructions = static_cast<std::size_t>(
+        bench::env_u64("POKEEMU_INSNS", smoke ? 4 : 12));
+    return options;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--smoke")
+            smoke = true;
+    }
+
+    bench::header("bench_campaign",
+                  "§6 campaign throughput (sharded driver)");
+    const CampaignOptions base = base_options(smoke);
+    std::printf("workload: %zu instructions, %llu paths/insn cap, "
+                "%u hardware threads\n",
+                base.pipeline.max_instructions,
+                static_cast<unsigned long long>(
+                    base.pipeline.max_paths_per_insn),
+                std::thread::hardware_concurrency());
+
+    std::vector<Row> rows;
+    std::string reference_report;
+    bool identical = true;
+    for (u32 shards : {1u, 2u, 4u}) {
+        CampaignOptions options = base;
+        options.shards = shards;
+        const CampaignResult result = run_campaign(options);
+        Row row;
+        row.shards = shards;
+        row.wall_seconds = result.wall_seconds;
+        row.paths = result.merged.total_paths;
+        row.tests = result.merged.tests_executed;
+        if (result.wall_seconds > 0) {
+            row.paths_per_second = static_cast<double>(row.paths) /
+                result.wall_seconds;
+            row.tests_per_second = static_cast<double>(row.tests) /
+                result.wall_seconds;
+        }
+        const u64 memo_total = result.merged.solver_cache_hits +
+            result.merged.solver_cache_misses;
+        if (memo_total != 0) {
+            row.cache_hit_rate =
+                static_cast<double>(result.merged.solver_cache_hits) /
+                static_cast<double>(memo_total);
+        }
+        if (shards == 1)
+            reference_report = result.report();
+        else if (result.report() != reference_report)
+            identical = false;
+        rows.push_back(row);
+    }
+    for (Row &row : rows) {
+        row.speedup_vs_1 = row.wall_seconds > 0
+            ? rows[0].wall_seconds / row.wall_seconds
+            : 0.0;
+    }
+
+    std::printf("shards  wall(s)  paths/s  tests/s  memo-hit  "
+                "speedup\n");
+    for (const Row &row : rows) {
+        std::printf("%6u  %7.3f  %7.1f  %7.1f  %7.1f%%  %6.2fx\n",
+                    row.shards, row.wall_seconds,
+                    row.paths_per_second, row.tests_per_second,
+                    row.cache_hit_rate * 100.0, row.speedup_vs_1);
+    }
+    std::printf("merged reports byte-identical across shard counts: "
+                "%s\n",
+                identical ? "yes" : "NO");
+
+    {
+        std::FILE *out = std::fopen("BENCH_campaign.json", "w");
+        if (out == nullptr) {
+            std::fprintf(stderr, "cannot write BENCH_campaign.json\n");
+            return 1;
+        }
+        std::fprintf(out, "{\n  \"bench\": \"campaign\",\n");
+        std::fprintf(out, "  \"smoke\": %s,\n",
+                     smoke ? "true" : "false");
+        std::fprintf(out, "  \"hardware_threads\": %u,\n",
+                     std::thread::hardware_concurrency());
+        std::fprintf(out, "  \"reports_identical\": %s,\n",
+                     identical ? "true" : "false");
+        std::fprintf(out, "  \"runs\": [\n");
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Row &row = rows[i];
+            std::fprintf(
+                out,
+                "    {\"shards\": %u, \"wall_seconds\": %.6f, "
+                "\"paths\": %llu, \"tests\": %llu, "
+                "\"paths_per_second\": %.2f, "
+                "\"tests_per_second\": %.2f, "
+                "\"solver_cache_hit_rate\": %.4f, "
+                "\"speedup_vs_1\": %.3f}%s\n",
+                row.shards, row.wall_seconds,
+                static_cast<unsigned long long>(row.paths),
+                static_cast<unsigned long long>(row.tests),
+                row.paths_per_second, row.tests_per_second,
+                row.cache_hit_rate, row.speedup_vs_1,
+                i + 1 < rows.size() ? "," : "");
+        }
+        std::fprintf(out, "  ]\n}\n");
+        std::fclose(out);
+    }
+    std::printf("wrote BENCH_campaign.json\n");
+    return identical ? 0 : 1;
+}

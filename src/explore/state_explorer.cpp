@@ -63,6 +63,7 @@ explore_program(const ir::Program &semantics, const StateSpec &spec,
     config.solver_query_ms = options.solver_query_ms;
     config.solver_query_steps = options.solver_query_steps;
     config.injector = options.injector;
+    config.memo = options.memo;
 
     symexec::PathExplorer explorer(semantics, pool,
                                    spec.initial_fn(pool), config);

@@ -41,6 +41,10 @@ struct StateExploreOptions
     u64 solver_query_steps = 0;
     /** Chaos hook threaded down to explorer and solver (not owned). */
     support::FaultInjector *injector = nullptr;
+    /** Solver-query memo threaded down to the solver (not owned; null
+     *  disables memoization). The caller clears it between units of
+     *  work (QueryMemo::begin_unit) to keep results layout-independent. */
+    solver::QueryMemo *memo = nullptr;
 };
 
 /** One explored path's test state. */

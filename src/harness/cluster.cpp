@@ -186,6 +186,25 @@ RootCauseClusterer::add_named(u64 test_id, const arch::DecodedInsn &insn,
 }
 
 void
+RootCauseClusterer::merge(const RootCauseClusterer &other,
+                          const std::function<u64(u64)> &remap_test_id)
+{
+    for (const auto &[cause, oc] : other.clusters_) {
+        const u64 example = remap_test_id(oc.example_test);
+        Cluster &c = clusters_[cause];
+        if (c.count == 0) {
+            c.root_cause = cause;
+            c.example_test = example;
+        } else {
+            c.example_test = std::min(c.example_test, example);
+        }
+        c.count += oc.count;
+        c.mnemonics.insert(oc.mnemonics.begin(), oc.mnemonics.end());
+        total_ += oc.count;
+    }
+}
+
+void
 RootCauseClusterer::save(std::ostream &out) const
 {
     out << "clusters " << clusters_.size() << "\n";

@@ -13,6 +13,7 @@
 #ifndef POKEEMU_HARNESS_CLUSTER_H
 #define POKEEMU_HARNESS_CLUSTER_H
 
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <set>
@@ -63,6 +64,17 @@ class RootCauseClusterer
 
     /** Clusters sorted by descending population. */
     std::vector<Cluster> clusters() const;
+
+    /**
+     * Fold @p other into this clusterer, rewriting its test ids
+     * through @p remap_test_id (shard-local -> campaign-global).
+     * Counts add, mnemonic sets union, and a cluster's example becomes
+     * the smallest remapped id seen — so merging per-shard clusterers
+     * reproduces exactly what a single sequential run would have
+     * recorded, regardless of merge order.
+     */
+    void merge(const RootCauseClusterer &other,
+               const std::function<u64(u64)> &remap_test_id);
 
     /// @name Checkpoint support (whitespace-separated text rows).
     /// @{

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iomanip>
+#include <mutex>
 #include <sstream>
 
 #include "support/logging.h"
@@ -90,14 +92,25 @@ Pipeline::Pipeline(PipelineOptions options)
 
 Pipeline::~Pipeline() = default;
 
-void
+bool
 Pipeline::quarantine(Stage stage, std::string unit, FaultClass cls,
                      std::string message)
 {
-    log_warn("pipeline: quarantined [", support::stage_name(stage),
-             "] ", unit, ": ", message);
+    // A resumed session re-attempts units the previous session
+    // quarantined (they are absent from the checkpoint's explored
+    // list); when the fault is deterministic the entry re-occurs
+    // verbatim and must not be ledgered twice.
+    if (stats_.quarantine.contains(stage, unit, cls, message))
+        return false;
+    const bool reoccurrence =
+        prior_quarantine_.contains(stage, unit, cls, message);
+    if (!reoccurrence) {
+        log_warn("pipeline: quarantined [", support::stage_name(stage),
+                 "] ", unit, ": ", message);
+    }
     stats_.quarantine.add(stage, std::move(unit), cls,
                           std::move(message));
+    return !reoccurrence;
 }
 
 void
@@ -105,6 +118,7 @@ Pipeline::write_checkpoint()
 {
     if (options_.resilience.checkpoint_path.empty())
         return;
+    checkpoint_.quarantine = stats_.quarantine;
     save_checkpoint_file(options_.resilience.checkpoint_path,
                          checkpoint_);
     ++stats_.checkpoints_written;
@@ -120,6 +134,8 @@ Pipeline::restore_unit(const CheckpointUnit &unit, u64 &next_test_id)
         ++stats_.budget_incomplete;
     stats_.total_paths += unit.paths;
     stats_.solver_queries += unit.solver_queries;
+    stats_.solver_cache_hits += unit.solver_cache_hits;
+    stats_.solver_cache_misses += unit.solver_cache_misses;
     stats_.minimize_bits_before += unit.minimize_bits_before;
     stats_.minimize_bits_after += unit.minimize_bits_after;
     stats_.generation_failures += unit.generation_failures;
@@ -182,7 +198,11 @@ Pipeline::explore_and_generate()
         }
         stats_.insn_set.candidate_sequences = selected.size();
     } else {
+        // Shared across Pipeline instances — including ones running in
+        // concurrent shard workers — hence the lock.
+        static std::mutex memo_mutex;
         static std::map<u64, explore::InsnSetResult> memo;
+        std::lock_guard<std::mutex> lock(memo_mutex);
         auto it = memo.find(options_.seed);
         if (it == memo.end()) {
             it = memo.emplace(options_.seed,
@@ -212,6 +232,8 @@ Pipeline::explore_and_generate()
     xopt.use_descriptor_summary = options_.use_descriptor_summary;
     xopt.minimize = options_.minimize;
 
+    xopt.memo = &memo_;
+
     u64 next_test_id = 0;
     // Restore checkpointed units first, in checkpoint order: tests_
     // must stay ordered exactly as the checkpoint's execution
@@ -222,6 +244,27 @@ Pipeline::explore_and_generate()
         for (const CheckpointUnit &done : resumed_->explored) {
             restore_unit(done, next_test_id);
             checkpoint_.explored.push_back(done);
+        }
+        // Replay the persisted ledger (quietly — these were already
+        // warned about when first quarantined). Stage-2 entries are
+        // NOT replayed into the live ledger: their units are about to
+        // be re-attempted, and the re-attempt decides — a unit that
+        // now succeeds (the fault was transient) must leave no stale
+        // entry, while a deterministic re-failure re-enters via
+        // quarantine(), which consults prior_quarantine_ to stay
+        // quiet and refund the fresh-unit quota. Entries for work
+        // that is never redone (generation of a checkpointed unit,
+        // execution of an already-counted test) are replayed as is.
+        for (const support::QuarantinedUnit &q :
+             resumed_->quarantine.units()) {
+            if (q.stage == Stage::StateExploration) {
+                prior_quarantine_.add(q.stage, q.unit, q.cls,
+                                      q.message);
+            } else if (!stats_.quarantine.contains(q.stage, q.unit,
+                                                   q.cls, q.message)) {
+                stats_.quarantine.add(q.stage, q.unit, q.cls,
+                                      q.message);
+            }
         }
     }
 
@@ -239,6 +282,7 @@ Pipeline::explore_and_generate()
         // quota of fresh units and leaves the rest to a later resume.
         if (res.explore_at_most_units &&
             fresh_units >= res.explore_at_most_units) {
+            stats_.explore_preempted = true;
             break;
         }
         ++fresh_units;
@@ -248,11 +292,23 @@ Pipeline::explore_and_generate()
             arch::decode(bytes.data(), bytes.size(), insn);
         if (status != arch::DecodeStatus::Ok ||
             insn.table_index != index) {
-            quarantine(Stage::StateExploration, unit_name,
-                       FaultClass::Decode,
-                       "representative bytes failed to decode");
+            // A deduped (already-ledgered) quarantine refunds the
+            // session's fresh-unit quota: known-bad units must not
+            // starve later units of slice time forever, or a sliced
+            // campaign with deterministic faults would never finish.
+            if (!quarantine(Stage::StateExploration, unit_name,
+                            FaultClass::Decode,
+                            "representative bytes failed to decode")) {
+                --fresh_units;
+            }
             continue;
         }
+
+        // Unit boundary: entries must not leak across instructions
+        // (exploration stays a pure function of the unit — see memo_),
+        // but the escalated retry below intentionally reuses entries
+        // from this unit's first attempt.
+        memo_.begin_unit();
 
         t0 = std::chrono::steady_clock::now();
         const auto explore_with_budget =
@@ -299,8 +355,11 @@ Pipeline::explore_and_generate()
         }
         stats_.t_state_exploration += seconds_since(t0);
         if (!guarded.ok()) {
-            quarantine(Stage::StateExploration, unit_name, guarded.cls,
-                       guarded.message);
+            // Quota refund on dedup — see the decode-failure site.
+            if (!quarantine(Stage::StateExploration, unit_name,
+                            guarded.cls, guarded.message)) {
+                --fresh_units;
+            }
             continue;
         }
         const explore::StateExploreResult explored =
@@ -312,6 +371,8 @@ Pipeline::explore_and_generate()
         cu.budget_incomplete = explored.stats.deadline_expired;
         cu.paths = explored.stats.paths;
         cu.solver_queries = explored.stats.solver_queries;
+        cu.solver_cache_hits = memo_.stats().unit_hits;
+        cu.solver_cache_misses = memo_.stats().unit_misses;
         cu.minimize_bits_before =
             explored.minimize.bits_different_before;
         cu.minimize_bits_after = explored.minimize.bits_different_after;
@@ -323,6 +384,8 @@ Pipeline::explore_and_generate()
             ++stats_.budget_incomplete;
         stats_.total_paths += explored.stats.paths;
         stats_.solver_queries += explored.stats.solver_queries;
+        stats_.solver_cache_hits += cu.solver_cache_hits;
+        stats_.solver_cache_misses += cu.solver_cache_misses;
         stats_.minimize_bits_before +=
             explored.minimize.bits_different_before;
         stats_.minimize_bits_after +=
@@ -442,6 +505,7 @@ Pipeline::execute_and_compare()
         // Graceful preemption (see explore_and_generate).
         if (res.execute_at_most_tests &&
             i - start >= res.execute_at_most_tests) {
+            stats_.execute_preempted = true;
             break;
         }
         const GeneratedTest &test = tests_[i];
@@ -564,6 +628,15 @@ PipelineStats::to_string() const
        << instructions_complete << " with complete path coverage ("
        << t_state_exploration << "s, " << solver_queries
        << " solver queries)\n";
+    if (solver_cache_hits || solver_cache_misses) {
+        const double rate = static_cast<double>(solver_cache_hits) /
+            static_cast<double>(solver_cache_hits +
+                                solver_cache_misses);
+        os << "solver memo: " << solver_cache_hits << " hits, "
+           << solver_cache_misses << " misses (" << std::fixed
+           << std::setprecision(1) << rate * 100.0 << "% hit rate)\n"
+           << std::defaultfloat << std::setprecision(6);
+    }
     if (budget_retries || budget_incomplete) {
         os << "budgets: " << budget_retries << " escalated retries, "
            << budget_incomplete << " instructions budget-incomplete\n";

@@ -24,6 +24,7 @@
 #include "harness/cluster.h"
 #include "harness/runner.h"
 #include "pokeemu/resilience.h"
+#include "solver/memo.h"
 #include "support/fault.h"
 #include "testgen/testgen.h"
 
@@ -68,6 +69,8 @@ struct PipelineStats
     u64 instructions_complete = 0; ///< Exhaustive path coverage.
     u64 total_paths = 0;
     u64 solver_queries = 0;
+    u64 solver_cache_hits = 0;   ///< Queries answered by the memo.
+    u64 solver_cache_misses = 0; ///< Memo-eligible queries solved.
     u64 minimize_bits_before = 0;
     u64 minimize_bits_after = 0;
     // Stage 3.
@@ -97,6 +100,11 @@ struct PipelineStats
     u64 units_resumed = 0;     ///< Stage-2/3 units from a checkpoint.
     u64 tests_resumed = 0;     ///< Stage-4/5 tests from a checkpoint.
     u64 checkpoints_written = 0;
+    /** The explore_at_most_units / execute_at_most_tests quota ended
+     *  the stage with work left over — a later resume continues it.
+     *  Both false means the session finished the whole workload. */
+    bool explore_preempted = false;
+    bool execute_preempted = false;
     // Timing (seconds) per stage.
     double t_insn_exploration = 0;
     double t_state_exploration = 0;
@@ -146,9 +154,17 @@ class Pipeline
     /** The chaos injector's accounting (occurrences/faults per site). */
     const support::FaultInjector &injector() const { return injector_; }
 
+    /** The progress record being built (what write_checkpoint saves);
+     *  shard merging reads per-unit rows from here. */
+    const Checkpoint &checkpoint() const { return checkpoint_; }
+
   private:
-    /** Quarantine one unit of work and keep sweeping. */
-    void quarantine(support::Stage stage, std::string unit,
+    /** Quarantine one unit of work and keep sweeping. Returns false
+     *  when the entry is not fresh progress: an identical entry was
+     *  already ledgered this session, or a prior session's ledger had
+     *  it (a resumed session re-attempting a deterministically faulty
+     *  unit re-fails quietly). */
+    bool quarantine(support::Stage stage, std::string unit,
                     support::FaultClass cls, std::string message);
 
     /** Restore one completed stage-2/3 unit from the loaded
@@ -166,8 +182,21 @@ class Pipeline
     std::vector<GeneratedTest> tests_;
     bool explored_ = false;
     support::FaultInjector injector_;
+    /** Solver-query memo for stage 2, cleared at every unit boundary
+     *  (begin_unit) so each instruction's exploration stays a pure
+     *  function of (instruction, options) — the property the sharded
+     *  campaign's byte-identical merge rests on. Hits come from
+     *  sibling paths of the same instruction re-checking shared
+     *  path-condition prefixes. */
+    solver::QueryMemo memo_;
     Checkpoint checkpoint_;              ///< Progress being built.
     std::optional<Checkpoint> resumed_;  ///< Loaded prior progress.
+    /** Stage-2 entries from the resumed ledger. Re-attempted units
+     *  re-enter the live ledger only if they fail again (a recovered
+     *  unit leaves no stale entry); the prior entries are kept aside so
+     *  a deterministic re-failure is recognized as old news — logged
+     *  quietly and refunded to the session's fresh-unit quota. */
+    support::QuarantineReport prior_quarantine_;
 };
 
 } // namespace pokeemu

@@ -29,6 +29,25 @@ expect_tag(std::istream &in, const char *tag)
                          got + "'");
 }
 
+/** Strings ride in the whitespace-separated container as hex tokens;
+ *  the empty string becomes "-" so the token is never zero-width. */
+std::string
+hex_encode_string(const std::string &s)
+{
+    if (s.empty())
+        return "-";
+    return hex_encode(std::vector<u8>(s.begin(), s.end()));
+}
+
+std::string
+hex_decode_string(const std::string &hex)
+{
+    if (hex == "-")
+        return {};
+    const std::vector<u8> bytes = hex_decode(hex);
+    return std::string(bytes.begin(), bytes.end());
+}
+
 } // namespace
 
 const CheckpointUnit *
@@ -50,9 +69,10 @@ save_checkpoint(std::ostream &out, const Checkpoint &checkpoint)
     for (const CheckpointUnit &u : checkpoint.explored) {
         out << "unit " << u.table_index << " " << u.complete << " "
             << u.budget_incomplete << " " << u.paths << " "
-            << u.solver_queries << " " << u.minimize_bits_before << " "
-            << u.minimize_bits_after << " " << u.generation_failures
-            << " " << u.tests.size() << "\n";
+            << u.solver_queries << " " << u.solver_cache_hits << " "
+            << u.solver_cache_misses << " " << u.minimize_bits_before
+            << " " << u.minimize_bits_after << " "
+            << u.generation_failures << " " << u.tests.size() << "\n";
         for (const CheckpointTest &t : u.tests) {
             out << "test " << t.id << " " << t.table_index << " "
                 << t.test_insn_offset << " " << t.halt_code << " "
@@ -68,6 +88,14 @@ save_checkpoint(std::ostream &out, const Checkpoint &checkpoint)
         << e.lofi_timeouts << " " << e.hw_timeouts << "\n";
     e.lofi_clusters.save(out);
     e.hifi_clusters.save(out);
+    const auto &quarantined = checkpoint.quarantine.units();
+    out << "quarantined " << quarantined.size() << "\n";
+    for (const support::QuarantinedUnit &q : quarantined) {
+        out << "q " << static_cast<unsigned>(q.stage) << " "
+            << static_cast<unsigned>(q.cls) << " "
+            << hex_encode_string(q.unit) << " "
+            << hex_encode_string(q.message) << "\n";
+    }
     out << "end\n";
 }
 
@@ -94,6 +122,7 @@ load_checkpoint(std::istream &in)
         std::size_t ntests = 0;
         if (!(in >> u.table_index >> u.complete >>
               u.budget_incomplete >> u.paths >> u.solver_queries >>
+              u.solver_cache_hits >> u.solver_cache_misses >>
               u.minimize_bits_before >> u.minimize_bits_after >>
               u.generation_failures >> ntests)) {
             checkpoint_error("truncated unit row");
@@ -126,6 +155,27 @@ load_checkpoint(std::istream &in)
     }
     e.lofi_clusters.load(in);
     e.hifi_clusters.load(in);
+    expect_tag(in, "quarantined");
+    std::size_t nquarantined = 0;
+    if (!(in >> nquarantined))
+        checkpoint_error("bad quarantine count");
+    for (std::size_t i = 0; i < nquarantined; ++i) {
+        expect_tag(in, "q");
+        unsigned stage = 0;
+        unsigned cls = 0;
+        std::string unit_hex;
+        std::string message_hex;
+        if (!(in >> stage >> cls >> unit_hex >> message_hex))
+            checkpoint_error("truncated quarantine row");
+        if (stage > static_cast<unsigned>(support::Stage::Comparison) ||
+            cls > static_cast<unsigned>(support::FaultClass::Injected)) {
+            checkpoint_error("bad quarantine stage/class");
+        }
+        cp.quarantine.add(static_cast<support::Stage>(stage),
+                          hex_decode_string(unit_hex),
+                          static_cast<support::FaultClass>(cls),
+                          hex_decode_string(message_hex));
+    }
     expect_tag(in, "end");
     return cp;
 }

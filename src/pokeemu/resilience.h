@@ -98,6 +98,8 @@ struct CheckpointUnit
     bool budget_incomplete = false;
     u64 paths = 0;
     u64 solver_queries = 0;
+    u64 solver_cache_hits = 0;   ///< Memo hits during this unit.
+    u64 solver_cache_misses = 0; ///< Memo-eligible queries solved.
     u64 minimize_bits_before = 0;
     u64 minimize_bits_after = 0;
     u64 generation_failures = 0;
@@ -131,6 +133,14 @@ struct Checkpoint
     u64 fingerprint = 0;
     std::vector<CheckpointUnit> explored;
     CheckpointExecution execution;
+    /**
+     * The quarantine ledger as of this checkpoint. Without it a
+     * Generation-stage quarantine of a successfully explored unit
+     * would vanish on resume (the unit is in `explored`, so the stage
+     * never revisits it) and the resumed campaign's report would
+     * under-count what was skipped.
+     */
+    support::QuarantineReport quarantine;
 
     const CheckpointUnit *find_unit(int table_index) const;
 };

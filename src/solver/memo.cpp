@@ -1,0 +1,135 @@
+#include "solver/memo.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace pokeemu::solver {
+
+namespace {
+
+/** splitmix64 finalizer (same mixer the fingerprint code uses). */
+u64
+mix64(u64 x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+std::size_t
+QueryMemo::KeyHash::operator()(const QueryKey &key) const
+{
+    u64 h = 0x706f6b656d656d6fULL; // "pokememo"
+    for (u64 v : key)
+        h = mix64(h ^ mix64(v));
+    return static_cast<std::size_t>(h);
+}
+
+bool
+QueryMemo::canonical_key(const std::vector<ir::ExprRef> &conditions,
+                         QueryKey &out)
+{
+    out.clear();
+    out.reserve(conditions.size());
+    for (const ir::ExprRef &cond : conditions) {
+        if (cond->is_const()) {
+            if (cond->value() == 0)
+                return false;
+            continue; // Constant-true: contributes nothing.
+        }
+        out.push_back(cond->hash());
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return true;
+}
+
+namespace {
+
+/** True when @p model (absent variables read 0) satisfies every
+ *  conjunct. Conditions reaching the solver are fully resolved, so a
+ *  Temp leaf means reuse is not applicable, not a bug. */
+bool
+model_satisfies(const std::unordered_map<u32, u64> &model,
+                const std::vector<ir::ExprRef> &conditions)
+{
+    bool resolved = true;
+    const std::function<u64(const ir::Expr &)> read =
+        [&](const ir::Expr &leaf) -> u64 {
+        if (leaf.kind() != ir::ExprKind::Var) {
+            resolved = false;
+            return 0;
+        }
+        auto it = model.find(leaf.var_id());
+        return it == model.end() ? 0 : it->second;
+    };
+    for (const ir::ExprRef &cond : conditions) {
+        if (ir::eval_expr(cond, &read) == 0 || !resolved)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+const MemoEntry *
+QueryMemo::find(const QueryKey &key,
+                const std::vector<ir::ExprRef> &conditions)
+{
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        ++stats_.hits;
+        ++stats_.unit_hits;
+        return &it->second;
+    }
+
+    // Model reuse: newest first — within a run the deepest solved
+    // prefix is the likeliest to satisfy its own extension.
+    const std::size_t scan = std::min(models_.size(), kMaxModelScan);
+    for (std::size_t i = 0; i < scan; ++i) {
+        const MemoEntry *cached = models_[models_.size() - 1 - i];
+        if (!model_satisfies(cached->model, conditions))
+            continue;
+        MemoEntry entry;
+        entry.sat = true;
+        entry.model = cached->model;
+        // Zero-fill the query's variables the donor never constrained:
+        // model_satisfies read them as 0, so the served model must
+        // pin them to 0 to stay a witness.
+        std::vector<ir::ExprRef> vars;
+        for (const ir::ExprRef &cond : conditions)
+            ir::Expr::collect_vars(cond, vars);
+        for (const ir::ExprRef &v : vars)
+            entry.model.emplace(v->var_id(), 0);
+        ++stats_.hits;
+        ++stats_.unit_hits;
+        insert(key, std::move(entry));
+        return &entries_.find(key)->second;
+    }
+
+    ++stats_.misses;
+    ++stats_.unit_misses;
+    return nullptr;
+}
+
+void
+QueryMemo::insert(const QueryKey &key, MemoEntry entry)
+{
+    const auto [it, inserted] = entries_.emplace(key, std::move(entry));
+    if (inserted && it->second.sat)
+        models_.push_back(&it->second);
+}
+
+void
+QueryMemo::begin_unit()
+{
+    entries_.clear();
+    models_.clear();
+    stats_.unit_hits = 0;
+    stats_.unit_misses = 0;
+}
+
+} // namespace pokeemu::solver

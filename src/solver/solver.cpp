@@ -21,39 +21,78 @@ Solver::check(const std::vector<ir::ExprRef> &conditions)
     }
     const auto start = std::chrono::steady_clock::now();
 
-    std::vector<Lit> assumptions;
-    assumptions.reserve(conditions.size());
-    bool trivially_false = false;
-    for (const auto &cond : conditions) {
-        assert(cond->width() == 1);
-        if (cond->is_const()) {
-            if (cond->value() == 0)
-                trivially_false = true;
-            continue;
+    QueryKey key;
+    const bool cacheable =
+        memo_ != nullptr && QueryMemo::canonical_key(conditions, key);
+
+    bool from_cache = false;
+    CheckResult result = CheckResult::Unsat;
+    if (cacheable) {
+        if (const MemoEntry *entry = memo_->find(key, conditions)) {
+            // Hit (exact or via model reuse): skip bit-blasting and
+            // the SAT search; for Sat the stored model witnesses the
+            // conjunction.
+            result = entry->sat ? CheckResult::Sat : CheckResult::Unsat;
+            from_cache = true;
+            ++stats_.cache_hits;
+            if (entry->sat)
+                hit_model_ = entry->model;
+            else
+                hit_model_.reset();
         }
-        assumptions.push_back(blaster_->blast(cond)[0]);
     }
 
-    CheckResult result;
-    if (trivially_false) {
-        result = CheckResult::Unsat;
-    } else {
-        support::Deadline deadline =
-            support::Deadline::with(budget_ms_, budget_steps_);
-        support::Deadline *limit =
-            deadline.limited() ? &deadline : nullptr;
-        try {
-            result = sat_->solve(assumptions, limit) == SatResult::Sat
-                ? CheckResult::Sat
-                : CheckResult::Unsat;
-        } catch (const support::FaultError &) {
-            ++stats_.queries;
-            ++stats_.timed_out;
-            stats_.total_seconds += std::chrono::duration<double>(
-                                        std::chrono::steady_clock::now() -
-                                        start)
-                                        .count();
-            throw;
+    if (!from_cache) {
+        hit_model_.reset();
+
+        std::vector<Lit> assumptions;
+        assumptions.reserve(conditions.size());
+        bool trivially_false = false;
+        for (const auto &cond : conditions) {
+            assert(cond->width() == 1);
+            if (cond->is_const()) {
+                if (cond->value() == 0)
+                    trivially_false = true;
+                continue;
+            }
+            assumptions.push_back(blaster_->blast(cond)[0]);
+        }
+
+        if (trivially_false) {
+            result = CheckResult::Unsat;
+        } else {
+            support::Deadline deadline =
+                support::Deadline::with(budget_ms_, budget_steps_);
+            support::Deadline *limit =
+                deadline.limited() ? &deadline : nullptr;
+            try {
+                result =
+                    sat_->solve(assumptions, limit) == SatResult::Sat
+                    ? CheckResult::Sat
+                    : CheckResult::Unsat;
+            } catch (const support::FaultError &) {
+                ++stats_.queries;
+                ++stats_.timed_out;
+                stats_.total_seconds +=
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+                throw;
+            }
+        }
+
+        if (cacheable) {
+            ++stats_.cache_misses;
+            MemoEntry entry;
+            entry.sat = result == CheckResult::Sat;
+            if (entry.sat) {
+                std::vector<ir::ExprRef> vars;
+                for (const auto &cond : conditions)
+                    ir::Expr::collect_vars(cond, vars);
+                for (const ir::ExprRef &v : vars)
+                    entry.model[v->var_id()] = blaster_->model_value(v);
+            }
+            memo_->insert(key, std::move(entry));
         }
     }
 
@@ -73,7 +112,34 @@ Solver::check(const std::vector<ir::ExprRef> &conditions)
 u64
 Solver::model_value(const ir::ExprRef &expr) const
 {
-    return blaster_->model_value(expr);
+    if (!hit_model_)
+        return blaster_->model_value(expr);
+    // Memoized Sat: variables of the cached query read its stored
+    // model; anything else falls back to the last solved model so the
+    // value is still deterministic.
+    std::function<u64(const ir::Expr &)> lookup =
+        [&](const ir::Expr &leaf) -> u64 {
+        if (leaf.kind() != ir::ExprKind::Var)
+            panic("model_value: Temp in solver expression");
+        auto it = hit_model_->find(leaf.var_id());
+        if (it != hit_model_->end())
+            return it->second;
+        const std::vector<Lit> *bits = blaster_->var_bits(leaf.var_id());
+        if (bits == nullptr)
+            return 0; // Never constrained: any value works.
+        u64 v = 0;
+        for (std::size_t i = 0; i < bits->size(); ++i) {
+            const Lit l = (*bits)[i];
+            const bool b = lit_sign(l) ? !sat_->model_value(lit_var(l))
+                                       : sat_->model_value(lit_var(l));
+            if (b)
+                v |= u64{1} << i;
+        }
+        return v;
+    };
+    if (expr->is_var())
+        return lookup(*expr);
+    return ir::eval_expr(expr, &lookup);
 }
 
 u64

@@ -13,9 +13,11 @@
 
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "solver/bitblast.h"
+#include "solver/memo.h"
 #include "support/fault.h"
 
 namespace pokeemu::solver {
@@ -29,6 +31,11 @@ struct SolverStats
     u64 sat = 0;
     u64 unsat = 0;
     u64 timed_out = 0; ///< Queries aborted by the per-query deadline.
+    /** Queries answered from / actually solved past the QueryMemo
+     *  (hits + misses ≤ queries: trivially-constant queries and
+     *  memo-less solvers touch neither counter). */
+    u64 cache_hits = 0;
+    u64 cache_misses = 0;
     double total_seconds = 0.0;
     double max_seconds = 0.0;
 };
@@ -69,7 +76,24 @@ class Solver
         injector_ = injector;
     }
 
-    /** Model value for @p expr (typically a Var) after Sat. */
+    /**
+     * Attach a query memo (not owned; null disables memoization).
+     * Verdicts — and, for Sat, witnessing models — of non-trivial
+     * queries are cached under their canonical conjunction key; a hit
+     * skips bit-blasting and the SAT search entirely.
+     */
+    void
+    set_memo(QueryMemo *memo)
+    {
+        memo_ = memo;
+    }
+
+    /**
+     * Model value for @p expr (typically a Var) after Sat. After a
+     * memoized Sat, variables of the cached query read from its stored
+     * model; other variables fall back to the last solved SAT model
+     * (never-constrained variables read 0, as always).
+     */
     u64 model_value(const ir::ExprRef &expr) const;
 
     const SolverStats &stats() const { return stats_; }
@@ -84,6 +108,10 @@ class Solver
     u64 budget_ms_ = 0;    ///< 0 = unlimited.
     u64 budget_steps_ = 0; ///< 0 = unlimited.
     support::FaultInjector *injector_ = nullptr;
+    QueryMemo *memo_ = nullptr;
+    /** Model of the last check when it was a memoized Sat; reset by
+     *  every non-hit check. */
+    std::optional<std::unordered_map<u32, u64>> hit_model_;
 };
 
 /**

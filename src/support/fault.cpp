@@ -63,6 +63,20 @@ QuarantineReport::count(FaultClass cls) const
     return n;
 }
 
+bool
+QuarantineReport::contains(Stage stage, const std::string &unit,
+                           FaultClass cls,
+                           const std::string &message) const
+{
+    for (const QuarantinedUnit &u : units_) {
+        if (u.stage == stage && u.cls == cls && u.unit == unit &&
+            u.message == message) {
+            return true;
+        }
+    }
+    return false;
+}
+
 std::string
 QuarantineReport::to_string() const
 {
@@ -101,6 +115,22 @@ mix64(u64 x)
 
 } // namespace
 
+namespace {
+
+/** FNV-1a over the occurrence's `where` string, for unit-keyed plans. */
+u64
+fnv1a(const std::string &s)
+{
+    u64 h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
 void
 FaultInjector::maybe_fail(FaultSite site, const std::string &where)
 {
@@ -108,21 +138,24 @@ FaultInjector::maybe_fail(FaultSite site, const std::string &where)
     const u64 occurrence = occurrences_[s]++;
     if (plan_.probability <= 0.0 || !plan_.armed[s])
         return;
-    // Map hash(seed, site, occurrence) to [0, 1): independent streams
+    // Map a hash to [0, 1). Counter keying gives independent streams
     // per site, so occurrence i of a site fails identically across
-    // runs whatever the interleaving with other sites.
+    // runs whatever the interleaving with other sites; unit keying
+    // hashes the `where` string instead so the decision is identical
+    // across shard layouts and resumed sessions (see FaultPlan).
+    const u64 k = plan_.key_by_unit ? fnv1a(where) : occurrence;
     const u64 h = mix64(plan_.seed ^ mix64((u64{s} << 32) | 1) ^
-                        mix64(occurrence));
+                        mix64(k));
     const double draw =
         static_cast<double>(h >> 11) * 0x1.0p-53; // 53 uniform bits.
     if (draw < plan_.probability) {
         ++injected_[s];
-        throw FaultError(FaultClass::Injected,
-                         "injected fault at " +
-                             std::string(fault_site_name(site)) +
-                             " occurrence " +
-                             std::to_string(occurrence) + " (" + where +
-                             ")");
+        std::string message = "injected fault at " +
+            std::string(fault_site_name(site));
+        if (!plan_.key_by_unit)
+            message += " occurrence " + std::to_string(occurrence);
+        message += " (" + where + ")";
+        throw FaultError(FaultClass::Injected, message);
     }
 }
 

@@ -103,6 +103,11 @@ class QuarantineReport
     u64 count(Stage stage) const;
     u64 count(FaultClass cls) const;
 
+    /** True when an identical entry is already ledgered — used to
+     *  dedup when a resumed session replays a persisted ledger. */
+    bool contains(Stage stage, const std::string &unit, FaultClass cls,
+                  const std::string &message) const;
+
     std::string to_string() const;
 
   private:
@@ -258,6 +263,17 @@ struct FaultPlan
     /** Armed sites; all on by default (filtered via arm()/disarm()). */
     bool armed[kNumFaultSites] = {true, true, true,
                                   true, true, true};
+    /**
+     * Key the fail/pass decision by the occurrence's `where` string
+     * instead of its per-site counter. Counter streams depend on how
+     * many occurrences preceded this one — i.e. on shard layout and on
+     * what earlier sessions already completed. Unit-keyed decisions
+     * depend only on (seed, site, where), so a sharded or resumed
+     * campaign quarantines exactly the same units as a monolithic run;
+     * the injected message also omits the occurrence number for the
+     * same reason.
+     */
+    bool key_by_unit = false;
 
     static FaultPlan
     none()

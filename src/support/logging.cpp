@@ -1,5 +1,6 @@
 #include "support/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <mutex>
 
@@ -7,8 +8,9 @@ namespace pokeemu {
 
 namespace {
 
-LogLevel g_level = LogLevel::Warn;
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 std::mutex g_mutex;
+thread_local int t_shard = -1;
 
 const char *
 level_name(LogLevel level)
@@ -28,21 +30,38 @@ level_name(LogLevel level)
 void
 set_log_level(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 log_level()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+set_log_shard(int shard)
+{
+    t_shard = shard;
+}
+
+int
+log_shard()
+{
+    return t_shard;
 }
 
 void
 log_line(LogLevel level, const std::string &message)
 {
     std::lock_guard<std::mutex> lock(g_mutex);
-    std::fprintf(stderr, "[pokeemu %s] %s\n", level_name(level),
-                 message.c_str());
+    if (t_shard >= 0) {
+        std::fprintf(stderr, "[pokeemu s%d %s] %s\n", t_shard,
+                     level_name(level), message.c_str());
+    } else {
+        std::fprintf(stderr, "[pokeemu %s] %s\n", level_name(level),
+                     message.c_str());
+    }
 }
 
 } // namespace pokeemu

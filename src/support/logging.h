@@ -1,6 +1,11 @@
 /**
  * @file
  * Minimal leveled logging used by long-running exploration stages.
+ *
+ * Concurrency-safe: the level filter is atomic, each line is emitted
+ * under a lock as a single write (no interleaved fragments), and shard
+ * workers can tag their thread with set_log_shard() so concurrent
+ * campaign output stays attributable.
  */
 #ifndef POKEEMU_SUPPORT_LOGGING_H
 #define POKEEMU_SUPPORT_LOGGING_H
@@ -15,6 +20,14 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 /** Set the global minimum level that is actually emitted. */
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/**
+ * Tag the calling thread's log lines with a shard id (-1 clears the
+ * tag). Thread-local: a campaign worker sets it once at thread start
+ * and every line it emits reads "[pokeemu s<k> LEVEL] ...".
+ */
+void set_log_shard(int shard);
+int log_shard();
 
 /** Emit one log line (appends a newline) if @p level passes the filter. */
 void log_line(LogLevel level, const std::string &message);

@@ -23,6 +23,7 @@ PathExplorer::PathExplorer(const ir::Program &program, VarPool &pool,
     solver_.set_query_budget(config_.solver_query_ms,
                              config_.solver_query_steps);
     solver_.set_fault_injector(config_.injector);
+    solver_.set_memo(config_.memo);
     program_.validate();
 #ifndef NDEBUG
     // Fail fast on malformed programs instead of producing garbage
@@ -337,6 +338,8 @@ PathExplorer::explore(const PathCallback &on_path)
 
     stats.complete = tree_.exhausted();
     stats.solver_queries = solver_.stats().queries;
+    stats.solver_cache_hits = solver_.stats().cache_hits;
+    stats.solver_cache_misses = solver_.stats().cache_misses;
     stats.tree_nodes = tree_.num_nodes();
     return stats;
 }

@@ -65,6 +65,10 @@ struct ExplorerConfig
     u64 solver_query_steps = 0;
     /** Chaos hook threaded down to the solver (not owned). */
     support::FaultInjector *injector = nullptr;
+    /** Query memo threaded down to the solver (not owned; null
+     *  disables memoization). The caller is responsible for clearing
+     *  it between units of work (QueryMemo::begin_unit). */
+    solver::QueryMemo *memo = nullptr;
 };
 
 /** How one explored path terminated. */
@@ -92,6 +96,8 @@ struct ExploreStats
     bool complete = false;    ///< Decision tree exhausted under cap.
     bool deadline_expired = false; ///< Stopped by config.deadline.
     u64 solver_queries = 0;
+    u64 solver_cache_hits = 0;   ///< Queries answered by the memo.
+    u64 solver_cache_misses = 0; ///< Memo-eligible queries solved.
     u64 tree_nodes = 0;
 };
 

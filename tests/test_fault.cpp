@@ -8,6 +8,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <map>
 #include <sstream>
 
 #include "harness/runner.h"
@@ -190,6 +191,78 @@ TEST(FaultInjector, StreamsArePerSiteIndependent)
         }
     }
     EXPECT_EQ(pure, interleaved);
+}
+
+TEST(FaultInjector, UnitKeyedDecisionsIgnoreOccurrenceOrder)
+{
+    // key_by_unit hashes the `where` string: the verdict for a unit is
+    // the same no matter how many occurrences preceded it — the
+    // property that makes chaos plans reproducible across shard
+    // layouts and resumed sessions.
+    FaultPlan plan;
+    plan.probability = 0.5;
+    plan.seed = 9;
+    plan.key_by_unit = true;
+
+    const auto fails = [&](FaultInjector &inj, const std::string &w) {
+        try {
+            inj.maybe_fail(FaultSite::Exploration, w);
+            return false;
+        } catch (const FaultError &) {
+            return true;
+        }
+    };
+
+    std::vector<std::string> units;
+    for (int i = 0; i < 64; ++i)
+        units.push_back("insn " + std::to_string(i));
+
+    FaultInjector forward(plan);
+    FaultInjector backward(plan);
+    std::map<std::string, bool> verdict_fwd, verdict_bwd;
+    for (const std::string &u : units)
+        verdict_fwd[u] = fails(forward, u);
+    for (auto it = units.rbegin(); it != units.rend(); ++it)
+        verdict_bwd[*it] = fails(backward, *it);
+    EXPECT_EQ(verdict_fwd, verdict_bwd);
+
+    // Both verdicts occur at p=0.5 over 64 units (overwhelmingly).
+    bool any_fail = false, any_pass = false;
+    for (const auto &[unit, failed] : verdict_fwd) {
+        any_fail |= failed;
+        any_pass |= !failed;
+    }
+    EXPECT_TRUE(any_fail);
+    EXPECT_TRUE(any_pass);
+
+    // Re-asking about the same unit repeats its verdict.
+    FaultInjector again(plan);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(fails(again, "insn 0"), verdict_fwd["insn 0"]);
+}
+
+TEST(FaultInjector, UnitKeyedMessageOmitsOccurrenceNumber)
+{
+    // The injected message must be occurrence-free so a resumed
+    // session's re-attempt dedups against the persisted ledger entry.
+    FaultPlan plan = FaultPlan::only(FaultSite::Exploration, 1.0, 1);
+    plan.key_by_unit = true;
+    FaultInjector inj(plan);
+    std::string first, second;
+    try {
+        inj.maybe_fail(FaultSite::Exploration, "insn 7 (iret)");
+    } catch (const FaultError &e) {
+        first = e.what();
+    }
+    try {
+        inj.maybe_fail(FaultSite::Exploration, "insn 7 (iret)");
+    } catch (const FaultError &e) {
+        second = e.what();
+    }
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(first.find("occurrence"), std::string::npos);
+    EXPECT_NE(first.find("insn 7 (iret)"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------

@@ -370,5 +370,156 @@ TEST(Solver, PathConditionShapedQuery)
     EXPECT_GT(addr_val, 0x1000u);
 }
 
+// ---------------------------------------------------------------------
+// Query memoization (solver/memo.h).
+// ---------------------------------------------------------------------
+
+TEST(QueryMemo, CanonicalKeyIsOrderAndDuplicateInsensitive)
+{
+    auto x = E::var(1, "x", 8);
+    auto c1 = E::ult(x, E::constant(8, 10));
+    auto c2 = E::ult(E::constant(8, 2), x);
+    QueryKey a, b;
+    ASSERT_TRUE(QueryMemo::canonical_key({c1, c2}, a));
+    ASSERT_TRUE(QueryMemo::canonical_key({c2, c1, c2}, b));
+    EXPECT_EQ(a, b);
+    // Constant-true conjuncts don't change the identity...
+    QueryKey c;
+    ASSERT_TRUE(
+        QueryMemo::canonical_key({c1, E::bool_const(true), c2}, c));
+    EXPECT_EQ(a, c);
+    // ...and a constant-false conjunct makes the query uncacheable.
+    QueryKey d;
+    EXPECT_FALSE(
+        QueryMemo::canonical_key({c1, E::bool_const(false)}, d));
+}
+
+TEST(QueryMemo, SolverServesRepeatQueriesFromTheCache)
+{
+    QueryMemo memo;
+    Solver solver;
+    solver.set_memo(&memo);
+    auto x = E::var(1, "x", 32);
+    auto cond = E::eq(E::add(x, E::constant(32, 5)),
+                      E::constant(32, 42));
+
+    ASSERT_EQ(solver.check({cond}), CheckResult::Sat);
+    EXPECT_EQ(solver.stats().cache_misses, 1u);
+    EXPECT_EQ(solver.stats().cache_hits, 0u);
+    EXPECT_EQ(solver.model_value(x), 37u);
+
+    // Second submission — a hit, with the model served from the cache.
+    ASSERT_EQ(solver.check({cond}), CheckResult::Sat);
+    EXPECT_EQ(solver.stats().cache_hits, 1u);
+    EXPECT_EQ(solver.stats().cache_misses, 1u);
+    EXPECT_EQ(solver.stats().queries, 2u); // Hits still count.
+    EXPECT_EQ(solver.model_value(x), 37u);
+}
+
+TEST(QueryMemo, PermutedConjunctionHits)
+{
+    QueryMemo memo;
+    Solver solver;
+    solver.set_memo(&memo);
+    auto x = E::var(1, "x", 8);
+    auto c1 = E::ult(x, E::constant(8, 10));
+    auto c2 = E::ult(E::constant(8, 2), x);
+    ASSERT_EQ(solver.check({c1, c2}), CheckResult::Sat);
+    ASSERT_EQ(solver.check({c2, c1}), CheckResult::Sat);
+    EXPECT_EQ(solver.stats().cache_hits, 1u);
+    // The cached model still satisfies the (reordered) conditions.
+    Assignment a;
+    a.set(1, solver.model_value(x));
+    EXPECT_TRUE(a.satisfies({c1, c2}));
+}
+
+TEST(QueryMemo, UnsatVerdictsAreCachedToo)
+{
+    QueryMemo memo;
+    Solver solver;
+    solver.set_memo(&memo);
+    auto x = E::var(1, "x", 8);
+    auto c1 = E::ult(x, E::constant(8, 10));
+    auto c2 = E::ult(E::constant(8, 20), x);
+    EXPECT_EQ(solver.check({c1, c2}), CheckResult::Unsat);
+    EXPECT_EQ(solver.check({c1, c2}), CheckResult::Unsat);
+    EXPECT_EQ(solver.stats().cache_hits, 1u);
+    EXPECT_EQ(solver.stats().unsat, 2u);
+}
+
+TEST(QueryMemo, BeginUnitClearsEntriesButKeepsTotals)
+{
+    QueryMemo memo;
+    Solver solver;
+    solver.set_memo(&memo);
+    auto x = E::var(1, "x", 8);
+    auto cond = E::eq(x, E::constant(8, 7));
+    ASSERT_EQ(solver.check({cond}), CheckResult::Sat);
+    ASSERT_EQ(solver.check({cond}), CheckResult::Sat);
+    EXPECT_EQ(memo.entries(), 1u);
+    EXPECT_EQ(memo.stats().unit_hits, 1u);
+
+    // A new unit must not see the previous unit's entries (that is the
+    // purity property sharded campaigns rest on)...
+    memo.begin_unit();
+    EXPECT_EQ(memo.entries(), 0u);
+    EXPECT_EQ(memo.stats().unit_hits, 0u);
+    ASSERT_EQ(solver.check({cond}), CheckResult::Sat);
+    EXPECT_EQ(solver.stats().cache_misses, 2u);
+    // ...while cumulative counters survive for campaign reporting.
+    EXPECT_EQ(memo.stats().hits, 1u);
+    EXPECT_EQ(memo.stats().misses, 2u);
+}
+
+TEST(QueryMemo, ModelReuseServesSubsumedQueries)
+{
+    // A deeper query (old conjuncts plus new ones the cached model
+    // happens to satisfy) is answered by model reuse — no SAT search.
+    QueryMemo memo;
+    Solver solver;
+    solver.set_memo(&memo);
+    auto x = E::var(1, "x", 32);
+    auto y = E::var(2, "y", 8);
+    auto fix_x = E::eq(x, E::constant(32, 7));
+    ASSERT_EQ(solver.check({fix_x}), CheckResult::Sat);
+    EXPECT_EQ(solver.stats().cache_misses, 1u);
+
+    // x == 7 also satisfies x < 100, and the unconstrained y reads 0,
+    // which satisfies y < 5: a different key, served by the old model.
+    std::vector<ExprRef> deeper = {
+        fix_x,
+        E::ult(x, E::constant(32, 100)),
+        E::ult(y, E::constant(8, 5)),
+    };
+    ASSERT_EQ(solver.check(deeper), CheckResult::Sat);
+    EXPECT_EQ(solver.stats().cache_hits, 1u);
+    EXPECT_EQ(solver.stats().cache_misses, 1u);
+    EXPECT_EQ(solver.model_value(x), 7u);
+    EXPECT_EQ(solver.model_value(y), 0u); // Zero-filled in the model.
+
+    // The reused model was re-inserted under the deeper key: the same
+    // query again is an exact hit, and the memo holds both entries.
+    ASSERT_EQ(solver.check(deeper), CheckResult::Sat);
+    EXPECT_EQ(solver.stats().cache_hits, 2u);
+    EXPECT_EQ(memo.entries(), 2u);
+
+    // A conjunct the cached models falsify still goes to the solver.
+    ASSERT_EQ(solver.check({E::eq(x, E::constant(32, 9))}),
+              CheckResult::Sat);
+    EXPECT_EQ(solver.stats().cache_misses, 2u);
+    EXPECT_EQ(solver.model_value(x), 9u);
+}
+
+TEST(QueryMemo, TrivialConstantQueriesBypassTheCache)
+{
+    QueryMemo memo;
+    Solver solver;
+    solver.set_memo(&memo);
+    EXPECT_EQ(solver.check({E::bool_const(false)}), CheckResult::Unsat);
+    EXPECT_EQ(solver.check({E::bool_const(false)}), CheckResult::Unsat);
+    EXPECT_EQ(solver.stats().cache_hits + solver.stats().cache_misses,
+              0u);
+}
+
 } // namespace
 } // namespace pokeemu::solver

@@ -1,7 +1,10 @@
-/** @file Unit tests for the support layer (bit utils, RNG). */
+/** @file Unit tests for the support layer (bit utils, RNG, logging). */
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "support/common.h"
+#include "support/logging.h"
 #include "support/rng.h"
 
 namespace pokeemu {
@@ -77,6 +80,36 @@ TEST(Rng, BelowCoversRange)
 TEST(Panic, Throws)
 {
     EXPECT_THROW(panic("boom"), std::logic_error);
+}
+
+TEST(Logging, ShardTagPrefixesLines)
+{
+    const LogLevel saved = log_level();
+    set_log_level(LogLevel::Info);
+    testing::internal::CaptureStderr();
+    log_info("untagged");
+    set_log_shard(3);
+    EXPECT_EQ(log_shard(), 3);
+    log_info("tagged");
+    set_log_shard(-1);
+    log_info("untagged again");
+    const std::string out = testing::internal::GetCapturedStderr();
+    set_log_level(saved);
+    EXPECT_NE(out.find("[pokeemu INFO] untagged\n"), std::string::npos);
+    EXPECT_NE(out.find("[pokeemu s3 INFO] tagged\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("[pokeemu INFO] untagged again\n"),
+              std::string::npos);
+}
+
+TEST(Logging, ShardTagIsThreadLocal)
+{
+    set_log_shard(5);
+    int other = -2;
+    std::thread([&] { other = log_shard(); }).join();
+    EXPECT_EQ(other, -1); // A fresh thread starts untagged.
+    EXPECT_EQ(log_shard(), 5);
+    set_log_shard(-1);
 }
 
 } // namespace
