@@ -54,6 +54,10 @@ explore_program(const ir::Program &semantics, const StateSpec &spec,
 
     StateExploreResult result;
     symexec::VarPool &pool = result.pool;
+    // Fresh per exploration: coverage (and therefore scheduling) is a
+    // pure function of (program, options) — the property the sharded
+    // campaign's byte-identical merge rests on.
+    coverage::CoverageMap cov(semantics);
     symexec::ExplorerConfig config;
     config.max_paths = options.max_paths;
     config.max_steps = options.max_steps;
@@ -64,6 +68,8 @@ explore_program(const ir::Program &semantics, const StateSpec &spec,
     config.solver_query_steps = options.solver_query_steps;
     config.injector = options.injector;
     config.memo = options.memo;
+    config.coverage = &cov;
+    config.policy = coverage::frontier_policy(options.schedule);
 
     symexec::PathExplorer explorer(semantics, pool,
                                    spec.initial_fn(pool), config);

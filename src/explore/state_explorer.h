@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "coverage/coverage.h"
 #include "explore/state_spec.h"
 #include "hifi/semantics.h"
 #include "hifi/sequence.h"
@@ -45,6 +46,14 @@ struct StateExploreOptions
      *  disables memoization). The caller clears it between units of
      *  work (QueryMemo::begin_unit) to keep results layout-independent. */
     solver::QueryMemo *memo = nullptr;
+    /** Frontier scheduling policy for the path order under a cap
+     *  (coverage accounting itself is always on). Uncovered-edge-first
+     *  spends a capped budget on unseen structure before re-splitting
+     *  known structure; DefaultOrder restores the pre-coverage seeded
+     *  replay order. With an unlimited cap both explore the same path
+     *  set — only the order differs. */
+    coverage::SchedulePolicy schedule =
+        coverage::SchedulePolicy::UncoveredEdgeFirst;
 };
 
 /** One explored path's test state. */

@@ -40,6 +40,35 @@ fp_add(u64 &h, u64 v)
     h = fp_mix(h ^ fp_mix(v));
 }
 
+/** Fold one explored unit's coverage + truncation row into the
+ *  campaign-level accounting (shared by fresh units and resume). */
+void
+account_unit_coverage(PipelineStats &stats, const CheckpointUnit &unit)
+{
+    stats.covered_blocks += unit.covered_blocks;
+    stats.total_blocks += unit.total_blocks;
+    stats.covered_edges += unit.covered_edges;
+    stats.total_edges += unit.total_edges;
+    ++stats.coverage_histogram[coverage::coverage_bucket(
+        unit.covered_blocks, unit.total_blocks)];
+    switch (unit.truncation) {
+      case coverage::TruncationReason::PathCap:
+        ++stats.truncated_path_cap;
+        break;
+      case coverage::TruncationReason::Deadline:
+        ++stats.truncated_deadline;
+        break;
+      case coverage::TruncationReason::StepLimit:
+        ++stats.truncated_step_limit;
+        break;
+      case coverage::TruncationReason::None:
+      case coverage::TruncationReason::SolverTimeout:
+        // None is not a truncation; SolverTimeout units never reach a
+        // CheckpointUnit (the ledger is their record).
+        break;
+    }
+}
+
 } // namespace
 
 u64
@@ -49,6 +78,7 @@ options_fingerprint(const PipelineOptions &options)
     fp_add(h, options.max_paths_per_insn);
     fp_add(h, options.max_paths_rep);
     fp_add(h, options.seed);
+    fp_add(h, static_cast<u64>(options.schedule));
     fp_add(h, options.instruction_filter.size());
     for (int index : options.instruction_filter)
         fp_add(h, static_cast<u64>(index));
@@ -139,6 +169,7 @@ Pipeline::restore_unit(const CheckpointUnit &unit, u64 &next_test_id)
     stats_.minimize_bits_before += unit.minimize_bits_before;
     stats_.minimize_bits_after += unit.minimize_bits_after;
     stats_.generation_failures += unit.generation_failures;
+    account_unit_coverage(stats_, unit);
 
     for (const CheckpointTest &saved : unit.tests) {
         GeneratedTest test;
@@ -229,6 +260,7 @@ Pipeline::explore_and_generate()
     explore::StateExploreOptions xopt;
     xopt.max_paths = options_.max_paths_per_insn;
     xopt.seed = options_.seed;
+    xopt.schedule = options_.schedule;
     xopt.use_descriptor_summary = options_.use_descriptor_summary;
     xopt.minimize = options_.minimize;
 
@@ -376,6 +408,11 @@ Pipeline::explore_and_generate()
         cu.minimize_bits_before =
             explored.minimize.bits_different_before;
         cu.minimize_bits_after = explored.minimize.bits_different_after;
+        cu.covered_blocks = explored.stats.covered_blocks;
+        cu.total_blocks = explored.stats.total_blocks;
+        cu.covered_edges = explored.stats.covered_edges;
+        cu.total_edges = explored.stats.total_edges;
+        cu.truncation = explored.stats.truncation;
 
         ++stats_.instructions_explored;
         if (explored.stats.complete)
@@ -390,6 +427,7 @@ Pipeline::explore_and_generate()
             explored.minimize.bits_different_before;
         stats_.minimize_bits_after +=
             explored.minimize.bits_different_after;
+        account_unit_coverage(stats_, cu);
 
         // Stage 3: one test program per path (paper Figure 1(3)).
         // Each test's generation is its own quarantinable unit.
@@ -614,6 +652,19 @@ Pipeline::run()
     return stats_;
 }
 
+u64
+PipelineStats::truncated_solver_timeout() const
+{
+    u64 n = 0;
+    for (const support::QuarantinedUnit &q : quarantine.units()) {
+        if (q.stage == Stage::StateExploration &&
+            q.cls == FaultClass::SolverTimeout) {
+            ++n;
+        }
+    }
+    return n;
+}
+
 std::string
 PipelineStats::to_string() const
 {
@@ -640,6 +691,32 @@ PipelineStats::to_string() const
     if (budget_retries || budget_incomplete) {
         os << "budgets: " << budget_retries << " escalated retries, "
            << budget_incomplete << " instructions budget-incomplete\n";
+    }
+    if (total_blocks != 0) {
+        const auto pct = [](u64 covered, u64 total) {
+            return total == 0
+                ? 100.0
+                : 100.0 * static_cast<double>(covered) /
+                    static_cast<double>(total);
+        };
+        os << "IR coverage: " << covered_blocks << "/" << total_blocks
+           << " blocks (" << std::fixed << std::setprecision(1)
+           << pct(covered_blocks, total_blocks) << "%), "
+           << covered_edges << "/" << total_edges << " edges ("
+           << pct(covered_edges, total_edges) << "%)\n"
+           << std::defaultfloat << std::setprecision(6);
+        os << "coverage histogram:";
+        for (u32 b = 0; b < coverage::kNumCoverageBuckets; ++b) {
+            os << " " << coverage::coverage_bucket_name(b) << "="
+               << coverage_histogram[b];
+        }
+        os << "\n";
+    }
+    if (any_truncation()) {
+        os << "truncated explorations: path-cap " << truncated_path_cap
+           << ", deadline " << truncated_deadline << ", step-limit "
+           << truncated_step_limit << ", solver-timeout "
+           << truncated_solver_timeout() << "\n";
     }
     os << "minimization: " << minimize_bits_before
        << " differing bits -> " << minimize_bits_after << "\n";

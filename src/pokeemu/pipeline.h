@@ -40,6 +40,11 @@ struct PipelineOptions
      *  instructions that were not exhaustively explored). */
     u64 max_paths_rep = 12;
     u64 seed = 1;
+    /** Path-order policy for capped explorations (stage 2). The
+     *  frontier scheduler maximizes block/edge coverage under the cap;
+     *  DefaultOrder restores the pre-coverage seeded replay order. */
+    coverage::SchedulePolicy schedule =
+        coverage::SchedulePolicy::UncoveredEdgeFirst;
     /** Explore only these table indices (empty = all). */
     std::vector<int> instruction_filter;
     /** Cap on the number of instructions explored (0 = all). */
@@ -73,6 +78,21 @@ struct PipelineStats
     u64 solver_cache_misses = 0; ///< Memo-eligible queries solved.
     u64 minimize_bits_before = 0;
     u64 minimize_bits_after = 0;
+    /** IR coverage over explored units (sums of per-unit CFG
+     *  block/edge coverage; see coverage::CoverageMap). */
+    u64 covered_blocks = 0;
+    u64 total_blocks = 0;
+    u64 covered_edges = 0;
+    u64 total_edges = 0;
+    /** Units per block-coverage bucket (coverage::coverage_bucket). */
+    u64 coverage_histogram[coverage::kNumCoverageBuckets] = {};
+    /** Truncation accounting: why capped units stopped short (per
+     *  coverage::TruncationReason; None is not counted). Solver
+     *  timeouts quarantine the whole unit, so their count is derived
+     *  from the ledger — see truncated_solver_timeout(). */
+    u64 truncated_path_cap = 0;
+    u64 truncated_deadline = 0;
+    u64 truncated_step_limit = 0;
     // Stage 3.
     u64 test_programs = 0;
     u64 generation_failures = 0;
@@ -113,6 +133,18 @@ struct PipelineStats
     double t_execution_lofi = 0;
     double t_execution_hw = 0;
     double t_comparison = 0;
+
+    /** Stage-2 units whose exploration a solver timeout cut short
+     *  (they carry no CheckpointUnit; the quarantine ledger is the
+     *  durable record, so the count is derived from it). */
+    u64 truncated_solver_timeout() const;
+
+    /** Any unit stopped short of complete exploration? */
+    bool any_truncation() const
+    {
+        return truncated_path_cap || truncated_deadline ||
+            truncated_step_limit || truncated_solver_timeout();
+    }
 
     std::string to_string() const;
 };

@@ -12,7 +12,11 @@ namespace pokeemu {
 
 namespace {
 
-constexpr const char *kMagic = "pokeemu-checkpoint-v1";
+/** v2 added per-unit coverage + truncation columns to `unit` rows.
+ *  v1 files carry no coverage data, so resuming one would silently
+ *  under-report campaign coverage — load refuses them by name. */
+constexpr const char *kMagic = "pokeemu-checkpoint-v2";
+constexpr const char *kMagicV1 = "pokeemu-checkpoint-v1";
 
 [[noreturn]] void
 checkpoint_error(const std::string &message)
@@ -72,7 +76,11 @@ save_checkpoint(std::ostream &out, const Checkpoint &checkpoint)
             << u.solver_queries << " " << u.solver_cache_hits << " "
             << u.solver_cache_misses << " " << u.minimize_bits_before
             << " " << u.minimize_bits_after << " "
-            << u.generation_failures << " " << u.tests.size() << "\n";
+            << u.generation_failures << " " << u.covered_blocks << " "
+            << u.total_blocks << " " << u.covered_edges << " "
+            << u.total_edges << " "
+            << static_cast<unsigned>(u.truncation) << " "
+            << u.tests.size() << "\n";
         for (const CheckpointTest &t : u.tests) {
             out << "test " << t.id << " " << t.table_index << " "
                 << t.test_insn_offset << " " << t.halt_code << " "
@@ -103,8 +111,16 @@ Checkpoint
 load_checkpoint(std::istream &in)
 {
     std::string magic;
-    if (!std::getline(in, magic) || magic != kMagic)
+    if (!std::getline(in, magic) || magic != kMagic) {
+        if (magic == kMagicV1) {
+            checkpoint_error(
+                "this is a pokeemu-checkpoint-v1 file; the current "
+                "format is pokeemu-checkpoint-v2 (per-unit coverage "
+                "rows) and v1 progress cannot be resumed — delete the "
+                "old checkpoint and restart the campaign");
+        }
         checkpoint_error("bad header (version mismatch?)");
+    }
 
     Checkpoint cp;
     expect_tag(in, "fingerprint");
@@ -120,13 +136,20 @@ load_checkpoint(std::istream &in)
         expect_tag(in, "unit");
         CheckpointUnit u;
         std::size_t ntests = 0;
+        unsigned truncation = 0;
         if (!(in >> u.table_index >> u.complete >>
               u.budget_incomplete >> u.paths >> u.solver_queries >>
               u.solver_cache_hits >> u.solver_cache_misses >>
               u.minimize_bits_before >> u.minimize_bits_after >>
-              u.generation_failures >> ntests)) {
+              u.generation_failures >> u.covered_blocks >>
+              u.total_blocks >> u.covered_edges >> u.total_edges >>
+              truncation >> ntests)) {
             checkpoint_error("truncated unit row");
         }
+        if (truncation >= coverage::kNumTruncationReasons)
+            checkpoint_error("bad unit truncation reason");
+        u.truncation =
+            static_cast<coverage::TruncationReason>(truncation);
         u.tests.reserve(std::min<std::size_t>(ntests, 1u << 20));
         for (std::size_t t = 0; t < ntests; ++t) {
             expect_tag(in, "test");

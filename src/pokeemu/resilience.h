@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "coverage/coverage.h"
 #include "harness/cluster.h"
 #include "support/fault.h"
 
@@ -103,6 +104,15 @@ struct CheckpointUnit
     u64 minimize_bits_before = 0;
     u64 minimize_bits_after = 0;
     u64 generation_failures = 0;
+    /** IR block/edge coverage of the unit's semantics CFG (the v2
+     *  checkpoint rows; see coverage::CoverageMap). */
+    u64 covered_blocks = 0;
+    u64 total_blocks = 0;
+    u64 covered_edges = 0;
+    u64 total_edges = 0;
+    /** Why the exploration stopped short (None when complete). */
+    coverage::TruncationReason truncation =
+        coverage::TruncationReason::None;
     std::vector<CheckpointTest> tests;
 };
 

@@ -273,6 +273,15 @@ merge_outcomes(CampaignResult &result, const ShardPlan &plan,
         m.solver_cache_misses += st.solver_cache_misses;
         m.minimize_bits_before += st.minimize_bits_before;
         m.minimize_bits_after += st.minimize_bits_after;
+        m.covered_blocks += st.covered_blocks;
+        m.total_blocks += st.total_blocks;
+        m.covered_edges += st.covered_edges;
+        m.total_edges += st.total_edges;
+        for (u32 b = 0; b < coverage::kNumCoverageBuckets; ++b)
+            m.coverage_histogram[b] += st.coverage_histogram[b];
+        m.truncated_path_cap += st.truncated_path_cap;
+        m.truncated_deadline += st.truncated_deadline;
+        m.truncated_step_limit += st.truncated_step_limit;
         m.test_programs += st.test_programs;
         m.generation_failures += st.generation_failures;
         m.tests_executed += st.tests_executed;
@@ -490,6 +499,34 @@ CampaignResult::report() const
     if (m.budget_incomplete) {
         os << "budget-incomplete: " << m.budget_incomplete
            << " instructions\n";
+    }
+    if (m.total_blocks != 0) {
+        const auto pct = [](u64 covered, u64 total) {
+            return total == 0
+                ? 100.0
+                : 100.0 * static_cast<double>(covered) /
+                    static_cast<double>(total);
+        };
+        os << "IR coverage: " << m.covered_blocks << "/"
+           << m.total_blocks << " blocks (" << std::fixed
+           << std::setprecision(1) << pct(m.covered_blocks,
+                                          m.total_blocks)
+           << "%), " << m.covered_edges << "/" << m.total_edges
+           << " edges (" << pct(m.covered_edges, m.total_edges)
+           << "%)\n" << std::defaultfloat << std::setprecision(6);
+        os << "coverage histogram:";
+        for (u32 b = 0; b < coverage::kNumCoverageBuckets; ++b) {
+            os << " " << coverage::coverage_bucket_name(b) << "="
+               << m.coverage_histogram[b];
+        }
+        os << "\n";
+    }
+    if (m.any_truncation()) {
+        os << "truncated explorations: path-cap "
+           << m.truncated_path_cap << ", deadline "
+           << m.truncated_deadline << ", step-limit "
+           << m.truncated_step_limit << ", solver-timeout "
+           << m.truncated_solver_timeout() << "\n";
     }
     os << "solver: " << m.solver_queries << " queries; memo "
        << m.solver_cache_hits << " hits, " << m.solver_cache_misses

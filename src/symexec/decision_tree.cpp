@@ -49,8 +49,10 @@ DecisionTree::descend(NodeId n, bool dir)
     assert(nodes_[n].feasible[d] == Feasibility::Yes);
     if (nodes_[n].child[d] < 0) {
         const NodeId child = static_cast<NodeId>(nodes_.size());
+        const u32 child_depth = nodes_[n].depth + 1;
         nodes_[n].child[d] = child;
         nodes_.emplace_back();
+        nodes_.back().depth = child_depth;
         return child;
     }
     return static_cast<NodeId>(nodes_[n].child[d]);

@@ -54,6 +54,10 @@ class DecisionTree
      */
     NodeId descend(NodeId n, bool dir);
 
+    /** Branch depth of @p n (root is 0); set when first descended to.
+     *  Frontier policies use it as the tiebreak context. */
+    u32 depth(NodeId n) const { return nodes_[n].depth; }
+
     /**
      * Mark the current path finished at node @p n going @p dir (the
      * leaf direction has no further symbolic branches), then propagate
@@ -68,6 +72,7 @@ class DecisionTree
     struct Node
     {
         s64 child[2] = {-1, -1};
+        u32 depth = 0;
         Feasibility feasible[2] = {Feasibility::Unknown,
                                    Feasibility::Unknown};
         bool subtree_done[2] = {false, false};

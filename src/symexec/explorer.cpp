@@ -24,6 +24,7 @@ PathExplorer::PathExplorer(const ir::Program &program, VarPool &pool,
                              config_.solver_query_steps);
     solver_.set_fault_injector(config_.injector);
     solver_.set_memo(config_.memo);
+    assert(config_.policy == nullptr || config_.coverage != nullptr);
     program_.validate();
 #ifndef NDEBUG
     // Fail fast on malformed programs instead of producing garbage
@@ -85,7 +86,8 @@ PathExplorer::constrain(RunState &run, const ExprRef &cond)
 }
 
 std::optional<bool>
-PathExplorer::take_branch(RunState &run, const ExprRef &cond)
+PathExplorer::take_branch(RunState &run, const ExprRef &cond,
+                          const BranchTargets *targets)
 {
     assert(!cond->is_const());
     const NodeId node = run.path.empty()
@@ -100,7 +102,27 @@ PathExplorer::take_branch(RunState &run, const ExprRef &cond)
     const bool can_other = !tree_.direction_done(node, !model_dir);
     bool dir;
     if (can_model && can_other) {
-        dir = rng_.flip() ? model_dir : !model_dir;
+        // Frontier scheduling: with both subtrees open the order is a
+        // free choice — let the policy spend the path budget on
+        // uncovered structure first. No preference (or no policy, or a
+        // bit-binding branch) falls back to the seeded flip. Note the
+        // RNG is still advanced: the random stream consumed at a node
+        // must not depend on the coverage state, or a policy
+        // preference here would perturb every later default choice.
+        const bool flip_dir = rng_.flip() ? model_dir : !model_dir;
+        dir = flip_dir;
+        if (config_.policy != nullptr && targets != nullptr) {
+            coverage::BranchContext ctx;
+            ctx.from = targets->from;
+            ctx.target[0] = targets->target[0];
+            ctx.target[1] = targets->target[1];
+            ctx.depth = tree_.depth(node);
+            ctx.model_dir = model_dir;
+            if (const auto preferred =
+                    config_.policy->prefer(*config_.coverage, ctx)) {
+                dir = *preferred;
+            }
+        }
     } else if (can_model) {
         dir = model_dir;
     } else if (can_other) {
@@ -185,6 +207,14 @@ PathExplorer::run_one_path(RunState &run, u32 &halt_code)
         if (config_.deadline.consume())
             return RunOutcome::DeadlineExpired;
         assert(ip < program_.stmts.size());
+        if (config_.coverage != nullptr) {
+            // Control only ever enters a block at its leader (labels
+            // are leaders; fallthrough lands on the next leader), so
+            // this records each block entry exactly once — including
+            // re-entries of the same block around a loop.
+            if (const auto entered = config_.coverage->entered_block(ip))
+                run.trace.push_back(*entered);
+        }
         const ir::Stmt &s = program_.stmts[ip];
         ++run.steps;
         switch (s.kind) {
@@ -230,7 +260,18 @@ PathExplorer::run_one_path(RunState &run, u32 &halt_code)
             if (cond->is_const()) {
                 dir = cond->value() != 0;
             } else {
-                auto taken = take_branch(run, cond);
+                BranchTargets targets;
+                const BranchTargets *ctx = nullptr;
+                if (config_.coverage != nullptr) {
+                    const coverage::CoverageMap &cov = *config_.coverage;
+                    targets.from = cov.block_of(ip);
+                    targets.target[0] = cov.block_of(
+                        program_.label_pos[s.target_false]);
+                    targets.target[1] = cov.block_of(
+                        program_.label_pos[s.target_true]);
+                    ctx = &targets;
+                }
+                auto taken = take_branch(run, cond, ctx);
                 if (!taken)
                     return RunOutcome::Infeasible;
                 dir = *taken;
@@ -332,11 +373,35 @@ PathExplorer::explore(const PathCallback &on_path)
         assert(cur_model_.satisfies(run.pc));
         if (outcome == RunOutcome::StepLimit)
             ++stats.step_limited;
+        // Coverage is credited before the callback runs so the next
+        // path's frontier decisions already see this path's blocks.
+        if (config_.coverage != nullptr)
+            config_.coverage->cover_path(run.trace);
         on_path(info, run.memory);
         ++stats.paths;
     }
 
     stats.complete = tree_.exhausted();
+    // Attribute the truncation. Priority: an expired deadline beats
+    // the path cap (both can hold when the deadline fires exactly at
+    // the cap); an unexhausted tree means the path cap (or the
+    // dead-end run valve) stopped the loop; and a "complete" tree
+    // with step-limited paths is still truncated — those leaves ended
+    // at the step budget, not at a Halt, hiding whatever lay beyond.
+    if (stats.deadline_expired) {
+        stats.truncation = coverage::TruncationReason::Deadline;
+    } else if (!stats.complete) {
+        stats.truncation = coverage::TruncationReason::PathCap;
+    } else if (stats.step_limited != 0) {
+        stats.truncation = coverage::TruncationReason::StepLimit;
+    }
+    if (config_.coverage != nullptr) {
+        const coverage::CoverageStats cov = config_.coverage->stats();
+        stats.covered_blocks = cov.covered_blocks;
+        stats.total_blocks = cov.total_blocks;
+        stats.covered_edges = cov.covered_edges;
+        stats.total_edges = cov.total_edges;
+    }
     stats.solver_queries = solver_.stats().queries;
     stats.solver_cache_hits = solver_.stats().cache_hits;
     stats.solver_cache_misses = solver_.stats().cache_misses;

@@ -26,6 +26,7 @@
 #include <map>
 #include <optional>
 
+#include "coverage/coverage.h"
 #include "ir/stmt.h"
 #include "solver/solver.h"
 #include "support/fault.h"
@@ -69,6 +70,20 @@ struct ExplorerConfig
      *  disables memoization). The caller is responsible for clearing
      *  it between units of work (QueryMemo::begin_unit). */
     solver::QueryMemo *memo = nullptr;
+    /**
+     * Block/edge coverage accounting for this program (not owned;
+     * null disables both accounting and frontier scheduling). Updated
+     * once per completed path; must be fresh (nothing covered) when
+     * exploration starts so results stay a pure function of
+     * (program, config).
+     */
+    coverage::CoverageMap *coverage = nullptr;
+    /**
+     * Frontier scheduling policy consulted at symbolic CJmp branches
+     * whose directions are both still open (not owned; null keeps the
+     * default seeded-random order). Requires `coverage`.
+     */
+    const coverage::FrontierPolicy *policy = nullptr;
 };
 
 /** How one explored path terminated. */
@@ -95,10 +110,22 @@ struct ExploreStats
     u64 step_limited = 0;     ///< Paths that hit the step budget.
     bool complete = false;    ///< Decision tree exhausted under cap.
     bool deadline_expired = false; ///< Stopped by config.deadline.
+    /** Why exploration stopped short of full path coverage (None when
+     *  the tree was exhausted with no path cut short). A tree can be
+     *  "complete" yet StepLimit-truncated: step-limited paths finish
+     *  their leaf without exploring what lay beyond the budget. */
+    coverage::TruncationReason truncation =
+        coverage::TruncationReason::None;
     u64 solver_queries = 0;
     u64 solver_cache_hits = 0;   ///< Queries answered by the memo.
     u64 solver_cache_misses = 0; ///< Memo-eligible queries solved.
     u64 tree_nodes = 0;
+    /** Coverage over the program's CFG (zeros when config.coverage
+     *  was null). */
+    u64 covered_blocks = 0;
+    u64 total_blocks = 0;
+    u64 covered_edges = 0;
+    u64 total_edges = 0;
 };
 
 /** See file comment. */
@@ -138,6 +165,8 @@ class PathExplorer
         std::vector<ir::ExprRef> temps;
         std::vector<ir::ExprRef> pc; ///< Path condition conjuncts.
         std::vector<std::pair<NodeId, bool>> path;
+        /** Blocks entered, in order (coverage accounting only). */
+        std::vector<coverage::BlockId> trace;
         u64 steps = 0;
         u32 events_in_segment = 0;
 
@@ -159,13 +188,25 @@ class PathExplorer
     /** Substitute temps in a statement expression. */
     ir::ExprRef resolve(const ir::ExprRef &expr, const RunState &run);
 
+    /** CFG successor blocks of a CJmp, per direction (frontier
+     *  scheduling context; bit-binding branches pass null). */
+    struct BranchTargets
+    {
+        coverage::BlockId from;
+        coverage::BlockId target[2];
+    };
+
     /**
      * Take a symbolic branch: consult/extend the decision tree, pick a
-     * direction, extend the path condition. Returns the direction or
-     * nullopt when the branch cannot continue (both sides done).
+     * direction (the frontier policy decides when @p targets is given
+     * and both directions are open), extend the path condition.
+     * Returns the direction or nullopt when the branch cannot continue
+     * (both sides done).
      */
     std::optional<bool> take_branch(RunState &run,
-                                    const ir::ExprRef &cond);
+                                    const ir::ExprRef &cond,
+                                    const BranchTargets *targets =
+                                        nullptr);
 
     /** Append @p cond to the path condition, refreshing the model if
      *  the current one violates it. Returns false when infeasible. */

@@ -290,7 +290,7 @@ generate_sequence_test_program(
             const auto seg = static_cast<arch::Seg>(s);
             gadgets.push_back(
                 {std::string("reload ") + arch::seg_name(s),
-                 {"mem", "flags"},
+                 {"mem", "flags", "pte"},
                  "sreg",
                  [selector, seg](arch::Assembler &a,
                                  std::vector<std::string> &lst) {
@@ -305,11 +305,20 @@ generate_sequence_test_program(
     }
 
     // Page-table pokes: after everything that relies on the baseline
-    // mapping (memory writes, the eflags stack push).
-    for (const auto &[addr, value] : pte_writes) {
+    // mapping (memory writes, the eflags stack push) but before the
+    // segment reloads — the pokes are DS-relative, so they must run
+    // while DS still has the baseline flat descriptor, and a reload
+    // reads its descriptor physically (never through paging), so it
+    // cannot be hurt by a poke that unmaps low memory. Descending
+    // address order, because the pokes themselves go through the
+    // identity mapping: page-table bytes (0x2xxx) must land before a
+    // page-directory byte (0x1xxx) can unmap the low 4 MiB, and PDE0's
+    // present-bit byte (the lowest address of all) must land last.
+    for (auto it = pte_writes.rbegin(); it != pte_writes.rend(); ++it) {
+        const auto &[addr, value] = *it;
         gadgets.push_back(
             {"pte write " + hex32(addr),
-             {"flags", "mem", "sreg"},
+             {"flags", "mem"},
              "pte",
              [addr = addr, value = value](arch::Assembler &a,
                            std::vector<std::string> &lst) {

@@ -147,11 +147,13 @@ TEST(TestGen, GadgetOrderRespectsDependencies)
     ASSERT_GE(test, 0);
     // Figure-5 ordering constraints (paper §4.2): the GDT bytes are
     // written before the reload that consumes them; the flags gadget
-    // uses the baseline stack so it precedes the PTE poke; EAX is
-    // restored last, just before the test instruction.
+    // uses the baseline stack so it precedes the PTE poke; the PTE
+    // poke is DS-relative, so it precedes the reload that may give DS
+    // a non-flat explored descriptor; EAX is restored last, just
+    // before the test instruction.
     EXPECT_LT(popfd, pte);
-    EXPECT_LT(gdt_poke, reload);
-    EXPECT_LT(reload, pte);
+    EXPECT_LT(gdt_poke, pte);
+    EXPECT_LT(pte, reload);
     EXPECT_LT(esp, eax);
     EXPECT_LT(eax, test);
 }

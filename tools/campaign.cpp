@@ -41,6 +41,10 @@ usage(const char *argv0)
                  "                        interruption; resume later)\n"
                  "  --max-instructions N  cap the campaign workload\n"
                  "  --max-paths N         per-instruction path cap\n"
+                 "  --schedule P          path-order policy: frontier\n"
+                 "                        (default) or default\n"
+                 "  --coverage            per-instruction IR coverage\n"
+                 "                        table after the report\n"
                  "  --seed N              exploration seed\n"
                  "  --sequential          run shards in one thread\n"
                  "  --verbose             info-level logging\n",
@@ -62,6 +66,7 @@ main(int argc, char **argv)
 {
     CampaignOptions options;
     options.pipeline.max_paths_per_insn = 16;
+    bool print_coverage = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -115,6 +120,21 @@ main(int argc, char **argv)
                 return 2;
             }
             options.pipeline.max_paths_per_insn = n;
+        } else if (arg == "--schedule") {
+            const std::string policy = value();
+            if (policy == "frontier") {
+                options.pipeline.schedule =
+                    coverage::SchedulePolicy::UncoveredEdgeFirst;
+            } else if (policy == "default") {
+                options.pipeline.schedule =
+                    coverage::SchedulePolicy::DefaultOrder;
+            } else {
+                std::fprintf(stderr,
+                             "bad --schedule (want frontier|default)\n");
+                return 2;
+            }
+        } else if (arg == "--coverage") {
+            print_coverage = true;
         } else if (arg == "--seed") {
             if (!parse_u64(value(), n)) {
                 std::fprintf(stderr, "bad --seed\n");
@@ -138,6 +158,25 @@ main(int argc, char **argv)
     try {
         const CampaignResult result = run_campaign(options);
         std::fputs(result.report().c_str(), stdout);
+        if (print_coverage) {
+            // Part of the deterministic output: merged_checkpoint rows
+            // are in campaign order with campaign-global ids, so this
+            // table is byte-identical for any --shards value too.
+            std::printf("-- coverage (per instruction)\n");
+            for (const CheckpointUnit &u :
+                 result.merged_checkpoint.explored) {
+                std::printf(
+                    "insn %d (%s): blocks %llu/%llu edges %llu/%llu "
+                    "truncation %s\n",
+                    u.table_index,
+                    arch::insn_table()[u.table_index].mnemonic,
+                    static_cast<unsigned long long>(u.covered_blocks),
+                    static_cast<unsigned long long>(u.total_blocks),
+                    static_cast<unsigned long long>(u.covered_edges),
+                    static_cast<unsigned long long>(u.total_edges),
+                    coverage::truncation_reason_name(u.truncation));
+            }
+        }
         // Layout-dependent accounting, deliberately outside report().
         std::printf("-- layout (not part of the deterministic report)\n");
         std::printf("shards: %u (%s), sessions: %llu, complete: %s\n",
