@@ -1,0 +1,730 @@
+#include "analysis/domains.h"
+
+#include <algorithm>
+
+namespace pokeemu::analysis {
+
+using ir::BinOpKind;
+using ir::CastKind;
+using ir::Expr;
+using ir::ExprKind;
+using ir::ExprRef;
+using ir::UnOpKind;
+
+namespace {
+
+u64
+width_mask(unsigned w)
+{
+    return w >= 64 ? ~u64{0} : (u64{1} << w) - 1;
+}
+
+/** Number of contiguous known bits starting at bit 0. */
+unsigned
+trailing_known(const Fact &f)
+{
+    const u64 known = f.zeros | f.ones;
+    unsigned n = 0;
+    while (n < f.width && ((known >> n) & 1))
+        ++n;
+    return n;
+}
+
+/** Index of the highest set bit (value != 0). */
+unsigned
+msb_index(u64 value)
+{
+    unsigned i = 63;
+    while (!((value >> i) & 1))
+        --i;
+    return i;
+}
+
+/** Signed interpretation bounds; nullopt when the unsigned interval
+ *  straddles the sign boundary (both signs possible). */
+std::optional<std::pair<s64, s64>>
+signed_range(const Fact &f)
+{
+    if (f.width >= 64) {
+        // Only constants are precise enough to bother with here.
+        if (f.is_constant()) {
+            const s64 v = static_cast<s64>(f.lo);
+            return std::make_pair(v, v);
+        }
+        return std::nullopt;
+    }
+    const u64 half = u64{1} << (f.width - 1);
+    if (f.hi < half)
+        return std::make_pair(static_cast<s64>(f.lo),
+                              static_cast<s64>(f.hi));
+    if (f.lo >= half) {
+        const u64 bias = u64{1} << f.width;
+        return std::make_pair(static_cast<s64>(f.lo) -
+                                  static_cast<s64>(bias),
+                              static_cast<s64>(f.hi) -
+                                  static_cast<s64>(bias));
+    }
+    return std::nullopt;
+}
+
+Fact
+bool_fact(bool b)
+{
+    return Fact::constant(1, b ? 1 : 0);
+}
+
+} // namespace
+
+Fact
+Fact::top(unsigned w)
+{
+    Fact f;
+    f.width = w;
+    f.lo = 0;
+    f.hi = width_mask(w);
+    return f;
+}
+
+Fact
+Fact::constant(unsigned w, u64 value)
+{
+    Fact f;
+    f.width = w;
+    const u64 v = value & width_mask(w);
+    f.ones = v;
+    f.zeros = ~v & width_mask(w);
+    f.lo = f.hi = v;
+    return f;
+}
+
+Fact
+Fact::known(unsigned w, u64 zeros, u64 ones)
+{
+    Fact f;
+    f.width = w;
+    f.zeros = zeros & width_mask(w);
+    f.ones = ones & width_mask(w);
+    f.lo = 0;
+    f.hi = width_mask(w);
+    return f.normalize();
+}
+
+Fact
+Fact::range(unsigned w, u64 lo, u64 hi)
+{
+    Fact f;
+    f.width = w;
+    f.lo = lo & width_mask(w);
+    f.hi = hi & width_mask(w);
+    return f.normalize();
+}
+
+Fact
+Fact::bot(unsigned w)
+{
+    Fact f;
+    f.width = w;
+    f.bottom = true;
+    f.zeros = f.ones = width_mask(w);
+    f.lo = 1;
+    f.hi = 0;
+    return f;
+}
+
+std::optional<bool>
+Fact::decide() const
+{
+    if (bottom)
+        return std::nullopt; // Unreachable value: leave undecided.
+    if (width != 1)
+        return std::nullopt;
+    if (ones & 1)
+        return true;
+    if (zeros & 1)
+        return false;
+    return std::nullopt;
+}
+
+bool
+Fact::contains(u64 value) const
+{
+    if (bottom)
+        return false;
+    const u64 v = value & mask();
+    if ((v & zeros) != 0)
+        return false;
+    if ((~v & ones) != 0)
+        return false;
+    return v >= lo && v <= hi;
+}
+
+bool
+Fact::is_top() const
+{
+    return !bottom && zeros == 0 && ones == 0 && lo == 0 &&
+        hi == mask();
+}
+
+Fact
+Fact::join(const Fact &other) const
+{
+    assert(width == other.width);
+    if (bottom)
+        return other;
+    if (other.bottom)
+        return *this;
+    Fact f;
+    f.width = width;
+    f.zeros = zeros & other.zeros;
+    f.ones = ones & other.ones;
+    f.lo = std::min(lo, other.lo);
+    f.hi = std::max(hi, other.hi);
+    return f.normalize();
+}
+
+Fact
+Fact::meet(const Fact &other) const
+{
+    assert(width == other.width);
+    if (bottom || other.bottom)
+        return bot(width);
+    Fact f;
+    f.width = width;
+    f.zeros = zeros | other.zeros;
+    f.ones = ones | other.ones;
+    f.lo = std::max(lo, other.lo);
+    f.hi = std::min(hi, other.hi);
+    return f.normalize();
+}
+
+Fact
+Fact::normalize() const
+{
+    if (bottom)
+        return *this;
+    Fact f = *this;
+    const u64 m = f.mask();
+    f.zeros &= m;
+    f.ones &= m;
+    if ((f.zeros & f.ones) != 0 || f.lo > f.hi)
+        return bot(width);
+    // Known bits bound the interval: the smallest member has every
+    // unknown bit 0, the largest every unknown bit 1.
+    const u64 kmin = f.ones;
+    const u64 kmax = m & ~f.zeros;
+    f.lo = std::max(f.lo, kmin);
+    f.hi = std::min(f.hi, kmax);
+    if (f.lo > f.hi)
+        return bot(width);
+    // Interval bounds pin the shared leading bits of lo and hi.
+    const u64 diff = f.lo ^ f.hi;
+    if (diff == 0) {
+        f.ones = f.lo;
+        f.zeros = m & ~f.lo;
+    } else {
+        const unsigned split = msb_index(diff);
+        const u64 lead =
+            split + 1 >= 64 ? 0 : (m & ~((u64{1} << (split + 1)) - 1));
+        f.ones |= f.lo & lead;
+        f.zeros |= ~f.lo & lead;
+    }
+    if ((f.zeros & f.ones) != 0)
+        return bot(width);
+    return f;
+}
+
+bool
+Fact::operator==(const Fact &other) const
+{
+    return width == other.width && bottom == other.bottom &&
+        zeros == other.zeros && ones == other.ones && lo == other.lo &&
+        hi == other.hi;
+}
+
+std::string
+Fact::to_string() const
+{
+    if (bottom)
+        return "bot/" + std::to_string(width);
+    std::string bits;
+    for (unsigned i = width; i-- > 0;) {
+        if ((ones >> i) & 1)
+            bits += '1';
+        else if ((zeros >> i) & 1)
+            bits += '0';
+        else
+            bits += 'x';
+    }
+    return bits + " [" + std::to_string(lo) + "," + std::to_string(hi) +
+        "]";
+}
+
+Fact
+Fact::binop(BinOpKind op, const Fact &a, const Fact &b)
+{
+    const unsigned w =
+        op == BinOpKind::Concat ? a.width + b.width
+        : ir::is_comparison(op) ? 1
+                                : a.width;
+    if (a.bottom || b.bottom)
+        return bot(w);
+    const u64 m = width_mask(w);
+
+    // Two constants always fold exactly (matches ir::E constant
+    // folding, so facts never lag behind the simplifier).
+    // Everything below handles the partially-known cases.
+    switch (op) {
+      case BinOpKind::Add: {
+        Fact f = top(w);
+        const u64 sum_hi = a.hi + b.hi;
+        if (sum_hi >= a.hi && sum_hi <= m) {
+            f.lo = a.lo + b.lo;
+            f.hi = sum_hi;
+        }
+        // The low t bits of a sum depend only on the low t bits of
+        // the operands (carry-in to bit 0 is zero).
+        const unsigned t =
+            std::min(trailing_known(a), trailing_known(b));
+        if (t > 0) {
+            const u64 tm = width_mask(std::min(t, 64u));
+            const u64 low = (a.ones + b.ones) & tm;
+            f.ones |= low;
+            f.zeros |= ~low & tm;
+        }
+        return f.normalize();
+      }
+      case BinOpKind::Sub: {
+        Fact f = top(w);
+        if (a.lo >= b.hi) {
+            f.lo = a.lo - b.hi;
+            f.hi = a.hi - b.lo;
+        }
+        const unsigned t =
+            std::min(trailing_known(a), trailing_known(b));
+        if (t > 0) {
+            const u64 tm = width_mask(std::min(t, 64u));
+            const u64 low = (a.ones - b.ones) & tm;
+            f.ones |= low;
+            f.zeros |= ~low & tm;
+        }
+        return f.normalize();
+      }
+      case BinOpKind::Mul: {
+        Fact f = top(w);
+        if (b.hi != 0 && a.hi <= m / b.hi) {
+            f.lo = a.lo * b.lo;
+            f.hi = a.hi * b.hi;
+        } else if (b.hi == 0) {
+            return constant(w, 0);
+        }
+        const unsigned t =
+            std::min(trailing_known(a), trailing_known(b));
+        if (t > 0) {
+            const u64 tm = width_mask(std::min(t, 64u));
+            const u64 low = (a.ones * b.ones) & tm;
+            f.ones |= low;
+            f.zeros |= ~low & tm;
+        }
+        return f.normalize();
+      }
+      case BinOpKind::UDiv:
+        // Divisor interval excluding zero gives monotone bounds
+        // (the evaluator defines x/0; treat it as unbounded).
+        if (b.lo > 0)
+            return range(w, a.lo / b.hi, a.hi / b.lo);
+        return top(w);
+      case BinOpKind::URem:
+        if (b.lo > 0)
+            return range(w, 0, b.hi - 1);
+        return top(w);
+      case BinOpKind::SDiv:
+      case BinOpKind::SRem:
+        return top(w);
+      case BinOpKind::And: {
+        Fact f;
+        f.width = w;
+        f.zeros = a.zeros | b.zeros;
+        f.ones = a.ones & b.ones;
+        f.lo = 0;
+        f.hi = std::min(a.hi, b.hi);
+        return f.normalize();
+      }
+      case BinOpKind::Or: {
+        Fact f;
+        f.width = w;
+        f.zeros = a.zeros & b.zeros;
+        f.ones = a.ones | b.ones;
+        f.lo = std::max(a.lo, b.lo);
+        f.hi = m;
+        return f.normalize();
+      }
+      case BinOpKind::Xor: {
+        Fact f = top(w);
+        const u64 known =
+            (a.zeros | a.ones) & (b.zeros | b.ones);
+        const u64 bits = (a.ones ^ b.ones) & known;
+        f.ones = bits;
+        f.zeros = known & ~bits;
+        return f.normalize();
+      }
+      case BinOpKind::Shl: {
+        if (b.is_constant()) {
+            const u64 c = b.value();
+            if (c >= w)
+                return constant(w, 0);
+            Fact f = top(w);
+            f.zeros = ((a.zeros << c) | width_mask(static_cast<unsigned>(c))) & m;
+            f.ones = (a.ones << c) & m;
+            if (a.hi <= (m >> c)) {
+                f.lo = a.lo << c;
+                f.hi = a.hi << c;
+            }
+            return f.normalize();
+        }
+        return top(w);
+      }
+      case BinOpKind::LShr: {
+        if (b.is_constant()) {
+            const u64 c = b.value();
+            if (c >= w)
+                return constant(w, 0);
+            Fact f;
+            f.width = w;
+            f.zeros = (a.zeros >> c) | (m & ~(m >> c));
+            f.ones = a.ones >> c;
+            f.lo = a.lo >> c;
+            f.hi = a.hi >> c;
+            return f.normalize();
+        }
+        // Any shift only shrinks an unsigned value.
+        return range(w, 0, a.hi);
+      }
+      case BinOpKind::AShr: {
+        if (b.is_constant() && w < 64) {
+            const u64 c = std::min<u64>(b.value(), w - 1);
+            const u64 sign = u64{1} << (w - 1);
+            if (a.zeros & sign) {
+                Fact f;
+                f.width = w;
+                f.zeros = (a.zeros >> c) | (m & ~(m >> c));
+                f.ones = a.ones >> c;
+                f.lo = a.lo >> c;
+                f.hi = a.hi >> c;
+                return f.normalize();
+            }
+            if (a.ones & sign) {
+                Fact f = top(w);
+                const u64 fill = m & ~(m >> c);
+                f.ones = (a.ones >> c) | fill;
+                f.zeros = (a.zeros >> c) & ~fill;
+                return f.normalize();
+            }
+        }
+        return top(w);
+      }
+      case BinOpKind::Eq: {
+        // Disjoint known bits or disjoint intervals refute equality.
+        if ((a.ones & b.zeros) != 0 || (a.zeros & b.ones) != 0)
+            return bool_fact(false);
+        if (a.hi < b.lo || b.hi < a.lo)
+            return bool_fact(false);
+        if (a.is_constant() && b.is_constant())
+            return bool_fact(a.value() == b.value());
+        return top(1);
+      }
+      case BinOpKind::Ne: {
+        const Fact e = binop(BinOpKind::Eq, a, b);
+        if (auto d = e.decide())
+            return bool_fact(!*d);
+        return top(1);
+      }
+      case BinOpKind::ULt:
+        if (a.hi < b.lo)
+            return bool_fact(true);
+        if (a.lo >= b.hi)
+            return bool_fact(false);
+        return top(1);
+      case BinOpKind::ULe:
+        if (a.hi <= b.lo)
+            return bool_fact(true);
+        if (a.lo > b.hi)
+            return bool_fact(false);
+        return top(1);
+      case BinOpKind::SLt: {
+        const auto sa = signed_range(a);
+        const auto sb = signed_range(b);
+        if (sa && sb) {
+            if (sa->second < sb->first)
+                return bool_fact(true);
+            if (sa->first >= sb->second)
+                return bool_fact(false);
+        }
+        return top(1);
+      }
+      case BinOpKind::SLe: {
+        const auto sa = signed_range(a);
+        const auto sb = signed_range(b);
+        if (sa && sb) {
+            if (sa->second <= sb->first)
+                return bool_fact(true);
+            if (sa->first > sb->second)
+                return bool_fact(false);
+        }
+        return top(1);
+      }
+      case BinOpKind::Concat: {
+        Fact f;
+        f.width = w;
+        f.zeros = (a.zeros << b.width) | b.zeros;
+        f.ones = (a.ones << b.width) | b.ones;
+        f.lo = (a.lo << b.width) + b.lo;
+        f.hi = (a.hi << b.width) + b.hi;
+        return f.normalize();
+      }
+    }
+    return top(w);
+}
+
+Fact
+Fact::unop(UnOpKind op, const Fact &a)
+{
+    if (a.bottom)
+        return bot(a.width);
+    switch (op) {
+      case UnOpKind::Not: {
+        Fact f;
+        f.width = a.width;
+        f.zeros = a.ones;
+        f.ones = a.zeros;
+        f.lo = ~a.hi & a.mask();
+        f.hi = ~a.lo & a.mask();
+        return f.normalize();
+      }
+      case UnOpKind::Neg:
+        return binop(BinOpKind::Sub, constant(a.width, 0), a);
+    }
+    return top(a.width);
+}
+
+Fact
+Fact::zext_to(const Fact &a, unsigned width)
+{
+    if (a.bottom)
+        return bot(width);
+    Fact f;
+    f.width = width;
+    f.zeros = a.zeros | (width_mask(width) & ~a.mask());
+    f.ones = a.ones;
+    f.lo = a.lo;
+    f.hi = a.hi;
+    return f.normalize();
+}
+
+Fact
+Fact::sext_to(const Fact &a, unsigned width)
+{
+    if (a.bottom)
+        return bot(width);
+    const u64 sign = u64{1} << (a.width - 1);
+    if (a.zeros & sign)
+        return zext_to(a, width);
+    const u64 fill = width_mask(width) & ~a.mask();
+    if (a.ones & sign) {
+        Fact f;
+        f.width = width;
+        f.zeros = a.zeros;
+        f.ones = a.ones | fill;
+        f.lo = a.lo | fill;
+        f.hi = a.hi | fill;
+        return f.normalize();
+    }
+    Fact f = top(width);
+    f.zeros = a.zeros & ~sign;
+    f.ones = a.ones & ~sign;
+    return f.normalize();
+}
+
+Fact
+Fact::extract_from(const Fact &a, unsigned lo, unsigned width)
+{
+    if (a.bottom)
+        return bot(width);
+    Fact f = top(width);
+    const u64 m = width_mask(width);
+    f.zeros = (a.zeros >> lo) & m;
+    f.ones = (a.ones >> lo) & m;
+    // (x >> lo) is monotone; the truncation keeps the bounds only
+    // when the shifted range fits the narrower width.
+    const u64 shifted_hi = a.hi >> lo;
+    if (shifted_hi <= m) {
+        f.lo = a.lo >> lo;
+        f.hi = shifted_hi;
+    }
+    return f.normalize();
+}
+
+Fact
+Fact::ite(const Fact &cond, const Fact &t, const Fact &f)
+{
+    if (auto d = cond.decide())
+        return *d ? t : f;
+    return t.join(f);
+}
+
+void
+FactEnv::refine_var(u32 id, const Fact &fact)
+{
+    auto it = vars_.find(id);
+    if (it == vars_.end()) {
+        vars_.emplace(id, fact.normalize());
+    } else {
+        it->second = it->second.meet(fact);
+    }
+    // Var facts feed eval(); installed facts invalidate prior memos.
+    cache_.clear();
+    pinned_.clear();
+}
+
+Fact
+FactEnv::var_fact(u32 id, unsigned width) const
+{
+    auto it = vars_.find(id);
+    if (it != vars_.end() && it->second.width == width)
+        return it->second;
+    return Fact::top(width);
+}
+
+void
+FactEnv::assume(const ir::ExprRef &cond)
+{
+    if (!cond || cond->width() != 1)
+        return;
+    if (cond->kind() == ExprKind::BinOp) {
+        const BinOpKind op = cond->binop();
+        // Conjunctions distribute (1-bit And is logical-and).
+        if (op == BinOpKind::And) {
+            assume(cond->a());
+            assume(cond->b());
+            return;
+        }
+        const ExprRef &a = cond->a();
+        const ExprRef &b = cond->b();
+        if (op == BinOpKind::Eq) {
+            if (b->is_const())
+                assume_eq(a, b->value());
+            else if (a->is_const())
+                assume_eq(b, a->value());
+            return;
+        }
+        // Unsigned bounds against a constant refine the interval.
+        if ((op == BinOpKind::ULt || op == BinOpKind::ULe) &&
+            a->is_var() && b->is_const()) {
+            const u64 c = b->value();
+            if (op == BinOpKind::ULt && c == 0)
+                return;
+            const u64 hi = op == BinOpKind::ULt ? c - 1 : c;
+            refine_var(a->var_id(),
+                       Fact::range(a->width(), 0, hi));
+            return;
+        }
+        if ((op == BinOpKind::ULt || op == BinOpKind::ULe) &&
+            b->is_var() && a->is_const()) {
+            const u64 c = a->value();
+            const u64 lo = op == BinOpKind::ULt ? c + 1 : c;
+            if (op == BinOpKind::ULt && c == width_mask(b->width()))
+                return;
+            refine_var(b->var_id(),
+                       Fact::range(b->width(), lo,
+                                   width_mask(b->width())));
+            return;
+        }
+        return;
+    }
+    if (cond->is_var()) {
+        refine_var(cond->var_id(), Fact::constant(1, 1));
+        return;
+    }
+    if (cond->kind() == ExprKind::UnOp &&
+        cond->unop() == UnOpKind::Not && cond->a()->is_var()) {
+        refine_var(cond->a()->var_id(), Fact::constant(1, 0));
+    }
+}
+
+void
+FactEnv::assume_eq(const ir::ExprRef &lhs, u64 value)
+{
+    if (lhs->is_var()) {
+        refine_var(lhs->var_id(), Fact::constant(lhs->width(), value));
+        return;
+    }
+    if (lhs->kind() == ExprKind::Cast &&
+        lhs->cast() == CastKind::Extract && lhs->a()->is_var()) {
+        const unsigned pos = lhs->extract_lo();
+        const u64 m = width_mask(lhs->width()) << pos;
+        const u64 v = (value << pos) & m;
+        refine_var(lhs->a()->var_id(),
+                   Fact::known(lhs->a()->width(), m & ~v, v));
+        return;
+    }
+    if (lhs->kind() == ExprKind::BinOp &&
+        lhs->binop() == BinOpKind::And && lhs->a()->is_var() &&
+        lhs->b()->is_const()) {
+        const u64 m = lhs->b()->value();
+        refine_var(lhs->a()->var_id(),
+                   Fact::known(lhs->a()->width(), m & ~value,
+                               m & value));
+    }
+}
+
+Fact
+FactEnv::eval(const ir::ExprRef &e)
+{
+    assert(e);
+    if (e->is_const())
+        return Fact::constant(e->width(), e->value());
+    auto it = cache_.find(e.get());
+    if (it != cache_.end())
+        return it->second;
+
+    Fact f = Fact::top(e->width());
+    switch (e->kind()) {
+      case ExprKind::Const:
+        break; // Handled above.
+      case ExprKind::Var:
+        f = var_fact(e->var_id(), e->width());
+        break;
+      case ExprKind::Temp:
+        // Facts are evaluated over resolved expressions; a stray temp
+        // reference carries no information.
+        break;
+      case ExprKind::UnOp:
+        f = Fact::unop(e->unop(), eval(e->a()));
+        break;
+      case ExprKind::BinOp:
+        f = Fact::binop(e->binop(), eval(e->a()), eval(e->b()));
+        break;
+      case ExprKind::Cast: {
+        const Fact a = eval(e->a());
+        switch (e->cast()) {
+          case CastKind::ZExt:
+            f = Fact::zext_to(a, e->width());
+            break;
+          case CastKind::SExt:
+            f = Fact::sext_to(a, e->width());
+            break;
+          case CastKind::Extract:
+            f = Fact::extract_from(a, e->extract_lo(), e->width());
+            break;
+        }
+        break;
+      }
+      case ExprKind::Ite:
+        f = Fact::ite(eval(e->a()), eval(e->b()), eval(e->c()));
+        break;
+    }
+    cache_.emplace(e.get(), f);
+    pinned_.push_back(e);
+    return f;
+}
+
+} // namespace pokeemu::analysis

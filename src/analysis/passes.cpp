@@ -26,6 +26,29 @@ is_negation_of(const ExprRef &x, const ExprRef &y)
 
 } // namespace
 
+bool
+lint_allowed(const ir::Program &program, u32 stmt_index,
+             const std::string &pass)
+{
+    const std::string marker = "lint: allow-" + pass;
+    if (stmt_index >= program.stmts.size())
+        return false;
+    if (program.stmts[stmt_index].note.find(marker) !=
+        std::string::npos) {
+        return true;
+    }
+    // A run of Comment statements directly above carries the marker
+    // for statements whose own note is meaningful (branch text etc.).
+    for (u32 i = stmt_index; i-- > 0;) {
+        const ir::Stmt &s = program.stmts[i];
+        if (s.kind != StmtKind::Comment)
+            break;
+        if (s.note.find(marker) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
 void
 pass_unreachable(const ir::Program &program, const Cfg &cfg,
                  Report &report)
@@ -136,51 +159,224 @@ pass_dead_code(const ir::Program &program, const Cfg &cfg,
         }
     }
 
-    // Within-block dead stores at constant addresses: a store fully
-    // overwritten before any possible read. Any Load, or any store
-    // through a symbolic address, may alias and keeps prior stores
-    // live.
-    struct PendingStore
+    // Cross-block dead stores at constant addresses: a backward
+    // byte-liveness fixpoint. A byte is live when some path ahead may
+    // read it before overwriting it; a constant-address store none of
+    // whose bytes is live is dead. Halt observes the whole machine
+    // state, so everything is live at an exit; a symbolic Load may
+    // read anything; a symbolic Store neither reads nor reliably
+    // overwrites (it cannot kill).
+    struct ByteLive
     {
-        u32 stmt_index;
-        u64 addr;
-        unsigned size;
+        /** live(a) = all ? !bytes.count(a) : bytes.count(a) — the set
+         *  holds exceptions (dead bytes) in the `all` regime, live
+         *  bytes otherwise. Both sets only ever hold addresses named
+         *  by a constant-address access, so they stay small. */
+        bool all = false;
+        std::set<u64> bytes;
+
+        bool live(u64 a) const
+        {
+            return all ? bytes.count(a) == 0 : bytes.count(a) != 0;
+        }
+        void gen(u64 a)
+        {
+            if (all)
+                bytes.erase(a);
+            else
+                bytes.insert(a);
+        }
+        void gen_all()
+        {
+            all = true;
+            bytes.clear();
+        }
+        void kill(u64 a)
+        {
+            if (all)
+                bytes.insert(a);
+            else
+                bytes.erase(a);
+        }
+        bool operator==(const ByteLive &o) const
+        {
+            return all == o.all && bytes == o.bytes;
+        }
     };
-    for (const BlockId b : cfg.reverse_postorder()) {
+    const auto join_live = [](const ByteLive &x, const ByteLive &y) {
+        ByteLive r;
+        if (x.all && y.all) {
+            r.all = true; // Dead only where both sides are dead.
+            for (const u64 a : x.bytes) {
+                if (y.bytes.count(a))
+                    r.bytes.insert(a);
+            }
+        } else if (x.all || y.all) {
+            const ByteLive &dead_side = x.all ? x : y;
+            const ByteLive &live_side = x.all ? y : x;
+            r.all = true;
+            for (const u64 a : dead_side.bytes) {
+                if (!live_side.live(a))
+                    r.bytes.insert(a);
+            }
+        } else {
+            r.bytes = x.bytes;
+            r.bytes.insert(y.bytes.begin(), y.bytes.end());
+        }
+        return r;
+    };
+    std::vector<ByteLive> mem_live_in(nb);
+    const auto block_mem_live = [&](BlockId b, bool report_dead) {
         const BasicBlock &block = cfg.blocks()[b];
-        std::vector<PendingStore> pending;
-        for (u32 i = block.first; i < block.end; ++i) {
+        ByteLive live;
+        if (block.succs.empty()) {
+            // Exit block: a trailing Halt gens all below; a program
+            // falling off the end is treated the same, conservatively.
+            live.gen_all();
+        }
+        for (const BlockId s : block.succs)
+            live = join_live(live, mem_live_in[s]);
+        for (u32 i = block.end; i-- > block.first;) {
             const ir::Stmt &s = program.stmts[i];
-            if (s.kind == StmtKind::Load) {
-                pending.clear();
+            if (s.kind == StmtKind::Halt) {
+                live.gen_all();
+            } else if (s.kind == StmtKind::Load) {
+                if (s.addr && s.addr->is_const()) {
+                    for (unsigned k = 0; k < s.size; ++k)
+                        live.gen(s.addr->value() + k);
+                } else {
+                    live.gen_all();
+                }
             } else if (s.kind == StmtKind::Store) {
-                if (!s.addr || !s.addr->is_const()) {
-                    pending.clear();
+                if (!s.addr || !s.addr->is_const())
                     continue;
-                }
                 const u64 lo = s.addr->value();
-                const u64 hi = lo + s.size;
-                std::vector<PendingStore> kept;
-                for (const PendingStore &p : pending) {
-                    if (lo <= p.addr && p.addr + p.size <= hi) {
-                        report.warning(
-                            p.stmt_index, kPass,
-                            "dead store: bytes [" +
-                                std::to_string(p.addr) + ", " +
-                                std::to_string(p.addr + p.size) +
-                                ") are overwritten by stmt " +
-                                std::to_string(i) +
-                                " before any read");
-                    } else if (p.addr < hi && lo < p.addr + p.size) {
-                        // Partially overlapped: no longer a candidate.
-                    } else {
-                        kept.push_back(p);
-                    }
+                bool any_live = false;
+                for (unsigned k = 0; k < s.size; ++k)
+                    any_live = any_live || live.live(lo + k);
+                if (report_dead && !any_live &&
+                    !lint_allowed(program, i, kPass)) {
+                    report.warning(
+                        i, kPass,
+                        "dead store: bytes [" + std::to_string(lo) +
+                            ", " + std::to_string(lo + s.size) +
+                            ") are overwritten on every path before "
+                            "any read");
                 }
-                pending = std::move(kept);
-                pending.push_back({i, lo, s.size});
+                for (unsigned k = 0; k < s.size; ++k)
+                    live.kill(lo + k);
             }
         }
+        return live;
+    };
+    changed = true;
+    while (changed) {
+        changed = false;
+        const auto &rpo = cfg.reverse_postorder();
+        for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
+            ByteLive next = block_mem_live(*it, false);
+            if (!(next == mem_live_in[*it])) {
+                mem_live_in[*it] = std::move(next);
+                changed = true;
+            }
+        }
+    }
+    for (const BlockId b : cfg.reverse_postorder())
+        block_mem_live(b, true);
+}
+
+void
+pass_const_branch(const ir::Program &program, const Cfg &cfg,
+                  const ProgramFacts &facts, Report &report)
+{
+    constexpr const char *kPass = "const-branch";
+    for (const BlockId b : cfg.reverse_postorder()) {
+        const BasicBlock &block = cfg.blocks()[b];
+        for (u32 i = block.first; i < block.end; ++i) {
+            if (program.stmts[i].kind != StmtKind::CJmp)
+                continue;
+            const Decision d = facts.decision(i);
+            if (d == Decision::Unknown ||
+                lint_allowed(program, i, kPass)) {
+                continue;
+            }
+            const bool always = d == Decision::AlwaysTrue;
+            report.warning(i, kPass,
+                           std::string("branch condition is always ") +
+                               (always ? "true" : "false") + "; the " +
+                               (always ? "false" : "true") +
+                               " target is never taken");
+        }
+    }
+}
+
+void
+pass_redundant_assume(const ir::Program &program, const Cfg &cfg,
+                      const ProgramFacts &facts, Report &report)
+{
+    constexpr const char *kPass = "redundant-assume";
+    for (const BlockId b : cfg.reverse_postorder()) {
+        const BasicBlock &block = cfg.blocks()[b];
+        for (u32 i = block.first; i < block.end; ++i) {
+            const ir::Stmt &s = program.stmts[i];
+            // Constant conditions are pass_assume_placement's beat.
+            if (s.kind != StmtKind::Assume || !s.expr ||
+                s.expr->is_const()) {
+                continue;
+            }
+            const Decision d = facts.decision(i);
+            if (d == Decision::Unknown ||
+                lint_allowed(program, i, kPass)) {
+                continue;
+            }
+            if (d == Decision::AlwaysTrue) {
+                report.note(i, kPass,
+                            "assume is already implied by dataflow "
+                            "facts on every path reaching it");
+            } else {
+                report.warning(i, kPass,
+                               "assume is statically unsatisfiable: "
+                               "dataflow facts prove the condition "
+                               "false on every path reaching it");
+            }
+        }
+    }
+}
+
+void
+pass_dataflow_unreachable(const ir::Program &program, const Cfg &cfg,
+                          const ProgramFacts &facts, Report &report)
+{
+    constexpr const char *kPass = "dataflow-unreachable";
+    const auto dead = [&](BlockId b) {
+        return cfg.reachable(b) && b < facts.block_reachable.size() &&
+            !facts.block_reachable[b];
+    };
+    for (BlockId b = 0; b < cfg.num_blocks(); ++b) {
+        // Graph-unreachable blocks are pass_unreachable's beat.
+        if (!dead(b))
+            continue;
+        // Report dead-region entries only: a dead block none of whose
+        // predecessors is live is a consequence of the entry finding,
+        // not a separate one.
+        bool entry = false;
+        for (const BlockId p : cfg.blocks()[b].preds) {
+            entry = entry || (p < facts.block_reachable.size() &&
+                              facts.block_reachable[p]);
+        }
+        if (!entry)
+            continue;
+        const BasicBlock &block = cfg.blocks()[b];
+        if (lint_allowed(program, block.first, kPass))
+            continue;
+        const std::string range =
+            block.size() == 1
+                ? "statement " + std::to_string(block.first)
+                : "statements " + std::to_string(block.first) + ".." +
+                      std::to_string(block.end - 1);
+        report.warning(block.first, kPass,
+                       "unreachable under dataflow facts: a decided "
+                       "condition guards every path into " + range);
     }
 }
 
@@ -277,6 +473,15 @@ run_pipeline(const ir::Program &program)
     pass_unreachable(program, cfg, report);
     pass_dead_code(program, cfg, report);
     pass_assume_placement(program, cfg, report);
+    // Dataflow-backed lints: pure mode (fresh variables for every
+    // initial byte, no preconditions), so a finding holds for every
+    // caller-supplied initial state. Skipped when the engine bails.
+    const ProgramFacts facts = analyze_program(program, cfg);
+    if (facts.analyzed) {
+        pass_const_branch(program, cfg, facts, report);
+        pass_redundant_assume(program, cfg, facts, report);
+        pass_dataflow_unreachable(program, cfg, facts, report);
+    }
     return report;
 }
 

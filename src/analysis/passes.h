@@ -13,10 +13,21 @@
 #define POKEEMU_ANALYSIS_PASSES_H
 
 #include "analysis/cfg.h"
+#include "analysis/dataflow.h"
 #include "analysis/diagnostic.h"
 #include "analysis/verifier.h"
 
 namespace pokeemu::analysis {
+
+/**
+ * Is a finding of @p pass suppressed at @p stmt_index? True when the
+ * statement's own note, or the note of any Comment statement directly
+ * above it, contains "lint: allow-<pass>". Generator code uses the
+ * marker to acknowledge a diagnostic that is intentional (e.g. a
+ * semantics program whose branch is constant by construction).
+ */
+bool lint_allowed(const ir::Program &program, u32 stmt_index,
+                  const std::string &pass);
 
 /**
  * Flag statements no path from the entry can execute. The guard Halt
@@ -30,11 +41,46 @@ void pass_unreachable(const ir::Program &program, const Cfg &cfg,
  * Backward-liveness pass: flag Assigns whose value no later statement
  * can read (warning), Loads whose value is never read (note — a load
  * still concretizes its address, so it is not semantically dead), and
- * Stores fully overwritten at the same constant address before any
- * intervening read (warning).
+ * constant-address Stores every one of whose bytes is overwritten on
+ * every path before any possible read (warning). Store liveness is a
+ * cross-block backward byte-liveness fixpoint: Halt observes the whole
+ * state (all bytes live), a constant-address Load reads exactly its
+ * bytes, a symbolic Load may read anything, a constant-address Store
+ * kills its bytes, and a symbolic Store neither reads nor reliably
+ * overwrites.
  */
 void pass_dead_code(const ir::Program &program, const Cfg &cfg,
                     Report &report);
+
+/**
+ * Flag CJmps whose condition the dataflow facts decide (warning): one
+ * successor edge can never be taken, so the branch wastes a decision-
+ * tree node per path that reaches it. Constant conditions the
+ * canonicalizer already folded never reach the IR; this catches the
+ * ones only the domain analysis sees.
+ */
+void pass_const_branch(const ir::Program &program, const Cfg &cfg,
+                       const ProgramFacts &facts, Report &report);
+
+/**
+ * Flag non-constant Assumes the dataflow facts decide: AlwaysTrue is
+ * redundant (note — the facts already imply it on every path);
+ * AlwaysFalse makes every path through the statement infeasible
+ * (warning).
+ */
+void pass_redundant_assume(const ir::Program &program, const Cfg &cfg,
+                           const ProgramFacts &facts, Report &report);
+
+/**
+ * Flag blocks the CFG reaches but the dataflow facts prove dead —
+ * a decided branch or statically-false assume guards every path into
+ * them (warning). Complements pass_unreachable, which only sees graph
+ * connectivity.
+ */
+void pass_dataflow_unreachable(const ir::Program &program,
+                               const Cfg &cfg,
+                               const ProgramFacts &facts,
+                               Report &report);
 
 /**
  * Assume-placement lints: an Assume after a Load/Store in its block
@@ -50,7 +96,9 @@ void pass_assume_placement(const ir::Program &program, const Cfg &cfg,
 /**
  * The standard pipeline: Verifier::check, then — only when the
  * program verified clean of errors, since the lints assume a
- * well-formed CFG — every lint pass above.
+ * well-formed CFG — every lint pass above. The dataflow-backed passes
+ * run over analyze_program with a default config (pure mode, no
+ * preconditions) and are skipped when the analysis bails.
  */
 Report run_pipeline(const ir::Program &program);
 

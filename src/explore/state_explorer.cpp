@@ -70,6 +70,23 @@ explore_program(const ir::Program &semantics, const StateSpec &spec,
     config.memo = options.memo;
     config.coverage = &cov;
     config.policy = coverage::frontier_policy(options.schedule);
+    config.prune = options.prune;
+
+    // Dataflow facts over an isolated variable pool, mirroring the
+    // main pool's factory-call order. The spec names variables by
+    // machine location, so the analysis sees the same preconditions
+    // and initial bytes up to a variable-id bijection — decisions are
+    // per-statement and transfer. Using `pool` itself would add
+    // analysis-only variables to it and perturb every assignment.
+    symexec::VarPool analysis_pool;
+    analysis::DataflowConfig df_config;
+    df_config.assumes = spec.preconditions(analysis_pool);
+    df_config.initial_byte = spec.initial_fn(analysis_pool);
+    semantics.validate(); // Cfg::build requires bound labels.
+    const analysis::Cfg cfg = analysis::Cfg::build(semantics);
+    const analysis::ProgramFacts facts =
+        analysis::analyze_program(semantics, cfg, df_config);
+    config.facts = &facts;
 
     symexec::PathExplorer explorer(semantics, pool,
                                    spec.initial_fn(pool), config);

@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "analysis/dataflow.h"
 #include "coverage/coverage.h"
 #include "explore/state_spec.h"
 #include "hifi/semantics.h"
@@ -54,6 +55,12 @@ struct StateExploreOptions
      *  set — only the order differs. */
     coverage::SchedulePolicy schedule =
         coverage::SchedulePolicy::UncoveredEdgeFirst;
+    /** Static branch pruning: dataflow facts are computed per unit in
+     *  every mode (Off still uses them to keep memo statistics
+     *  invariant); the mode only controls what a decided feasibility
+     *  probe does (see analysis::PruneMode). Explored path sets and
+     *  schedules are identical across modes. */
+    analysis::PruneMode prune = analysis::PruneMode::On;
 };
 
 /** One explored path's test state. */

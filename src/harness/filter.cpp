@@ -36,6 +36,31 @@ undefined_flags_mask(Op op)
     }
 }
 
+u32
+flags_oracle_allowlist(Op op)
+{
+    switch (op) {
+      // Shifts and rotates: a masked count of zero keeps every flag,
+      // so all written flags are conditional (may but not must). The
+      // rotates also never write OF at all — it is only defined for
+      // count 1 and these semantics leave it unchanged throughout.
+      case Op::ShiftRm8Imm8: case Op::ShiftRm32Imm8:
+      case Op::ShiftRm8One: case Op::ShiftRm32One:
+      case Op::ShiftRm8Cl: case Op::ShiftRm32Cl:
+      case Op::ShldImm8: case Op::ShldCl:
+      case Op::ShrdImm8: case Op::ShrdCl:
+        return arch::kStatusFlags;
+      // Divides: all six status flags are documented-undefined and
+      // the semantics pick the "leave unchanged" instance, so none of
+      // them is ever written.
+      case Op::Grp3DivRm8: case Op::Grp3DivRm32:
+      case Op::Grp3IdivRm8: case Op::Grp3IdivRm32:
+        return arch::kStatusFlags;
+      default:
+        return 0;
+    }
+}
+
 FilterResult
 filter_undefined(const arch::DecodedInsn &insn, const arch::Snapshot &a,
                  const arch::Snapshot &b,

@@ -20,6 +20,21 @@ namespace pokeemu::harness {
 /** EFLAGS bits documented-undefined after @p op (0 if none). */
 u32 undefined_flags_mask(arch::Op op);
 
+/**
+ * Status-flag bits the dataflow flag oracle
+ * (analysis::flag_write_summary) may classify as conditionally written
+ * (may-write but not must-write) for @p op even though they are not
+ * documented-undefined. The cross-check in `ir_lint --flags-oracle`
+ * accepts may-minus-must bits explained by either mask; anything else
+ * is a real disagreement between the derived oracle and this table.
+ *
+ * Entries exist where the semantics legitimately keep a flag on some
+ * completing path — e.g. shifts and rotates preserve every flag when
+ * the masked count is zero, so even their documented-defined flags are
+ * only conditionally written.
+ */
+u32 flags_oracle_allowlist(arch::Op op);
+
 struct FilterResult
 {
     /** The difference with undefined-behaviour parts removed. */

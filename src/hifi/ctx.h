@@ -8,6 +8,7 @@
 #define POKEEMU_HIFI_CTX_H
 
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "hifi/semantics.h"
@@ -83,10 +84,18 @@ class Ctx
 
     /// @name Fault plumbing.
     /// @{
-    /** Emit a jump to a fault block when @p cond holds. */
+    /**
+     * Emit a jump to a fault block when @p cond holds. Pass
+     * @p expect_decided when the caller knows the check folds constant
+     * or is implied by an earlier identical check for this encoding
+     * (re-checked segments, constant offsets): the emitted statements
+     * then carry `lint: allow-*` markers acknowledging the ir_lint
+     * findings the degenerate check produces.
+     */
     void fault_if(const ExprRef &cond, u8 vector,
                   const ExprRef &error_code, bool has_error,
-                  const ExprRef &cr2 = nullptr);
+                  const ExprRef &cr2 = nullptr,
+                  bool expect_decided = false);
     /** Unconditional fault (terminates this generator's path). */
     void fault_now(u8 vector, const ExprRef &error_code, bool has_error,
                    const ExprRef &cr2 = nullptr);
@@ -204,9 +213,16 @@ class Ctx
         ExprRef error_code;
         bool has_error;
         ExprRef cr2;
+        /** Guarding check is statically decided for this encoding, so
+         *  the dispatch block may be dataflow-unreachable. */
+        bool statically_dead = false;
     };
     std::vector<PendingFault> pending_faults_;
     void flush_faults();
+    /** Segments already seg_check'ed in this program: a later check of
+     *  the same segment is decided by the dataflow facts on every path
+     *  where the first one passed. */
+    std::set<unsigned> seg_checked_;
 };
 
 } // namespace pokeemu::hifi

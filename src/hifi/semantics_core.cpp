@@ -208,13 +208,24 @@ Ctx::seg_db(unsigned s)
 
 void
 Ctx::fault_if(const ExprRef &cond, u8 vector, const ExprRef &error_code,
-              bool has_error, const ExprRef &cr2)
+              bool has_error, const ExprRef &cr2, bool expect_decided)
 {
     Label fault = b_.label();
+    std::string note = std::string("fault #") + std::to_string(vector);
+    // The generic templates knowingly degenerate for particular
+    // encodings (a wrap check on a constant offset folds constant; a
+    // re-checked segment is implied by its first check). The markers
+    // acknowledge the ir_lint findings such a check produces.
+    const bool decided = expect_decided || cond->is_const();
+    if (decided)
+        note += "; lint: allow-const-branch";
     pending_faults_.push_back({fault, vector, error_code, has_error,
-                               cr2});
-    b_.if_goto(cond, fault,
-               std::string("fault #") + std::to_string(vector));
+                               cr2, decided});
+    b_.if_goto(cond, fault, note);
+    if (decided && !(cond->is_const() && cond->value() == 0)) {
+        b_.comment("continuation of a statically-decided fault "
+                   "check; lint: allow-dataflow-unreachable");
+    }
 }
 
 void
@@ -232,6 +243,10 @@ Ctx::flush_faults()
 {
     for (const PendingFault &f : pending_faults_) {
         b_.bind(f.label);
+        if (f.statically_dead) {
+            b_.comment("fault dispatch for a statically-decided "
+                       "check; lint: allow-dataflow-unreachable");
+        }
         st8(layout::kExcVectorAddr, E::constant(8, f.vector));
         st8(layout::kExcHasErrorAddr,
             E::constant(8, f.has_error ? 1 : 0));
@@ -254,16 +269,22 @@ Ctx::seg_check(unsigned s, const ExprRef &offset, unsigned size,
                bool write)
 {
     const u8 vector = s == arch::kSs ? arch::kExcSs : arch::kExcGp;
+    // Checks live with their access, as in interpreter
+    // implementations, so a program touching the same segment twice
+    // re-checks it; the dataflow facts decide the repeats on every
+    // path where the first check passed, and the lint markers
+    // acknowledge that.
+    const bool recheck = !seg_checked_.insert(s).second;
     ExprRef sel = b_.assign(seg_sel(s), "selector");
     // Null segment is unusable.
     fault_if(E::eq(E::band(sel, E::constant(16, 0xfffc)),
                    E::constant(16, 0)),
-             vector, imm32(0), true);
+             vector, imm32(0), true, nullptr, recheck);
 
     ExprRef acc = b_.assign(seg_access(s), "access byte");
     // Cached descriptor must be present.
     fault_if(E::eq(bit_of(acc, 7), E::bool_const(false)), vector,
-             imm32(0), true);
+             imm32(0), true, nullptr, recheck);
 
     const ExprRef is_code = bit_of(acc, 3);
     const ExprRef rw = bit_of(acc, 1);
@@ -271,34 +292,51 @@ Ctx::seg_check(unsigned s, const ExprRef &offset, unsigned size,
         // Writes require a writable data segment.
         fault_if(E::lor(E::eq(is_code, E::bool_const(true)),
                         E::eq(rw, E::bool_const(false))),
-                 vector, imm32(0), true);
+                 vector, imm32(0), true, nullptr, recheck);
     } else {
         // Reads fault only on execute-only code segments.
-        fault_if(E::land(is_code, E::lnot(rw)), vector, imm32(0), true);
+        fault_if(E::land(is_code, E::lnot(rw)), vector, imm32(0), true,
+                 nullptr, recheck);
     }
 
     ExprRef limit = b_.assign(seg_limit(s), "limit");
     const ExprRef expand_down =
         E::land(E::lnot(is_code), bit_of(acc, 2));
-    ExprRef last = b_.assign(
-        E::add(offset, imm32(size - 1)), "last byte offset");
-    // Wrap of offset+size-1 past 2^32 is always out of range.
-    fault_if(E::ult(last, offset), vector, imm32(0), true);
+    const ExprRef last_expr = E::add(offset, imm32(size - 1));
+    ExprRef last = b_.assign(last_expr, "last byte offset");
+    // Wrap of offset+size-1 past 2^32 is always out of range. A
+    // single-byte access cannot wrap (last aliases offset itself).
+    fault_if(E::ult(last, offset), vector, imm32(0), true, nullptr,
+             size == 1);
     // The expand-down/expand-up cases are separate code paths, as in
     // interpreter implementations (each check is its own branch).
     Label down = b_.label(), up = b_.label(), limit_ok = b_.label();
-    b_.cjmp(expand_down, down, up, "expand-down segment");
+    b_.cjmp(expand_down, down, up,
+            recheck ? "expand-down segment; lint: allow-const-branch"
+                    : "expand-down segment");
     b_.bind(up);
-    // Expand-up: last must be <= limit.
-    fault_if(E::ult(limit, last), vector, imm32(0), true);
+    // Expand-up: last must be <= limit. No limit is below a constant
+    // zero last, so the check is decided for such encodings.
+    fault_if(E::ult(limit, last), vector, imm32(0), true, nullptr,
+             last_expr->is_const() && last_expr->value() == 0);
     b_.jmp(limit_ok);
     b_.bind(down);
+    if (recheck) {
+        b_.comment("expand-down arm of a re-checked segment; "
+                   "lint: allow-dataflow-unreachable");
+    }
     // Expand-down: valid range is (limit, upper]; upper from D/B.
-    fault_if(E::ule(offset, limit), vector, imm32(0), true);
+    // A zero offset can never exceed the limit, so the check is
+    // decided for zero-offset encodings.
+    fault_if(E::ule(offset, limit), vector, imm32(0), true, nullptr,
+             offset->is_const() && offset->value() == 0);
     const ExprRef upper = E::ite(
         E::eq(seg_db(s), E::constant(8, 0)),
         imm32(0xffff), imm32(0xffffffff));
-    fault_if(E::ult(upper, last), vector, imm32(0), true);
+    // Both possible uppers are at least 0xffff, so a small constant
+    // last can never exceed either one.
+    fault_if(E::ult(upper, last), vector, imm32(0), true, nullptr,
+             last_expr->is_const() && last_expr->value() <= 0xffff);
     b_.jmp(limit_ok);
     b_.bind(limit_ok);
 

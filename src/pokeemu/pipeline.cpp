@@ -85,6 +85,10 @@ options_fingerprint(const PipelineOptions &options)
     fp_add(h, options.max_instructions);
     fp_add(h, options.use_descriptor_summary);
     fp_add(h, options.minimize);
+    // The prune mode never changes results, but it decides how probes
+    // split between solver_queries and solver_queries_avoided; resuming
+    // a checkpoint under a different mode would mix the two.
+    fp_add(h, static_cast<u64>(options.prune));
     fp_add(h, options.max_insns_per_test);
     const lofi::BugConfig &b = options.bugs;
     fp_add(h, (u64{b.no_segment_checks} << 0) |
@@ -166,6 +170,7 @@ Pipeline::restore_unit(const CheckpointUnit &unit, u64 &next_test_id)
     stats_.solver_queries += unit.solver_queries;
     stats_.solver_cache_hits += unit.solver_cache_hits;
     stats_.solver_cache_misses += unit.solver_cache_misses;
+    stats_.solver_queries_avoided += unit.solver_queries_avoided;
     stats_.minimize_bits_before += unit.minimize_bits_before;
     stats_.minimize_bits_after += unit.minimize_bits_after;
     stats_.generation_failures += unit.generation_failures;
@@ -263,6 +268,7 @@ Pipeline::explore_and_generate()
     xopt.schedule = options_.schedule;
     xopt.use_descriptor_summary = options_.use_descriptor_summary;
     xopt.minimize = options_.minimize;
+    xopt.prune = options_.prune;
 
     xopt.memo = &memo_;
 
@@ -405,6 +411,8 @@ Pipeline::explore_and_generate()
         cu.solver_queries = explored.stats.solver_queries;
         cu.solver_cache_hits = memo_.stats().unit_hits;
         cu.solver_cache_misses = memo_.stats().unit_misses;
+        cu.solver_queries_avoided =
+            explored.stats.solver_queries_avoided;
         cu.minimize_bits_before =
             explored.minimize.bits_different_before;
         cu.minimize_bits_after = explored.minimize.bits_different_after;
@@ -423,6 +431,8 @@ Pipeline::explore_and_generate()
         stats_.solver_queries += explored.stats.solver_queries;
         stats_.solver_cache_hits += cu.solver_cache_hits;
         stats_.solver_cache_misses += cu.solver_cache_misses;
+        stats_.solver_queries_avoided +=
+            explored.stats.solver_queries_avoided;
         stats_.minimize_bits_before +=
             explored.minimize.bits_different_before;
         stats_.minimize_bits_after +=
@@ -677,8 +687,13 @@ PipelineStats::to_string() const
     os << "stage 2 (state exploration): " << instructions_explored
        << " instructions, " << total_paths << " paths, "
        << instructions_complete << " with complete path coverage ("
-       << t_state_exploration << "s, " << solver_queries
+       << t_state_exploration << "s, "
+       << solver_queries + solver_queries_avoided
        << " solver queries)\n";
+    if (solver_queries_avoided) {
+        os << "static pruning: " << solver_queries_avoided
+           << " of those probes decided without the solver\n";
+    }
     if (solver_cache_hits || solver_cache_misses) {
         const double rate = static_cast<double>(solver_cache_hits) /
             static_cast<double>(solver_cache_hits +

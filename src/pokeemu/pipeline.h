@@ -51,6 +51,11 @@ struct PipelineOptions
     std::size_t max_instructions = 0;
     bool use_descriptor_summary = true;
     bool minimize = true;
+    /** Static branch pruning for stage-2 feasibility probes (see
+     *  analysis::PruneMode). Path sets and schedules are identical in
+     *  every mode; only the queries/avoided split in the stats moves,
+     *  which is why the mode is part of the options fingerprint. */
+    analysis::PruneMode prune = analysis::PruneMode::On;
     lofi::BugConfig bugs{};
     u64 max_insns_per_test = 1u << 14;
     /** Fault isolation: budgets, checkpoint/resume, chaos plan. */
@@ -76,6 +81,11 @@ struct PipelineStats
     u64 solver_queries = 0;
     u64 solver_cache_hits = 0;   ///< Queries answered by the memo.
     u64 solver_cache_misses = 0; ///< Memo-eligible queries solved.
+    /** Feasibility probes skipped by static dataflow pruning. The sum
+     *  solver_queries + solver_queries_avoided is invariant across
+     *  prune modes; reports print the sum so merged output stays
+     *  byte-identical whichever mode ran. */
+    u64 solver_queries_avoided = 0;
     u64 minimize_bits_before = 0;
     u64 minimize_bits_after = 0;
     /** IR coverage over explored units (sums of per-unit CFG

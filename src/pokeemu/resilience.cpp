@@ -12,11 +12,14 @@ namespace pokeemu {
 
 namespace {
 
-/** v2 added per-unit coverage + truncation columns to `unit` rows.
- *  v1 files carry no coverage data, so resuming one would silently
- *  under-report campaign coverage — load refuses them by name. */
-constexpr const char *kMagic = "pokeemu-checkpoint-v2";
+/** v3 added the per-unit solver_queries_avoided column (static
+ *  pruning) to `unit` rows. v2 added per-unit coverage + truncation
+ *  columns; v1 files carry no coverage data. Resuming an old file
+ *  would silently under-report those counters — load refuses both by
+ *  name. */
+constexpr const char *kMagic = "pokeemu-checkpoint-v3";
 constexpr const char *kMagicV1 = "pokeemu-checkpoint-v1";
+constexpr const char *kMagicV2 = "pokeemu-checkpoint-v2";
 
 [[noreturn]] void
 checkpoint_error(const std::string &message)
@@ -74,7 +77,9 @@ save_checkpoint(std::ostream &out, const Checkpoint &checkpoint)
         out << "unit " << u.table_index << " " << u.complete << " "
             << u.budget_incomplete << " " << u.paths << " "
             << u.solver_queries << " " << u.solver_cache_hits << " "
-            << u.solver_cache_misses << " " << u.minimize_bits_before
+            << u.solver_cache_misses << " "
+            << u.solver_queries_avoided << " "
+            << u.minimize_bits_before
             << " " << u.minimize_bits_after << " "
             << u.generation_failures << " " << u.covered_blocks << " "
             << u.total_blocks << " " << u.covered_edges << " "
@@ -112,12 +117,12 @@ load_checkpoint(std::istream &in)
 {
     std::string magic;
     if (!std::getline(in, magic) || magic != kMagic) {
-        if (magic == kMagicV1) {
+        if (magic == kMagicV1 || magic == kMagicV2) {
             checkpoint_error(
-                "this is a pokeemu-checkpoint-v1 file; the current "
-                "format is pokeemu-checkpoint-v2 (per-unit coverage "
-                "rows) and v1 progress cannot be resumed — delete the "
-                "old checkpoint and restart the campaign");
+                "this is a " + magic + " file; the current format is "
+                "pokeemu-checkpoint-v3 (per-unit solver_queries_avoided "
+                "column) and old progress cannot be resumed — delete "
+                "the old checkpoint and restart the campaign");
         }
         checkpoint_error("bad header (version mismatch?)");
     }
@@ -140,6 +145,7 @@ load_checkpoint(std::istream &in)
         if (!(in >> u.table_index >> u.complete >>
               u.budget_incomplete >> u.paths >> u.solver_queries >>
               u.solver_cache_hits >> u.solver_cache_misses >>
+              u.solver_queries_avoided >>
               u.minimize_bits_before >> u.minimize_bits_after >>
               u.generation_failures >> u.covered_blocks >>
               u.total_blocks >> u.covered_edges >> u.total_edges >>

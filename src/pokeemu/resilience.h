@@ -101,6 +101,10 @@ struct CheckpointUnit
     u64 solver_queries = 0;
     u64 solver_cache_hits = 0;   ///< Memo hits during this unit.
     u64 solver_cache_misses = 0; ///< Memo-eligible queries solved.
+    /** Probes skipped by static pruning (the v3 checkpoint column);
+     *  solver_queries + solver_queries_avoided is prune-mode
+     *  invariant. */
+    u64 solver_queries_avoided = 0;
     u64 minimize_bits_before = 0;
     u64 minimize_bits_after = 0;
     u64 generation_failures = 0;

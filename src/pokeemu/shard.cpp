@@ -271,6 +271,7 @@ merge_outcomes(CampaignResult &result, const ShardPlan &plan,
         m.solver_queries += st.solver_queries;
         m.solver_cache_hits += st.solver_cache_hits;
         m.solver_cache_misses += st.solver_cache_misses;
+        m.solver_queries_avoided += st.solver_queries_avoided;
         m.minimize_bits_before += st.minimize_bits_before;
         m.minimize_bits_after += st.minimize_bits_after;
         m.covered_blocks += st.covered_blocks;
@@ -528,9 +529,12 @@ CampaignResult::report() const
            << m.truncated_step_limit << ", solver-timeout "
            << m.truncated_solver_timeout() << "\n";
     }
-    os << "solver: " << m.solver_queries << " queries; memo "
-       << m.solver_cache_hits << " hits, " << m.solver_cache_misses
-       << " misses";
+    // Print queries + avoided: the sum is invariant across prune
+    // modes, so the merged report stays byte-identical whether the
+    // campaign ran with pruning off, on, or cross-checked.
+    os << "solver: " << m.solver_queries + m.solver_queries_avoided
+       << " queries; memo " << m.solver_cache_hits << " hits, "
+       << m.solver_cache_misses << " misses";
     const u64 memo_total = m.solver_cache_hits + m.solver_cache_misses;
     if (memo_total != 0) {
         const double rate = static_cast<double>(m.solver_cache_hits) /

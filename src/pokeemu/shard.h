@@ -7,7 +7,7 @@
  * unit's exploration is a pure function of (instruction, options).
  * This driver partitions the instruction set deterministically across
  * N workers, runs each shard as its own Pipeline — with its own
- * `pokeemu-checkpoint-v1` file and quarantine ledger — in time-sliced
+ * checkpoint file and quarantine ledger — in time-sliced
  * sessions, and merges shard progress into one campaign report.
  *
  * Determinism contract: the merged report is byte-identical regardless

@@ -70,6 +70,48 @@ PathExplorer::check(const RunState &run, const ExprRef &extra)
     return result;
 }
 
+solver::CheckResult
+PathExplorer::probe(const RunState &run, const ExprRef &extra,
+                    bool decided)
+{
+    if (!decided)
+        return check(run, extra);
+    switch (config_.prune) {
+      case analysis::PruneMode::Off: {
+        solver_.set_memo(nullptr);
+        const auto result = check(run, extra);
+        solver_.set_memo(config_.memo);
+        return result;
+      }
+      case analysis::PruneMode::On:
+        ++avoided_;
+        return solver::CheckResult::Unsat;
+      case analysis::PruneMode::CrossCheck:
+        ++avoided_;
+        side_check(run, extra);
+        return solver::CheckResult::Unsat;
+    }
+    return solver::CheckResult::Unsat; // Unreachable.
+}
+
+void
+PathExplorer::side_check(const RunState &run, const ExprRef &extra)
+{
+    if (!side_solver_) {
+        side_solver_ = std::make_unique<solver::Solver>();
+        side_solver_->set_query_budget(config_.solver_query_ms,
+                                       config_.solver_query_steps);
+    }
+    std::vector<ExprRef> conds = run.pc;
+    conds.push_back(extra);
+    ++crosscheck_queries_;
+    if (side_solver_->check(conds) != solver::CheckResult::Unsat) {
+        panic("explorer: pruning cross-check failed on '" +
+              program_.name +
+              "': a statically-decided infeasible probe is satisfiable");
+    }
+}
+
 bool
 PathExplorer::constrain(RunState &run, const ExprRef &cond)
 {
@@ -87,9 +129,16 @@ PathExplorer::constrain(RunState &run, const ExprRef &cond)
 
 std::optional<bool>
 PathExplorer::take_branch(RunState &run, const ExprRef &cond,
-                          const BranchTargets *targets)
+                          const BranchTargets *targets,
+                          analysis::Decision decision)
 {
     assert(!cond->is_const());
+    // A decided condition is constant over every valuation satisfying
+    // the preconditions, so the model (which satisfies them) must
+    // already point the decided way.
+    assert(decision == analysis::Decision::Unknown ||
+           (decision == analysis::Decision::AlwaysTrue) ==
+               (cur_model_.eval(cond) != 0));
     const NodeId node = run.path.empty()
         ? tree_.root()
         : tree_.descend(run.path.back().first, run.path.back().second);
@@ -136,8 +185,11 @@ PathExplorer::take_branch(RunState &run, const ExprRef &cond,
     const ExprRef polarity = dir ? cond : E::lnot(cond);
     if (dir != model_dir) {
         // Need a model witnessing this direction; feasibility may also
-        // still be unknown.
-        if (check(run, polarity) == solver::CheckResult::Unsat) {
+        // still be unknown. When the facts decided this statement, the
+        // non-model direction is provably infeasible and probe() may
+        // skip the dispatch (prune mode permitting).
+        const bool decided = decision != analysis::Decision::Unknown;
+        if (probe(run, polarity, decided) == solver::CheckResult::Unsat) {
             tree_.set_feasibility(node, dir, Feasibility::No);
             if (!can_model)
                 return std::nullopt;
@@ -271,7 +323,8 @@ PathExplorer::run_one_path(RunState &run, u32 &halt_code)
                         program_.label_pos[s.target_true]);
                     ctx = &targets;
                 }
-                auto taken = take_branch(run, cond, ctx);
+                auto taken =
+                    take_branch(run, cond, ctx, stmt_decision(ip));
                 if (!taken)
                     return RunOutcome::Infeasible;
                 dir = *taken;
@@ -285,6 +338,23 @@ PathExplorer::run_one_path(RunState &run, u32 &halt_code)
             break;
           case StmtKind::Assume: {
             const ExprRef cond = resolve(s.expr, run);
+            if (!cond->is_const() &&
+                stmt_decision(ip) == analysis::Decision::AlwaysFalse) {
+                // constrain() would find the model violating cond and
+                // dispatch the same probe; an AlwaysTrue decision
+                // saves nothing (the model satisfies the condition, so
+                // constrain() never queries) and is not special-cased.
+                assert(cur_model_.eval(cond) == 0);
+                if (probe(run, cond, /*decided=*/true) ==
+                    solver::CheckResult::Unsat)
+                    return RunOutcome::Infeasible;
+                // Only reachable when an Off-mode dispatch contradicts
+                // the facts; behave exactly like constrain() after a
+                // Sat probe rather than trusting the bad decision.
+                run.pc.push_back(cond);
+                ++ip;
+                break;
+            }
             if (!constrain(run, cond))
                 return RunOutcome::Infeasible;
             ++ip;
@@ -405,6 +475,12 @@ PathExplorer::explore(const PathCallback &on_path)
     stats.solver_queries = solver_.stats().queries;
     stats.solver_cache_hits = solver_.stats().cache_hits;
     stats.solver_cache_misses = solver_.stats().cache_misses;
+    stats.solver_queries_avoided = avoided_;
+    stats.crosscheck_queries = crosscheck_queries_;
+    if (config_.facts != nullptr && config_.facts->analyzed) {
+        stats.static_decisions = config_.facts->decided_cjmps +
+                                 config_.facts->decided_assumes;
+    }
     stats.tree_nodes = tree_.num_nodes();
     return stats;
 }

@@ -24,8 +24,10 @@
 #define POKEEMU_SYMEXEC_EXPLORER_H
 
 #include <map>
+#include <memory>
 #include <optional>
 
+#include "analysis/dataflow.h"
 #include "coverage/coverage.h"
 #include "ir/stmt.h"
 #include "solver/solver.h"
@@ -84,6 +86,22 @@ struct ExplorerConfig
      * default seeded-random order). Requires `coverage`.
      */
     const coverage::FrontierPolicy *policy = nullptr;
+    /**
+     * Dataflow facts for `program` (not owned; null disables static
+     * branch decisions). Must have been computed with
+     * DataflowConfig::assumes equal to `preconditions` (or a subset),
+     * or the decisions are not sound for this exploration.
+     */
+    const analysis::ProgramFacts *facts = nullptr;
+    /**
+     * What a statically-decided feasibility probe does (see
+     * analysis::PruneMode). Decided probes never change which paths
+     * are explored or in what order: the decision tree, the seeded
+     * rng stream, frontier-policy consultations and the path
+     * condition evolve identically in all three modes — only the
+     * solver dispatch for the probe differs.
+     */
+    analysis::PruneMode prune = analysis::PruneMode::On;
 };
 
 /** How one explored path terminated. */
@@ -119,6 +137,16 @@ struct ExploreStats
     u64 solver_queries = 0;
     u64 solver_cache_hits = 0;   ///< Queries answered by the memo.
     u64 solver_cache_misses = 0; ///< Memo-eligible queries solved.
+    /** Feasibility probes answered by a static Decision instead of a
+     *  solver dispatch (prune On/CrossCheck; always 0 when Off). The
+     *  sum solver_queries + solver_queries_avoided is invariant
+     *  across prune modes. */
+    u64 solver_queries_avoided = 0;
+    /** Statically-decided CJmp/Assume statements available to this
+     *  exploration (a property of the facts, not of the paths). */
+    u64 static_decisions = 0;
+    /** Side-solver validations performed (prune CrossCheck only). */
+    u64 crosscheck_queries = 0;
     u64 tree_nodes = 0;
     /** Coverage over the program's CFG (zeros when config.coverage
      *  was null). */
@@ -205,8 +233,9 @@ class PathExplorer
      */
     std::optional<bool> take_branch(RunState &run,
                                     const ir::ExprRef &cond,
-                                    const BranchTargets *targets =
-                                        nullptr);
+                                    const BranchTargets *targets = nullptr,
+                                    analysis::Decision decision =
+                                        analysis::Decision::Unknown);
 
     /** Append @p cond to the path condition, refreshing the model if
      *  the current one violates it. Returns false when infeasible. */
@@ -221,6 +250,29 @@ class PathExplorer
     solver::CheckResult check(const RunState &run,
                               const ir::ExprRef &extra);
 
+    /**
+     * Feasibility probe for run.pc + extra. With @p decided false this
+     * is check(). With @p decided true the facts prove the answer is
+     * Unsat, and the prune mode picks the mechanism: Off dispatches to
+     * the main solver with the memo bypassed (the result is unique to
+     * this decision-tree node, so caching it would only skew memo
+     * statistics between modes), On returns Unsat outright, CrossCheck
+     * returns Unsat after validating it on the side solver.
+     */
+    solver::CheckResult probe(const RunState &run,
+                              const ir::ExprRef &extra, bool decided);
+
+    /** CrossCheck validation: run.pc + extra must be Unsat. */
+    void side_check(const RunState &run, const ir::ExprRef &extra);
+
+    /** Static decision for the statement at @p stmt_index. */
+    analysis::Decision stmt_decision(u32 stmt_index) const
+    {
+        return config_.facts != nullptr
+            ? config_.facts->decision(stmt_index)
+            : analysis::Decision::Unknown;
+    }
+
     void refresh_model();
 
     const ir::Program &program_;
@@ -233,6 +285,12 @@ class PathExplorer
     solver::Assignment cur_model_;
     /** Cached SingleRandom concretizations: (edge, event) -> value. */
     std::map<std::tuple<u32, u8, u32>, u64> concretization_cache_;
+    /** CrossCheck-only validation solver, created on first use. Fully
+     *  isolated from solver_ (no memo, no injector) so validating a
+     *  skipped probe cannot perturb the main query stream. */
+    std::unique_ptr<solver::Solver> side_solver_;
+    u64 avoided_ = 0;
+    u64 crosscheck_queries_ = 0;
     bool explored_ = false;
 };
 

@@ -302,6 +302,7 @@ sample_checkpoint()
     unit.complete = true;
     unit.paths = 9;
     unit.solver_queries = 17;
+    unit.solver_queries_avoided = 5;
     unit.minimize_bits_before = 300;
     unit.minimize_bits_after = 40;
     unit.generation_failures = 1;
@@ -339,6 +340,7 @@ TEST(Checkpoint, SaveLoadRoundTrip)
     EXPECT_FALSE(unit.budget_incomplete);
     EXPECT_EQ(unit.paths, 9u);
     EXPECT_EQ(unit.solver_queries, 17u);
+    EXPECT_EQ(unit.solver_queries_avoided, 5u);
     EXPECT_EQ(unit.minimize_bits_before, 300u);
     EXPECT_EQ(unit.minimize_bits_after, 40u);
     EXPECT_EQ(unit.generation_failures, 1u);
@@ -375,6 +377,24 @@ TEST(Checkpoint, MalformedInputRejected)
     std::string text = ss.str();
     text.resize(text.rfind("end"));
     EXPECT_THROW(load_from(text), std::logic_error);
+}
+
+TEST(Checkpoint, OldVersionRefusedByName)
+{
+    // A v2 (or v1) header is a recognized-but-stale format: the error
+    // must name the found version and the current one so the operator
+    // knows to restart rather than suspect corruption.
+    std::istringstream in("pokeemu-checkpoint-v2\nfingerprint 1\n");
+    try {
+        load_checkpoint(in);
+        FAIL() << "expected refusal of v2 checkpoint";
+    } catch (const std::logic_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("pokeemu-checkpoint-v2"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("pokeemu-checkpoint-v3"), std::string::npos)
+            << what;
+    }
 }
 
 TEST(Checkpoint, MissingFileIsNotAnError)

@@ -16,6 +16,11 @@
  *   ir_lint --insn N         lint one table entry
  *   ir_lint --verbose        print notes too, with statement text
  *   ir_lint --quiet          print errors only
+ *   ir_lint --json           machine-readable report: per-program
+ *                            diagnostics plus per-pass finding counts
+ *   ir_lint --flags-oracle   cross-check the dataflow-derived EFLAGS
+ *                            may/must-write summary of every insn_table
+ *                            entry against harness::undefined_flags_mask
  *   ir_lint --panic-scan D.. flag bare panic() calls in stage-interior
  *                            sources under the given directories
  */
@@ -25,12 +30,14 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "analysis/passes.h"
 #include "arch/decoder.h"
 #include "arch/insn_table.h"
+#include "harness/filter.h"
 #include "hifi/decoder_ir.h"
 #include "hifi/semantics.h"
 #include "ir/printer.h"
@@ -43,8 +50,43 @@ struct Options
 {
     bool verbose = false;
     bool quiet = false;
+    bool json = false;
     int only_insn = -1; ///< -1: every program.
 };
+
+/**
+ * Accumulates the --json report: one object per program (with every
+ * diagnostic, regardless of severity) and finding counts per pass.
+ */
+struct JsonSink
+{
+    std::vector<std::string> programs;
+    std::map<std::string, std::size_t> pass_counts;
+};
+
+std::string
+json_escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
 
 struct Totals
 {
@@ -73,9 +115,41 @@ print_findings(const ir::Program &program,
     }
 }
 
+/** Append @p report as one JSON program object to @p sink. */
+void
+json_program(const std::string &title,
+             const analysis::Report &report, JsonSink &sink)
+{
+    std::map<std::string, std::size_t> passes;
+    std::string diags;
+    for (const analysis::Diagnostic &d : report.diagnostics()) {
+        ++passes[d.pass];
+        ++sink.pass_counts[d.pass];
+        if (!diags.empty())
+            diags += ", ";
+        diags += "{\"severity\": \"";
+        diags += analysis::severity_name(d.severity);
+        diags += "\", \"pass\": \"" + json_escape(d.pass) + "\"";
+        if (d.stmt_index != analysis::kNoStmt)
+            diags += ", \"stmt\": " + std::to_string(d.stmt_index);
+        diags += ", \"message\": \"" + json_escape(d.message) + "\"}";
+    }
+    std::string counts;
+    for (const auto &[pass, n] : passes) {
+        if (!counts.empty())
+            counts += ", ";
+        counts +=
+            "\"" + json_escape(pass) + "\": " + std::to_string(n);
+    }
+    sink.programs.push_back(
+        "{\"program\": \"" + json_escape(title) + "\", \"passes\": {" +
+        counts + "}, \"diagnostics\": [" + diags + "]}");
+}
+
 void
 lint_program(const std::string &title, const ir::Program &program,
-             const Options &opt, Totals &totals)
+             const Options &opt, Totals &totals,
+             JsonSink *sink = nullptr)
 {
     const analysis::Report report = analysis::run_pipeline(program);
     const std::size_t errors =
@@ -87,6 +161,10 @@ lint_program(const std::string &title, const ir::Program &program,
     totals.errors += errors;
     totals.warnings += warnings;
     totals.notes += notes;
+    if (sink != nullptr) {
+        json_program(title, report, *sink);
+        return;
+    }
 
     const bool print_header =
         errors != 0 || (!opt.quiet && warnings != 0) ||
@@ -101,7 +179,8 @@ lint_program(const std::string &title, const ir::Program &program,
 }
 
 int
-lint_insn(int index, const Options &opt, Totals &totals)
+lint_insn(int index, const Options &opt, Totals &totals,
+          JsonSink *sink = nullptr)
 {
     const arch::InsnDesc &desc = arch::insn_table()[index];
     const std::vector<u8> bytes = arch::canonical_encoding(index);
@@ -116,8 +195,131 @@ lint_insn(int index, const Options &opt, Totals &totals)
     char title[128];
     std::snprintf(title, sizeof title, "[%3d] %s", index,
                   desc.mnemonic);
-    lint_program(title, hifi::build_semantics(insn), opt, totals);
+    lint_program(title, hifi::build_semantics(insn), opt, totals,
+                 sink);
     return 0;
+}
+
+/** Render a status-flag mask as "CF|PF|..." (or "-" when empty). */
+std::string
+flags_str(u32 mask)
+{
+    static const struct { u32 bit; const char *name; } kFlags[] = {
+        {arch::kFlagCf, "CF"}, {arch::kFlagPf, "PF"},
+        {arch::kFlagAf, "AF"}, {arch::kFlagZf, "ZF"},
+        {arch::kFlagSf, "SF"}, {arch::kFlagOf, "OF"},
+    };
+    std::string out;
+    for (const auto &f : kFlags) {
+        if ((mask & f.bit) == 0)
+            continue;
+        if (!out.empty())
+            out += "|";
+        out += f.name;
+    }
+    return out.empty() ? "-" : out;
+}
+
+/**
+ * Cross-check the dataflow-derived EFLAGS write summary of every
+ * insn_table entry against the hand-written undefined-flags oracle
+ * (paper §6.2). Two directions, over the six status flags:
+ *
+ *  - soundness of the table: every bit the semantics only
+ *    conditionally define (may-write minus must-write) must be either
+ *    documented-undefined or explained by flags_oracle_allowlist;
+ *  - completeness of the semantics: every documented-undefined bit
+ *    must at least be may-written, unless the allowlist records that
+ *    the semantics deliberately leave it unchanged (a valid instance
+ *    of undefined behaviour).
+ *
+ * Programs with no completing exit (hlt, far control transfers, int)
+ * have no flag contract to check; they only count as disagreements
+ * when the oracle documents undefined flags for them.
+ */
+int
+flags_oracle(const Options &opt)
+{
+    const int table_size =
+        static_cast<int>(arch::insn_table().size());
+    std::size_t checked = 0, disagreements = 0;
+    for (int i = 0; i < table_size; ++i) {
+        const arch::InsnDesc &desc = arch::insn_table()[i];
+        const std::vector<u8> bytes = arch::canonical_encoding(i);
+        arch::DecodedInsn insn;
+        if (arch::decode(bytes.data(), bytes.size(), insn) !=
+            arch::DecodeStatus::Ok) {
+            std::printf("[%3d] %s: canonical encoding does not "
+                        "decode\n",
+                        i, desc.mnemonic);
+            ++disagreements;
+            continue;
+        }
+        const ir::Program program = hifi::build_semantics(insn);
+        const analysis::FlagSummary s = analysis::flag_write_summary(
+            program, arch::layout::kEflagsAddr);
+        ++checked;
+        const u32 undef =
+            harness::undefined_flags_mask(desc.op) &
+            analysis::kStatusFlagsMask;
+        const u32 allow =
+            harness::flags_oracle_allowlist(desc.op) &
+            analysis::kStatusFlagsMask;
+        if (!s.analyzed) {
+            std::printf("[%3d] %s: dataflow analysis bailed; no flag "
+                        "summary\n",
+                        i, desc.mnemonic);
+            ++disagreements;
+            continue;
+        }
+        if (s.ok_exits == 0) {
+            if (undef != 0) {
+                std::printf("[%3d] %s: no completing exit, but the "
+                            "oracle documents undefined flags %s\n",
+                            i, desc.mnemonic, flags_str(undef).c_str());
+                ++disagreements;
+            } else if (opt.verbose) {
+                std::printf("[%3d] %s: no completing exit; nothing to "
+                            "cross-check\n",
+                            i, desc.mnemonic);
+            }
+            continue;
+        }
+        const u32 conditional = (s.may & ~s.must) &
+                                analysis::kStatusFlagsMask;
+        const u32 unexplained = conditional & ~(undef | allow);
+        const u32 untouched = undef & ~s.may & ~allow;
+        if (unexplained != 0) {
+            std::printf("[%3d] %s: conditionally-written flags %s not "
+                        "explained by the oracle (undefined %s, "
+                        "allowlist %s)\n",
+                        i, desc.mnemonic,
+                        flags_str(unexplained).c_str(),
+                        flags_str(undef).c_str(),
+                        flags_str(allow).c_str());
+            ++disagreements;
+        }
+        if (untouched != 0) {
+            std::printf("[%3d] %s: documented-undefined flags %s are "
+                        "never written by the semantics\n",
+                        i, desc.mnemonic,
+                        flags_str(untouched).c_str());
+            ++disagreements;
+        }
+        if (opt.verbose) {
+            std::printf("[%3d] %s: may %s, must %s, undefined %s "
+                        "(%llu ok exits)\n",
+                        i, desc.mnemonic, flags_str(s.may).c_str(),
+                        flags_str(s.must).c_str(),
+                        flags_str(undef).c_str(),
+                        static_cast<unsigned long long>(s.ok_exits));
+        }
+    }
+    std::printf("ir_lint: flags-oracle: %zu program%s cross-checked, "
+                "%zu disagreement%s\n",
+                checked, checked == 1 ? "" : "s", disagreements,
+                disagreements == 1 ? "" : "s");
+    return disagreements == 0 ? 0 : 1;
 }
 
 int
@@ -125,7 +327,7 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--all] [--insn N] [--verbose] [--quiet] "
-                 "[--panic-scan DIR...]\n",
+                 "[--json] [--flags-oracle] [--panic-scan DIR...]\n",
                  argv0);
     return 2;
 }
@@ -218,6 +420,17 @@ main(int argc, char **argv)
         }
         if (!std::strcmp(argv[i], "--all")) {
             opt.only_insn = -1;
+        } else if (!std::strcmp(argv[i], "--json")) {
+            opt.json = true;
+        } else if (!std::strcmp(argv[i], "--flags-oracle")) {
+            for (++i; i < argc; ++i) {
+                if (!std::strcmp(argv[i], "--verbose") ||
+                    !std::strcmp(argv[i], "-v"))
+                    opt.verbose = true;
+                else
+                    return usage(argv[0]);
+            }
+            return flags_oracle(opt);
         } else if (!std::strcmp(argv[i], "--insn") && i + 1 < argc) {
             char *end = nullptr;
             const long v = std::strtol(argv[++i], &end, 10);
@@ -236,6 +449,8 @@ main(int argc, char **argv)
     }
 
     Totals totals;
+    JsonSink sink;
+    JsonSink *sinkp = opt.json ? &sink : nullptr;
     const int table_size =
         static_cast<int>(arch::insn_table().size());
     if (opt.only_insn >= 0) {
@@ -244,15 +459,35 @@ main(int argc, char **argv)
                          opt.only_insn);
             return 2;
         }
-        lint_insn(opt.only_insn, opt, totals);
+        lint_insn(opt.only_insn, opt, totals, sinkp);
     } else {
         for (int i = 0; i < table_size; ++i)
-            lint_insn(i, opt, totals);
+            lint_insn(i, opt, totals, sinkp);
         lint_program("[decoder]", hifi::build_decoder_program(), opt,
-                     totals);
+                     totals, sinkp);
         lint_program("[descriptor-load helper]",
                      hifi::build_descriptor_load_helper(), opt,
-                     totals);
+                     totals, sinkp);
+    }
+
+    if (opt.json) {
+        std::printf("{\n  \"programs\": [\n");
+        for (std::size_t i = 0; i < sink.programs.size(); ++i)
+            std::printf("    %s%s\n", sink.programs[i].c_str(),
+                        i + 1 < sink.programs.size() ? "," : "");
+        std::printf("  ],\n  \"pass_counts\": {");
+        bool first = true;
+        for (const auto &[pass, n] : sink.pass_counts) {
+            std::printf("%s\"%s\": %zu", first ? "" : ", ",
+                        json_escape(pass).c_str(), n);
+            first = false;
+        }
+        std::printf("},\n  \"totals\": {\"programs\": %zu, "
+                    "\"errors\": %zu, \"warnings\": %zu, "
+                    "\"notes\": %zu}\n}\n",
+                    totals.programs, totals.errors, totals.warnings,
+                    totals.notes);
+        return totals.errors == 0 ? 0 : 1;
     }
 
     std::printf("ir_lint: %zu program%s checked: %zu error%s, "
