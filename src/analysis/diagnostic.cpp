@@ -1,5 +1,8 @@
 #include "analysis/diagnostic.h"
 
+#include <algorithm>
+#include <tuple>
+
 namespace pokeemu::analysis {
 
 const char *
@@ -44,6 +47,24 @@ Report::merge(const Report &other)
 {
     diagnostics_.insert(diagnostics_.end(), other.diagnostics_.begin(),
                         other.diagnostics_.end());
+}
+
+void
+Report::sort()
+{
+    // kNoStmt is the all-ones sentinel, so plain unsigned comparison
+    // already puts program-level findings last. Errors sort before
+    // warnings before notes within one (stmt, pass) group.
+    std::stable_sort(
+        diagnostics_.begin(), diagnostics_.end(),
+        [](const Diagnostic &x, const Diagnostic &y) {
+            return std::make_tuple(x.stmt_index, x.pass,
+                                   static_cast<int>(y.severity),
+                                   x.message) <
+                   std::make_tuple(y.stmt_index, y.pass,
+                                   static_cast<int>(x.severity),
+                                   y.message);
+        });
 }
 
 std::string

@@ -82,6 +82,16 @@ class Report
     /** Append another report's findings (pipeline accumulation). */
     void merge(const Report &other);
 
+    /**
+     * Stable-sort the findings into the canonical emission order:
+     * by statement (program-level findings last), then pass name,
+     * then severity (errors first), then message. Every consumer that
+     * serializes a report (ir_lint --json, ir_equiv --json, pipeline
+     * reports) sorts first so the output is byte-stable regardless of
+     * which pass order produced the findings.
+     */
+    void sort();
+
     /** All findings, one per line. Empty string when clean. */
     std::string to_string() const;
 

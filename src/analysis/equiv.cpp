@@ -1,0 +1,257 @@
+#include "analysis/equiv.h"
+
+#include <cstdio>
+#include <map>
+
+namespace pokeemu::analysis {
+
+namespace E = ir::E;
+using symexec::PathStatus;
+
+namespace {
+
+/** Everything kept from one completed path of the original. */
+struct OriginalPath
+{
+    u64 index = 0;
+    PathStatus status = PathStatus::Halted;
+    u32 halt_code = 0;
+    std::vector<ir::ExprRef> conjuncts;
+    solver::Assignment assignment;
+    std::map<u32, ir::ExprRef> bytes; ///< Final touched bytes.
+};
+
+/** Final value of byte @p addr: touched expression or initial. */
+ir::ExprRef
+byte_value(const std::map<u32, ir::ExprRef> &bytes, u32 addr,
+           const symexec::InitialByteFn &initial)
+{
+    const auto it = bytes.find(addr);
+    return it != bytes.end() ? it->second : initial(addr);
+}
+
+} // namespace
+
+std::string
+EquivCounterexample::to_string(const symexec::VarPool &pool) const
+{
+    std::string out;
+    if (missing_path) {
+        out = "no optimized path completes under original path " +
+              std::to_string(original_path) + "'s condition";
+    } else if (halt_mismatch) {
+        out = "halt code mismatch: original path " +
+              std::to_string(original_path) + " halts " +
+              std::to_string(original_halt) + ", optimized path " +
+              std::to_string(optimized_path) + " halts " +
+              std::to_string(optimized_halt);
+    } else {
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "0x%08x", addr);
+        out = "output byte at " + std::string(buf) +
+              " differs (original path " +
+              std::to_string(original_path) + ", optimized path " +
+              std::to_string(optimized_path) + ")";
+    }
+    out += "\nmodel:";
+    bool any = false;
+    for (const ir::ExprRef &var : pool.all()) {
+        if (!assignment.has(var->var_id()))
+            continue;
+        any = true;
+        char buf[24];
+        std::snprintf(buf, sizeof buf, "0x%llx",
+                      static_cast<unsigned long long>(
+                          assignment.get(var->var_id())));
+        out += "\n  " + var->name() + " = " + buf;
+    }
+    if (!any)
+        out += " (empty — any input)";
+    return out;
+}
+
+EquivResult
+validate_translation(const ir::Program &original,
+                     const ir::Program &optimized,
+                     symexec::VarPool &pool,
+                     const symexec::InitialByteFn &initial,
+                     const EquivOptions &options)
+{
+    EquivResult result;
+
+    symexec::ExplorerConfig config;
+    config.max_paths = options.max_paths;
+    config.max_steps = options.max_steps;
+    config.seed = options.seed;
+    config.preconditions = options.preconditions;
+    config.deadline = options.deadline;
+
+    std::vector<OriginalPath> paths;
+    bool orig_complete = false;
+    {
+        symexec::PathExplorer explorer(original, pool, initial,
+                                       config);
+        const symexec::ExploreStats stats = explorer.explore(
+            [&](const symexec::PathInfo &info,
+                symexec::SymbolicMemory &memory) {
+                OriginalPath p;
+                p.index = info.index;
+                p.status = info.status;
+                p.halt_code = info.halt_code;
+                p.conjuncts = info.path_condition;
+                p.assignment = info.assignment;
+                memory.for_each_touched(
+                    [&](u32 addr, const ir::ExprRef &value) {
+                        p.bytes.emplace(addr, value);
+                    });
+                paths.push_back(std::move(p));
+            });
+        orig_complete = stats.complete && !stats.deadline_expired;
+    }
+    result.original_paths = paths.size();
+
+    bool all_proven = orig_complete;
+    solver::Solver solver;
+    for (const OriginalPath &p : paths) {
+        if (options.deadline.expired()) {
+            all_proven = false;
+            break;
+        }
+        if (p.status == PathStatus::StepLimit) {
+            // Truncated run: no final state to compare.
+            all_proven = false;
+            continue;
+        }
+
+        symexec::ExplorerConfig qconfig = config;
+        qconfig.preconditions.insert(qconfig.preconditions.end(),
+                                     p.conjuncts.begin(),
+                                     p.conjuncts.end());
+        u64 q_count = 0;
+        bool mismatch = false;
+        symexec::PathExplorer explorer(optimized, pool, initial,
+                                       qconfig);
+        const symexec::ExploreStats qstats = explorer.explore(
+            [&](const symexec::PathInfo &qinfo,
+                symexec::SymbolicMemory &qmemory) {
+                ++q_count;
+                if (mismatch)
+                    return;
+                ++result.pairs_checked;
+                if (qinfo.status == PathStatus::StepLimit) {
+                    all_proven = false;
+                    return;
+                }
+                if (qinfo.halt_code != p.halt_code) {
+                    EquivCounterexample cx;
+                    cx.halt_mismatch = true;
+                    cx.original_halt = p.halt_code;
+                    cx.optimized_halt = qinfo.halt_code;
+                    cx.original_path = p.index;
+                    cx.optimized_path = qinfo.index;
+                    // The optimized path ran under C_p, so its own
+                    // model satisfies both sides.
+                    cx.assignment = qinfo.assignment;
+                    result.counterexample = std::move(cx);
+                    mismatch = true;
+                    return;
+                }
+
+                std::map<u32, ir::ExprRef> qbytes;
+                qmemory.for_each_touched(
+                    [&](u32 addr, const ir::ExprRef &value) {
+                        qbytes.emplace(addr, value);
+                    });
+                std::vector<u32> addrs;
+                for (const auto &[addr, value] : p.bytes)
+                    addrs.push_back(addr);
+                for (const auto &[addr, value] : qbytes) {
+                    if (p.bytes.count(addr) == 0)
+                        addrs.push_back(addr);
+                }
+
+                std::vector<std::pair<u32, ir::ExprRef>> diffs;
+                for (const u32 addr : addrs) {
+                    ir::ExprRef a = byte_value(p.bytes, addr, initial);
+                    ir::ExprRef b = byte_value(qbytes, addr, initial);
+                    if (options.eflags_addr != 0 &&
+                        addr >= options.eflags_addr &&
+                        addr < options.eflags_addr + 4) {
+                        const u32 shift =
+                            8 * (addr - options.eflags_addr);
+                        const u64 keep =
+                            ~(options.eflags_ignore_mask >> shift) &
+                            0xff;
+                        if (keep == 0)
+                            continue;
+                        a = E::band(a, E::constant(8, keep));
+                        b = E::band(b, E::constant(8, keep));
+                    }
+                    ++result.bytes_compared;
+                    if (ir::Expr::equal(a, b)) {
+                        ++result.bytes_structural;
+                        continue;
+                    }
+                    diffs.emplace_back(addr, E::ne(a, b));
+                }
+                if (diffs.empty())
+                    return;
+
+                // One query per pair: can any byte differ?
+                ir::ExprRef any = diffs.front().second;
+                for (std::size_t i = 1; i < diffs.size(); ++i)
+                    any = E::lor(any, diffs[i].second);
+                std::vector<ir::ExprRef> conds = p.conjuncts;
+                conds.insert(conds.end(),
+                             qinfo.path_condition.begin(),
+                             qinfo.path_condition.end());
+                for (const ir::ExprRef &pre : options.preconditions)
+                    conds.push_back(pre);
+                conds.push_back(any);
+                ++result.solver_queries;
+                if (solver.check(conds) != solver::CheckResult::Sat)
+                    return;
+
+                EquivCounterexample cx;
+                cx.original_path = p.index;
+                cx.optimized_path = qinfo.index;
+                for (const ir::ExprRef &var : pool.all()) {
+                    cx.assignment.set(var->var_id(),
+                                      solver.model_value(var));
+                }
+                cx.addr = diffs.front().first;
+                for (const auto &[addr, ne] : diffs) {
+                    if (cx.assignment.eval(ne) != 0) {
+                        cx.addr = addr;
+                        break;
+                    }
+                }
+                result.counterexample = std::move(cx);
+                mismatch = true;
+            });
+        result.optimized_paths += q_count;
+        if (result.counterexample.has_value())
+            break;
+        if (!qstats.complete || qstats.deadline_expired)
+            all_proven = false;
+        if (q_count == 0) {
+            if (qstats.complete && !qstats.deadline_expired) {
+                // Nothing completes where the original did: a fault-
+                // behavior mismatch witnessed by the original's model.
+                EquivCounterexample cx;
+                cx.missing_path = true;
+                cx.original_path = p.index;
+                cx.assignment = p.assignment;
+                result.counterexample = std::move(cx);
+                break;
+            }
+            all_proven = false;
+        }
+    }
+
+    result.equivalent = !result.counterexample.has_value();
+    result.proven = result.equivalent && all_proven;
+    return result;
+}
+
+} // namespace pokeemu::analysis

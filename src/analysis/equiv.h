@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Translation validation for the IR optimizer (optimize.h) — the
+ * static-analysis half of the paper's §7 equivalence-checking
+ * extension, aimed inward: instead of comparing two emulators, it
+ * proves each *optimized* semantics program equivalent to the builder
+ * original with the decision procedure.
+ *
+ * Method: the original is explored exhaustively; every completed path
+ * contributes (condition C_p, final touched bytes, halt code). For
+ * each path, the optimized program is explored *under C_p as
+ * preconditions*, so its concretization choices are forced onto the
+ * same input subspace — this is what makes the comparison meaningful
+ * for programs with SingleRandom address concretization, where two
+ * independent explorations would pin different representative
+ * addresses and the cross-pair product would be vacuously
+ * contradictory. For every (p, q) pair the validator compares the
+ * halt codes (concrete per path) and asks the solver one question:
+ * can C_p ∧ C_q make any output byte differ (EFLAGS bytes compared
+ * under a caller-supplied ignore mask — the undefined-flags contract)?
+ * A Sat verdict yields a concrete counterexample model, reported
+ * verbatim.
+ *
+ * The verdict is a *proof* (`proven`) only when both explorations
+ * completed; with SingleRandom concretization it is a proof relative
+ * to the original's explored representative subspaces — identical in
+ * strength to what exploration itself guarantees downstream.
+ */
+#ifndef POKEEMU_ANALYSIS_EQUIV_H
+#define POKEEMU_ANALYSIS_EQUIV_H
+
+#include <optional>
+#include <string>
+
+#include "symexec/explorer.h"
+
+namespace pokeemu::analysis {
+
+/** Knobs for one validation run. */
+struct EquivOptions
+{
+    /** Per-side path cap; hitting it demotes `proven`. */
+    u64 max_paths = 4096;
+    u64 max_steps = 1u << 20;
+    u64 seed = 1;
+    /** Environment constraints shared by both sides (e.g. bounding a
+     *  rep counter so string loops explore completely). */
+    std::vector<ir::ExprRef> preconditions;
+    /** Whole-validation budget; expiry demotes `proven`. */
+    support::Deadline deadline{};
+    /**
+     * When nonzero: the 4 bytes at this address hold EFLAGS and are
+     * compared under ~eflags_ignore_mask (bits the architecture
+     * leaves undefined for this instruction may differ freely).
+     */
+    u32 eflags_addr = 0;
+    u32 eflags_ignore_mask = 0;
+};
+
+/** A concrete witness that the two programs disagree. */
+struct EquivCounterexample
+{
+    /** Model over the shared input variables, verbatim from the
+     *  solver (or the optimized path's own assignment for halt-code
+     *  and missing-path mismatches). */
+    solver::Assignment assignment;
+    bool halt_mismatch = false;
+    /** The optimized side completed no path under the original path's
+     *  condition (despite a complete exploration). */
+    bool missing_path = false;
+    u32 original_halt = 0;
+    u32 optimized_halt = 0;
+    /** Differing byte (valid when !halt_mismatch). */
+    u32 addr = 0;
+    u64 original_path = 0;  ///< Path index in the original.
+    u64 optimized_path = 0; ///< Path index within that path's re-run.
+
+    /** Human-readable dump, every assigned variable by name. */
+    std::string to_string(const symexec::VarPool &pool) const;
+};
+
+/** Outcome of validate_translation. */
+struct EquivResult
+{
+    /** No difference found over the explored paths. */
+    bool equivalent = false;
+    /** Both sides explored exhaustively: `equivalent` is a proof. */
+    bool proven = false;
+    std::optional<EquivCounterexample> counterexample;
+    u64 original_paths = 0;
+    u64 optimized_paths = 0; ///< Summed over all per-path re-runs.
+    u64 pairs_checked = 0;
+    u64 solver_queries = 0;
+    u64 bytes_compared = 0;
+    /** Output bytes discharged by structural equality, no solver. */
+    u64 bytes_structural = 0;
+};
+
+/**
+ * Prove @p optimized equivalent to @p original over every input the
+ * original's exploration covers: same final memory (modulo the EFLAGS
+ * ignore mask), same halt code, same fault behavior.
+ *
+ * @param pool shared variable pool — both programs read their inputs
+ *        through @p initial, so a model maps back to machine state.
+ */
+EquivResult validate_translation(const ir::Program &original,
+                                 const ir::Program &optimized,
+                                 symexec::VarPool &pool,
+                                 const symexec::InitialByteFn &initial,
+                                 const EquivOptions &options = {});
+
+} // namespace pokeemu::analysis
+
+#endif // POKEEMU_ANALYSIS_EQUIV_H

@@ -1,0 +1,204 @@
+#include "analysis/liveness.h"
+
+#include <set>
+
+#include "analysis/walk.h"
+#include "ir/expr.h"
+
+namespace pokeemu::analysis {
+
+using ir::StmtKind;
+
+namespace {
+
+/**
+ * Byte-liveness abstract value. live(a) = all ? !bytes.count(a)
+ * : bytes.count(a) — the set holds exceptions (dead bytes) in the
+ * `all` regime, live bytes otherwise. Both sets only ever hold
+ * addresses named by a constant-address access, so they stay small.
+ */
+struct ByteLive
+{
+    bool all = false;
+    std::set<u64> bytes;
+
+    bool live(u64 a) const
+    {
+        return all ? bytes.count(a) == 0 : bytes.count(a) != 0;
+    }
+    void gen(u64 a)
+    {
+        if (all)
+            bytes.erase(a);
+        else
+            bytes.insert(a);
+    }
+    void gen_all()
+    {
+        all = true;
+        bytes.clear();
+    }
+    void kill(u64 a)
+    {
+        if (all)
+            bytes.insert(a);
+        else
+            bytes.erase(a);
+    }
+    bool operator==(const ByteLive &o) const
+    {
+        return all == o.all && bytes == o.bytes;
+    }
+};
+
+ByteLive
+join_live(const ByteLive &x, const ByteLive &y)
+{
+    ByteLive r;
+    if (x.all && y.all) {
+        r.all = true; // Dead only where both sides are dead.
+        for (const u64 a : x.bytes) {
+            if (y.bytes.count(a))
+                r.bytes.insert(a);
+        }
+    } else if (x.all || y.all) {
+        const ByteLive &dead_side = x.all ? x : y;
+        const ByteLive &live_side = x.all ? y : x;
+        r.all = true;
+        for (const u64 a : dead_side.bytes) {
+            if (!live_side.live(a))
+                r.bytes.insert(a);
+        }
+    } else {
+        r.bytes = x.bytes;
+        r.bytes.insert(y.bytes.begin(), y.bytes.end());
+    }
+    return r;
+}
+
+} // namespace
+
+LivenessResult
+compute_liveness(const ir::Program &program, const Cfg &cfg)
+{
+    const u32 num_temps = program.num_temps();
+    const u32 nb = cfg.num_blocks();
+    LivenessResult result;
+    result.def_live.assign(program.stmts.size(), true);
+    result.store_dead.assign(program.stmts.size(), false);
+
+    // Temp liveness to a fixpoint: live_out[b] is the union of the
+    // successors' live_in, and the transfer walks the block backward.
+    std::vector<std::vector<bool>> live_in(
+        nb, std::vector<bool>(num_temps, false));
+    const auto block_live_in = [&](BlockId b) {
+        const BasicBlock &block = cfg.blocks()[b];
+        std::vector<bool> live(num_temps, false);
+        for (const BlockId s : block.succs) {
+            for (u32 t = 0; t < num_temps; ++t)
+                live[t] = live[t] || live_in[s][t];
+        }
+        for (u32 i = block.end; i-- > block.first;) {
+            const ir::Stmt &s = program.stmts[i];
+            const s64 def = stmt_def(s);
+            if (def >= 0 && def < static_cast<s64>(num_temps))
+                live[static_cast<u32>(def)] = false;
+            for_each_stmt_use(s, [&](u32 t, unsigned) {
+                if (t < num_temps)
+                    live[t] = true;
+            });
+        }
+        return live;
+    };
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Postorder (successors before predecessors) converges fastest
+        // for a backward problem.
+        const auto &rpo = cfg.reverse_postorder();
+        for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
+            std::vector<bool> next = block_live_in(*it);
+            if (next != live_in[*it]) {
+                live_in[*it] = std::move(next);
+                changed = true;
+            }
+        }
+    }
+    for (const BlockId b : cfg.reverse_postorder()) {
+        const BasicBlock &block = cfg.blocks()[b];
+        std::vector<bool> live(num_temps, false);
+        for (const BlockId s : block.succs) {
+            for (u32 t = 0; t < num_temps; ++t)
+                live[t] = live[t] || live_in[s][t];
+        }
+        for (u32 i = block.end; i-- > block.first;) {
+            const ir::Stmt &s = program.stmts[i];
+            const s64 def = stmt_def(s);
+            if (def >= 0 && def < static_cast<s64>(num_temps)) {
+                result.def_live[i] = live[static_cast<u32>(def)];
+                live[static_cast<u32>(def)] = false;
+            }
+            for_each_stmt_use(s, [&](u32 t, unsigned) {
+                if (t < num_temps)
+                    live[t] = true;
+            });
+        }
+    }
+
+    // Byte liveness at constant addresses, same shape.
+    std::vector<ByteLive> mem_live_in(nb);
+    const auto block_mem_live = [&](BlockId b, bool record) {
+        const BasicBlock &block = cfg.blocks()[b];
+        ByteLive live;
+        if (block.succs.empty()) {
+            // Exit block: a trailing Halt gens all below; a program
+            // falling off the end is treated the same, conservatively.
+            live.gen_all();
+        }
+        for (const BlockId s : block.succs)
+            live = join_live(live, mem_live_in[s]);
+        for (u32 i = block.end; i-- > block.first;) {
+            const ir::Stmt &s = program.stmts[i];
+            if (s.kind == StmtKind::Halt) {
+                live.gen_all();
+            } else if (s.kind == StmtKind::Load) {
+                if (s.addr && s.addr->is_const()) {
+                    for (unsigned k = 0; k < s.size; ++k)
+                        live.gen(s.addr->value() + k);
+                } else {
+                    live.gen_all();
+                }
+            } else if (s.kind == StmtKind::Store) {
+                if (!s.addr || !s.addr->is_const())
+                    continue;
+                const u64 lo = s.addr->value();
+                bool any_live = false;
+                for (unsigned k = 0; k < s.size; ++k)
+                    any_live = any_live || live.live(lo + k);
+                if (record && !any_live)
+                    result.store_dead[i] = true;
+                for (unsigned k = 0; k < s.size; ++k)
+                    live.kill(lo + k);
+            }
+        }
+        return live;
+    };
+    changed = true;
+    while (changed) {
+        changed = false;
+        const auto &rpo = cfg.reverse_postorder();
+        for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
+            ByteLive next = block_mem_live(*it, false);
+            if (!(next == mem_live_in[*it])) {
+                mem_live_in[*it] = std::move(next);
+                changed = true;
+            }
+        }
+    }
+    for (const BlockId b : cfg.reverse_postorder())
+        block_mem_live(b, true);
+
+    return result;
+}
+
+} // namespace pokeemu::analysis

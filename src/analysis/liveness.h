@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reusable backward-liveness fixpoints over an ir::Program: temp
+ * liveness (is a defined value ever read again?) and byte liveness at
+ * constant addresses (is a stored byte overwritten on every path
+ * before any possible read?).
+ *
+ * Extracted from the dead-code lint so both consumers share one
+ * implementation: pass_dead_code reports the findings, and the IR
+ * optimizer (optimize.h) deletes them. The transfer functions mirror
+ * the execution model exactly: Halt observes the whole machine state,
+ * a symbolic Load may read anything, and a symbolic Store neither
+ * reads nor reliably overwrites.
+ */
+#ifndef POKEEMU_ANALYSIS_LIVENESS_H
+#define POKEEMU_ANALYSIS_LIVENESS_H
+
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace pokeemu::analysis {
+
+/** Per-statement verdicts of the two backward fixpoints. */
+struct LivenessResult
+{
+    /**
+     * For Assign/Load statements in reachable blocks: some later
+     * statement on some path may read the defined temp before it is
+     * redefined. True (conservative) for every other statement.
+     */
+    std::vector<bool> def_live;
+
+    /**
+     * For constant-address Store statements in reachable blocks: every
+     * stored byte is overwritten on every path before any possible
+     * read, so deleting the store is unobservable. False (conservative)
+     * for every other statement; symbolic-address stores are never
+     * provably dead.
+     */
+    std::vector<bool> store_dead;
+};
+
+/**
+ * Run both fixpoints over @p program. @p cfg must be
+ * Cfg::build(program) of a verifier-clean program.
+ */
+LivenessResult compute_liveness(const ir::Program &program,
+                                const Cfg &cfg);
+
+} // namespace pokeemu::analysis
+
+#endif // POKEEMU_ANALYSIS_LIVENESS_H

@@ -1,5 +1,6 @@
 #include "analysis/passes.h"
 
+#include "analysis/liveness.h"
 #include "analysis/walk.h"
 #include "ir/expr.h"
 
@@ -85,204 +86,37 @@ pass_dead_code(const ir::Program &program, const Cfg &cfg,
                Report &report)
 {
     constexpr const char *kPass = "dead-code";
-    const u32 num_temps = program.num_temps();
-    const u32 nb = cfg.num_blocks();
-
-    // Backward liveness to a fixpoint: live_out[b] is the union of the
-    // successors' live_in, and the transfer walks the block backward.
-    std::vector<std::vector<bool>> live_in(
-        nb, std::vector<bool>(num_temps, false));
-    const auto block_live_in = [&](BlockId b) {
-        const BasicBlock &block = cfg.blocks()[b];
-        std::vector<bool> live(num_temps, false);
-        for (const BlockId s : block.succs) {
-            for (u32 t = 0; t < num_temps; ++t)
-                live[t] = live[t] || live_in[s][t];
-        }
-        for (u32 i = block.end; i-- > block.first;) {
-            const ir::Stmt &s = program.stmts[i];
-            const s64 def = stmt_def(s);
-            if (def >= 0 && def < static_cast<s64>(num_temps))
-                live[static_cast<u32>(def)] = false;
-            for_each_stmt_use(s, [&](u32 t, unsigned) {
-                if (t < num_temps)
-                    live[t] = true;
-            });
-        }
-        return live;
-    };
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        // Postorder (successors before predecessors) converges fastest
-        // for a backward problem.
-        const auto &rpo = cfg.reverse_postorder();
-        for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
-            std::vector<bool> next = block_live_in(*it);
-            if (next != live_in[*it]) {
-                live_in[*it] = std::move(next);
-                changed = true;
-            }
-        }
-    }
-
+    // Both fixpoints (temp liveness and constant-address byte
+    // liveness) live in liveness.cpp, shared with the optimizer; this
+    // pass only renders their verdicts as diagnostics.
+    const LivenessResult live = compute_liveness(program, cfg);
     for (const BlockId b : cfg.reverse_postorder()) {
         const BasicBlock &block = cfg.blocks()[b];
-        std::vector<bool> live(num_temps, false);
-        for (const BlockId s : block.succs) {
-            for (u32 t = 0; t < num_temps; ++t)
-                live[t] = live[t] || live_in[s][t];
-        }
         for (u32 i = block.end; i-- > block.first;) {
             const ir::Stmt &s = program.stmts[i];
-            const s64 def = stmt_def(s);
-            const bool def_live =
-                def >= 0 && def < static_cast<s64>(num_temps) &&
-                live[static_cast<u32>(def)];
-            if (s.kind == StmtKind::Assign && !def_live) {
+            if (s.kind == StmtKind::Assign && !live.def_live[i]) {
                 report.warning(i, kPass,
                                "dead assignment: the value of t" +
                                    std::to_string(s.temp) +
                                    " is never used");
-            } else if (s.kind == StmtKind::Load && !def_live) {
+            } else if (s.kind == StmtKind::Load && !live.def_live[i]) {
                 report.note(i, kPass,
                             "loaded value t" + std::to_string(s.temp) +
                                 " is never used (the load still "
                                 "concretizes its address)");
-            }
-            if (def >= 0 && def < static_cast<s64>(num_temps))
-                live[static_cast<u32>(def)] = false;
-            for_each_stmt_use(s, [&](u32 t, unsigned) {
-                if (t < num_temps)
-                    live[t] = true;
-            });
-        }
-    }
-
-    // Cross-block dead stores at constant addresses: a backward
-    // byte-liveness fixpoint. A byte is live when some path ahead may
-    // read it before overwriting it; a constant-address store none of
-    // whose bytes is live is dead. Halt observes the whole machine
-    // state, so everything is live at an exit; a symbolic Load may
-    // read anything; a symbolic Store neither reads nor reliably
-    // overwrites (it cannot kill).
-    struct ByteLive
-    {
-        /** live(a) = all ? !bytes.count(a) : bytes.count(a) — the set
-         *  holds exceptions (dead bytes) in the `all` regime, live
-         *  bytes otherwise. Both sets only ever hold addresses named
-         *  by a constant-address access, so they stay small. */
-        bool all = false;
-        std::set<u64> bytes;
-
-        bool live(u64 a) const
-        {
-            return all ? bytes.count(a) == 0 : bytes.count(a) != 0;
-        }
-        void gen(u64 a)
-        {
-            if (all)
-                bytes.erase(a);
-            else
-                bytes.insert(a);
-        }
-        void gen_all()
-        {
-            all = true;
-            bytes.clear();
-        }
-        void kill(u64 a)
-        {
-            if (all)
-                bytes.insert(a);
-            else
-                bytes.erase(a);
-        }
-        bool operator==(const ByteLive &o) const
-        {
-            return all == o.all && bytes == o.bytes;
-        }
-    };
-    const auto join_live = [](const ByteLive &x, const ByteLive &y) {
-        ByteLive r;
-        if (x.all && y.all) {
-            r.all = true; // Dead only where both sides are dead.
-            for (const u64 a : x.bytes) {
-                if (y.bytes.count(a))
-                    r.bytes.insert(a);
-            }
-        } else if (x.all || y.all) {
-            const ByteLive &dead_side = x.all ? x : y;
-            const ByteLive &live_side = x.all ? y : x;
-            r.all = true;
-            for (const u64 a : dead_side.bytes) {
-                if (!live_side.live(a))
-                    r.bytes.insert(a);
-            }
-        } else {
-            r.bytes = x.bytes;
-            r.bytes.insert(y.bytes.begin(), y.bytes.end());
-        }
-        return r;
-    };
-    std::vector<ByteLive> mem_live_in(nb);
-    const auto block_mem_live = [&](BlockId b, bool report_dead) {
-        const BasicBlock &block = cfg.blocks()[b];
-        ByteLive live;
-        if (block.succs.empty()) {
-            // Exit block: a trailing Halt gens all below; a program
-            // falling off the end is treated the same, conservatively.
-            live.gen_all();
-        }
-        for (const BlockId s : block.succs)
-            live = join_live(live, mem_live_in[s]);
-        for (u32 i = block.end; i-- > block.first;) {
-            const ir::Stmt &s = program.stmts[i];
-            if (s.kind == StmtKind::Halt) {
-                live.gen_all();
-            } else if (s.kind == StmtKind::Load) {
-                if (s.addr && s.addr->is_const()) {
-                    for (unsigned k = 0; k < s.size; ++k)
-                        live.gen(s.addr->value() + k);
-                } else {
-                    live.gen_all();
-                }
-            } else if (s.kind == StmtKind::Store) {
-                if (!s.addr || !s.addr->is_const())
-                    continue;
+            } else if (s.kind == StmtKind::Store &&
+                       live.store_dead[i] &&
+                       !lint_allowed(program, i, kPass)) {
                 const u64 lo = s.addr->value();
-                bool any_live = false;
-                for (unsigned k = 0; k < s.size; ++k)
-                    any_live = any_live || live.live(lo + k);
-                if (report_dead && !any_live &&
-                    !lint_allowed(program, i, kPass)) {
-                    report.warning(
-                        i, kPass,
-                        "dead store: bytes [" + std::to_string(lo) +
-                            ", " + std::to_string(lo + s.size) +
-                            ") are overwritten on every path before "
-                            "any read");
-                }
-                for (unsigned k = 0; k < s.size; ++k)
-                    live.kill(lo + k);
-            }
-        }
-        return live;
-    };
-    changed = true;
-    while (changed) {
-        changed = false;
-        const auto &rpo = cfg.reverse_postorder();
-        for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
-            ByteLive next = block_mem_live(*it, false);
-            if (!(next == mem_live_in[*it])) {
-                mem_live_in[*it] = std::move(next);
-                changed = true;
+                report.warning(
+                    i, kPass,
+                    "dead store: bytes [" + std::to_string(lo) + ", " +
+                        std::to_string(lo + s.size) +
+                        ") are overwritten on every path before "
+                        "any read");
             }
         }
     }
-    for (const BlockId b : cfg.reverse_postorder())
-        block_mem_live(b, true);
 }
 
 void
@@ -467,8 +301,10 @@ Report
 run_pipeline(const ir::Program &program)
 {
     Report report = Verifier::check(program);
-    if (report.has_errors())
+    if (report.has_errors()) {
+        report.sort();
         return report;
+    }
     const Cfg cfg = Cfg::build(program);
     pass_unreachable(program, cfg, report);
     pass_dead_code(program, cfg, report);
@@ -482,6 +318,7 @@ run_pipeline(const ir::Program &program)
         pass_redundant_assume(program, cfg, facts, report);
         pass_dataflow_unreachable(program, cfg, facts, report);
     }
+    report.sort();
     return report;
 }
 

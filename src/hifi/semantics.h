@@ -23,6 +23,7 @@
 #ifndef POKEEMU_HIFI_SEMANTICS_H
 #define POKEEMU_HIFI_SEMANTICS_H
 
+#include "analysis/optimize.h"
 #include "arch/decoder.h"
 #include "arch/layout.h"
 #include "ir/stmt.h"
@@ -59,6 +60,14 @@ struct SemanticsOptions
      * instead of exploring the descriptor parse inline.
      */
     const symexec::Summary *descriptor_summary = nullptr;
+
+    /**
+     * Run the IR optimizer (analysis/optimize.h) over the built
+     * program. At this level Validated behaves like On — validation
+     * needs an exploration environment and happens in the pipeline
+     * (pokeemu/pipeline.h), which only threads On/Off down here.
+     */
+    analysis::OptMode opt = analysis::OptMode::Off;
 };
 
 /**

@@ -893,7 +893,10 @@ build_semantics(const arch::DecodedInsn &insn,
 {
     assert(insn.desc);
     Ctx ctx(insn, options);
-    return ctx.build();
+    ir::Program program = ctx.build();
+    if (options.opt != analysis::OptMode::Off)
+        program = analysis::optimize_program(program).program;
+    return program;
 }
 
 } // namespace pokeemu::hifi

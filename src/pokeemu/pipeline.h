@@ -18,6 +18,7 @@
 #define POKEEMU_POKEEMU_PIPELINE_H
 
 #include <optional>
+#include <set>
 
 #include "explore/insn_explorer.h"
 #include "explore/state_explorer.h"
@@ -56,6 +57,18 @@ struct PipelineOptions
      *  every mode; only the queries/avoided split in the stats moves,
      *  which is why the mode is part of the options fingerprint. */
     analysis::PruneMode prune = analysis::PruneMode::On;
+    /**
+     * IR optimizer mode (analysis/optimize.h). Stage-2 exploration
+     * always runs the builder-original semantics, so the generated
+     * tests — and therefore the difference clusters — are identical
+     * in every mode. On optimizes each unit's semantics once to
+     * record statement-reduction stats and replays stage-4 Hi-Fi
+     * execution on optimized IR; Validated additionally proves each
+     * unit's (original, optimized) pair equivalent with the solver
+     * (analysis/equiv.h), quarantining any counterexample and
+     * replaying that unit's tests on the original program instead.
+     */
+    analysis::OptMode opt = analysis::OptMode::Off;
     lofi::BugConfig bugs{};
     u64 max_insns_per_test = 1u << 14;
     /** Fault isolation: budgets, checkpoint/resume, chaos plan. */
@@ -103,6 +116,14 @@ struct PipelineStats
     u64 truncated_path_cap = 0;
     u64 truncated_deadline = 0;
     u64 truncated_step_limit = 0;
+    /** IR optimizer accounting (all zero when OptMode::Off, which
+     *  keeps the Off report byte-identical to pre-optimizer output).
+     *  Statement counts are per-unit semantics totals summed over
+     *  explored units. */
+    u64 opt_stmts_before = 0;
+    u64 opt_stmts_after = 0;
+    u64 opt_units_validated = 0; ///< Proven-equivalent units.
+    u64 opt_validation_failures = 0; ///< Counterexamples (fallback).
     // Stage 3.
     u64 test_programs = 0;
     u64 generation_failures = 0;
@@ -143,6 +164,7 @@ struct PipelineStats
     double t_execution_lofi = 0;
     double t_execution_hw = 0;
     double t_comparison = 0;
+    double t_validation = 0; ///< Optimizer + translation validation.
 
     /** Stage-2 units whose exploration a solver timeout cut short
      *  (they carry no CheckpointUnit; the quarantine ledger is the
@@ -231,6 +253,9 @@ class Pipeline
      *  sibling paths of the same instruction re-checking shared
      *  path-condition prefixes. */
     solver::QueryMemo memo_;
+    /** Table indices whose Validated-mode check found a counterexample;
+     *  their stage-4 Hi-Fi replay falls back to the original program. */
+    std::set<int> opt_fallback_;
     Checkpoint checkpoint_;              ///< Progress being built.
     std::optional<Checkpoint> resumed_;  ///< Loaded prior progress.
     /** Stage-2 entries from the resumed ledger. Re-attempted units

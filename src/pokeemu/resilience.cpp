@@ -12,14 +12,18 @@ namespace pokeemu {
 
 namespace {
 
-/** v3 added the per-unit solver_queries_avoided column (static
- *  pruning) to `unit` rows. v2 added per-unit coverage + truncation
- *  columns; v1 files carry no coverage data. Resuming an old file
- *  would silently under-report those counters — load refuses both by
- *  name. */
-constexpr const char *kMagic = "pokeemu-checkpoint-v3";
-constexpr const char *kMagicV1 = "pokeemu-checkpoint-v1";
-constexpr const char *kMagicV2 = "pokeemu-checkpoint-v2";
+/** v4 added the per-unit IR-optimizer columns (stmts_before,
+ *  stmts_after, opt_validated, opt_fallback). v3 added the per-unit
+ *  solver_queries_avoided column (static pruning); v2 added per-unit
+ *  coverage + truncation columns; v1 files carry no coverage data.
+ *  Resuming an old file would silently under-report those counters —
+ *  load refuses all of them by name. */
+constexpr const char *kMagic = "pokeemu-checkpoint-v4";
+constexpr const char *kMagicOld[] = {
+    "pokeemu-checkpoint-v1",
+    "pokeemu-checkpoint-v2",
+    "pokeemu-checkpoint-v3",
+};
 
 [[noreturn]] void
 checkpoint_error(const std::string &message)
@@ -85,6 +89,8 @@ save_checkpoint(std::ostream &out, const Checkpoint &checkpoint)
             << u.total_blocks << " " << u.covered_edges << " "
             << u.total_edges << " "
             << static_cast<unsigned>(u.truncation) << " "
+            << u.stmts_before << " " << u.stmts_after << " "
+            << u.opt_validated << " " << u.opt_fallback << " "
             << u.tests.size() << "\n";
         for (const CheckpointTest &t : u.tests) {
             out << "test " << t.id << " " << t.table_index << " "
@@ -117,12 +123,15 @@ load_checkpoint(std::istream &in)
 {
     std::string magic;
     if (!std::getline(in, magic) || magic != kMagic) {
-        if (magic == kMagicV1 || magic == kMagicV2) {
-            checkpoint_error(
-                "this is a " + magic + " file; the current format is "
-                "pokeemu-checkpoint-v3 (per-unit solver_queries_avoided "
-                "column) and old progress cannot be resumed — delete "
-                "the old checkpoint and restart the campaign");
+        for (const char *old : kMagicOld) {
+            if (magic == old) {
+                checkpoint_error(
+                    "this is a " + magic + " file; the current format "
+                    "is pokeemu-checkpoint-v4 (per-unit IR-optimizer "
+                    "columns) and old progress cannot be resumed — "
+                    "delete the old checkpoint and restart the "
+                    "campaign");
+            }
         }
         checkpoint_error("bad header (version mismatch?)");
     }
@@ -149,7 +158,8 @@ load_checkpoint(std::istream &in)
               u.minimize_bits_before >> u.minimize_bits_after >>
               u.generation_failures >> u.covered_blocks >>
               u.total_blocks >> u.covered_edges >> u.total_edges >>
-              truncation >> ntests)) {
+              truncation >> u.stmts_before >> u.stmts_after >>
+              u.opt_validated >> u.opt_fallback >> ntests)) {
             checkpoint_error("truncated unit row");
         }
         if (truncation >= coverage::kNumTruncationReasons)
@@ -196,8 +206,9 @@ load_checkpoint(std::istream &in)
         std::string message_hex;
         if (!(in >> stage >> cls >> unit_hex >> message_hex))
             checkpoint_error("truncated quarantine row");
-        if (stage > static_cast<unsigned>(support::Stage::Comparison) ||
-            cls > static_cast<unsigned>(support::FaultClass::Injected)) {
+        if (stage > static_cast<unsigned>(support::Stage::Validation) ||
+            cls >
+                static_cast<unsigned>(support::FaultClass::Miscompile)) {
             checkpoint_error("bad quarantine stage/class");
         }
         cp.quarantine.add(static_cast<support::Stage>(stage),

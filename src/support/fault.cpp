@@ -13,6 +13,7 @@ stage_name(Stage stage)
       case Stage::Generation: return "generation";
       case Stage::Execution: return "execution";
       case Stage::Comparison: return "comparison";
+      case Stage::Validation: return "validation";
     }
     return "?";
 }
@@ -27,6 +28,7 @@ fault_class_name(FaultClass cls)
       case FaultClass::BudgetExhausted: return "budget-exhausted";
       case FaultClass::Execution: return "execution";
       case FaultClass::Injected: return "injected";
+      case FaultClass::Miscompile: return "miscompile";
     }
     return "?";
 }

@@ -41,6 +41,12 @@ enum class Stage : u8 {
     Generation,       ///< Stage 3: test-program generation.
     Execution,        ///< Stage 4: three-way execution.
     Comparison,       ///< Stage 5: difference analysis.
+    /** Translation validation of an optimized semantics program
+     *  (analysis/equiv.h). A separate stage — not StateExploration —
+     *  because its quarantine entries describe work that is never
+     *  re-attempted on resume (the unit itself completed), so the
+     *  resume logic must replay them into the live ledger verbatim. */
+    Validation,
 };
 
 const char *stage_name(Stage stage);
@@ -53,6 +59,7 @@ enum class FaultClass : u8 {
     BudgetExhausted, ///< Unit deadline expired even after escalation.
     Execution,       ///< A backend refused or failed the test.
     Injected,        ///< Synthetic fault from a FaultInjector.
+    Miscompile,      ///< Translation validation found a counterexample.
 };
 
 const char *fault_class_name(FaultClass cls);

@@ -1,5 +1,6 @@
 #include "symexec/explorer.h"
 
+#include "analysis/optimize.h"
 #include "analysis/verifier.h"
 
 namespace pokeemu::symexec {
@@ -17,14 +18,24 @@ constexpr u32 kNoEdgeNode = ~u32{0};
 
 PathExplorer::PathExplorer(const ir::Program &program, VarPool &pool,
                            InitialByteFn initial, ExplorerConfig config)
-    : program_(program), pool_(pool), initial_(std::move(initial)),
-      config_(config), rng_(config.seed)
+    : opt_storage_(config.opt == analysis::OptMode::Off
+                       ? ir::Program{}
+                       : analysis::optimize_program(program).program),
+      program_(config.opt == analysis::OptMode::Off ? program
+                                                    : opt_storage_),
+      pool_(pool), initial_(std::move(initial)), config_(config),
+      rng_(config.seed)
 {
     solver_.set_query_budget(config_.solver_query_ms,
                              config_.solver_query_steps);
     solver_.set_fault_injector(config_.injector);
     solver_.set_memo(config_.memo);
     assert(config_.policy == nullptr || config_.coverage != nullptr);
+    // facts/coverage index statements of the program the caller
+    // passed; after an in-explorer optimization those indices would be
+    // meaningless (see ExplorerConfig::opt).
+    assert(config_.opt == analysis::OptMode::Off ||
+           (config_.facts == nullptr && config_.coverage == nullptr));
     program_.validate();
 #ifndef NDEBUG
     // Fail fast on malformed programs instead of producing garbage

@@ -43,6 +43,10 @@ usage(const char *argv0)
                  "  --max-paths N         per-instruction path cap\n"
                  "  --schedule P          path-order policy: frontier\n"
                  "                        (default) or default\n"
+                 "  --opt M               IR optimizer: off (default),\n"
+                 "                        on, or validated (prove each\n"
+                 "                        unit's optimization with the\n"
+                 "                        solver)\n"
                  "  --coverage            per-instruction IR coverage\n"
                  "                        table after the report\n"
                  "  --seed N              exploration seed\n"
@@ -131,6 +135,19 @@ main(int argc, char **argv)
             } else {
                 std::fprintf(stderr,
                              "bad --schedule (want frontier|default)\n");
+                return 2;
+            }
+        } else if (arg == "--opt") {
+            const std::string mode = value();
+            if (mode == "off") {
+                options.pipeline.opt = analysis::OptMode::Off;
+            } else if (mode == "on") {
+                options.pipeline.opt = analysis::OptMode::On;
+            } else if (mode == "validated") {
+                options.pipeline.opt = analysis::OptMode::Validated;
+            } else {
+                std::fprintf(stderr,
+                             "bad --opt (want off|on|validated)\n");
                 return 2;
             }
         } else if (arg == "--coverage") {
