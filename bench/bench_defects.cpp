@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Defect-corpus bench (EXPERIMENTS.md E13): run the pipeline against
+ * mutation-derived Lo-Fi variant backends and score detection and
+ * containment, then prove the robustness contract the defect matrix
+ * rests on:
+ *
+ *  1. Recall: every detectable single-defect variant in the run set is
+ *     detected (an expected root-cause cluster appears).
+ *  2. Containment: the crash / hang / snapshot-corruption variants
+ *     complete their campaigns with every test either executed or
+ *     ledgered at Stage::Backend — zero pipeline aborts.
+ *  3. Determinism under misbehaviour: a misbehaving variant's merged
+ *     campaign report is byte-identical across 1/2/4 shards and across
+ *     an interrupted + resumed campaign.
+ *
+ * `--smoke` restricts to a fast subset for the ctest registration
+ * (defect_matrix_smoke); the full run covers the whole catalogue plus
+ * seeded defect pairs. Writes BENCH_defects.json either way.
+ */
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "defects/defects.h"
+
+using namespace pokeemu;
+
+namespace {
+
+/** Fresh, empty scratch directory under the system temp dir. */
+std::filesystem::path
+scratch_dir(const std::string &name)
+{
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() /
+        ("pokeemu_defects_" + name);
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+defects::MatrixOptions
+base_options(bool smoke)
+{
+    defects::MatrixOptions options;
+    options.max_paths = bench::env_u64("POKEEMU_PATHS", smoke ? 12 : 24);
+    if (smoke) {
+        // A fast cross-section: one defect per mechanism family
+        // (segment checks, pop order, descriptor write-back, MSR
+        // validation, page walk) plus all three misbehaviour classes.
+        options.only = {
+            "no-segment-checks", "iret-pop-order", "no-accessed-flag",
+            "rdmsr-no-gp",       "pte-ad-dropped", "backend-crash",
+            "backend-hang",      "snapshot-corruption",
+        };
+    } else {
+        options.include_pairs = true;
+        options.pair_count = 4;
+    }
+    return options;
+}
+
+/** Campaign for one misbehaving variant at a given shard count. */
+CampaignOptions
+misbehaving_campaign(const char *variant_name, u32 shards,
+                     const defects::MatrixOptions &matrix)
+{
+    const defects::DefectSpec *spec = defects::find_defect(variant_name);
+    if (spec == nullptr)
+        panic("bench_defects: unknown variant");
+    std::size_t index = 0;
+    for (; index < defects::catalogue().size(); ++index) {
+        if (defects::catalogue()[index].name == variant_name)
+            break;
+    }
+    defects::MatrixOptions scaled = matrix;
+    scaled.shards = shards;
+    return defects::variant_campaign({variant_name, {index}}, scaled);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--smoke")
+            smoke = true;
+    }
+
+    bench::header("bench_defects",
+                  "§6.2 seeded-bug detection, scored over a "
+                  "mutation-derived defect corpus");
+
+    const defects::MatrixOptions options = base_options(smoke);
+    const defects::MatrixResult result = defects::run_matrix(options);
+    std::fputs(defects::matrix_table(result).c_str(), stdout);
+
+    bool ok = true;
+    if (!result.recall_complete()) {
+        std::printf("FAIL: a detectable defect class was missed\n");
+        ok = false;
+    }
+    if (!result.containment_complete()) {
+        std::printf("FAIL: a variant escaped per-unit containment\n");
+        ok = false;
+    }
+
+    // Determinism under misbehaviour: byte-identical merged reports
+    // for a crashing variant across shard counts...
+    std::string reference_report;
+    bool identical = true;
+    for (u32 shards : {1u, 2u, 4u}) {
+        const CampaignResult crash = run_campaign(
+            misbehaving_campaign("backend-crash", shards, options));
+        if (!crash.complete)
+            identical = false;
+        if (shards == 1)
+            reference_report = crash.report();
+        else if (crash.report() != reference_report)
+            identical = false;
+    }
+    std::printf("crash-variant reports byte-identical across "
+                "1/2/4 shards: %s\n",
+                identical ? "yes" : "NO");
+    ok = ok && identical;
+
+    // ...and across an interrupted + resumed campaign of a hanging
+    // variant (every hang is caught by the per-run watchdog, so the
+    // quarantine ledger must survive the checkpoint round trip).
+    bool resume_identical = false;
+    {
+        const CampaignResult whole = run_campaign(
+            misbehaving_campaign("backend-hang", 2, options));
+
+        const std::filesystem::path dir = scratch_dir("resume");
+        CampaignOptions interrupted =
+            misbehaving_campaign("backend-hang", 2, options);
+        interrupted.checkpoint_dir = dir.string();
+        interrupted.explore_slice_units = 1;
+        interrupted.execute_slice_tests = 4;
+        interrupted.max_sessions_per_shard = 1;
+        const CampaignResult first = run_campaign(interrupted);
+
+        interrupted.max_sessions_per_shard = 0;
+        interrupted.resume = true;
+        const CampaignResult resumed = run_campaign(interrupted);
+        resume_identical = !first.complete && resumed.complete &&
+            resumed.report() == whole.report();
+        std::filesystem::remove_all(dir);
+    }
+    std::printf("hang-variant report identical after interruption + "
+                "resume: %s\n",
+                resume_identical ? "yes" : "NO");
+    ok = ok && resume_identical;
+
+    {
+        std::FILE *out = std::fopen("BENCH_defects.json", "w");
+        if (out == nullptr) {
+            std::fprintf(stderr, "cannot write BENCH_defects.json\n");
+            return 1;
+        }
+        std::fprintf(out, "{\n  \"bench\": \"defects\",\n");
+        std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+        std::fprintf(out, "  \"shard_reports_identical\": %s,\n",
+                     identical ? "true" : "false");
+        std::fprintf(out, "  \"resume_report_identical\": %s,\n",
+                     resume_identical ? "true" : "false");
+        defects::write_matrix_json(out, result);
+        std::fprintf(out, "\n}\n");
+        std::fclose(out);
+    }
+    std::printf("wrote BENCH_defects.json\n");
+    return ok ? 0 : 1;
+}

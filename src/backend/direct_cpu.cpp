@@ -106,9 +106,19 @@ DirectCpu::seg_check(const Work &w, unsigned seg, u32 offset,
     bool bad;
     if (expand_down) {
         const u32 upper = s.db ? 0xffffffffu : 0xffffu;
-        bad = wraps || offset <= s.limit || last > upper;
+        // Valid expand-down offsets are (limit, upper]; the seeded
+        // off-by-one defect admits offset == limit as well.
+        const bool below = behavior_.seg_limit_off_by_one
+            ? offset < s.limit
+            : offset <= s.limit;
+        bad = wraps || below || last > upper;
     } else {
-        bad = wraps || last > s.limit;
+        // Valid offsets end at limit; the seeded off-by-one defect
+        // faults the last valid byte (last >= limit, overflow-safe).
+        const bool beyond = behavior_.seg_limit_off_by_one
+            ? last >= s.limit
+            : last > s.limit;
+        bad = wraps || beyond;
     }
     if (bad)
         raise(vector, 0, true);
@@ -122,7 +132,8 @@ DirectCpu::translate(const Work &w, u32 linear, bool write)
         return linear;
     const bool wp = (w.c.cr0 & arch::kCr0Wp) != 0;
     auto tr = arch::translate_linear(ram_.data(), w.c.cr3, linear,
-                                     {write, false}, wp, true);
+                                     {write, false}, wp,
+                                     behavior_.set_pte_accessed_dirty);
     if (!tr.ok)
         raise_pf(tr.pf_error | (write ? arch::kPfErrWrite : 0),
                  linear);
@@ -236,18 +247,23 @@ void
 DirectCpu::flags_add(Work &w, u64 a, u64 b, u64 cin, unsigned width)
 {
     const u64 am = truncate(a, width), bm = truncate(b, width);
+    // Seeded defect: byte-op flags computed by the 32-bit helper, so
+    // CF/OF/SF/ZF come from the wrong bit positions. Operands are
+    // still the byte values the emulator extracted.
+    const unsigned fw =
+        behavior_.alu8_flags_wide && width == 8 ? 32 : width;
     const u64 wide = am + bm + cin;
-    const u64 res = truncate(wide, width);
+    const u64 res = truncate(wide, fw);
     u32 set = 0;
-    if (get_bit(wide, width))
+    if (get_bit(wide, fw))
         set |= arch::kFlagCf;
-    const bool sa = get_bit(am, width - 1), sb = get_bit(bm, width - 1),
-               sr = get_bit(res, width - 1);
+    const bool sa = get_bit(am, fw - 1), sb = get_bit(bm, fw - 1),
+               sr = get_bit(res, fw - 1);
     if (sa == sb && sa != sr)
         set |= arch::kFlagOf;
     if ((am ^ bm ^ res) & 0x10)
         set |= arch::kFlagAf;
-    set_flags_szp(w, res, width, set,
+    set_flags_szp(w, res, fw, set,
                   arch::kFlagCf | arch::kFlagOf | arch::kFlagAf);
 }
 
@@ -255,25 +271,29 @@ void
 DirectCpu::flags_sub(Work &w, u64 a, u64 b, u64 bin, unsigned width)
 {
     const u64 am = truncate(a, width), bm = truncate(b, width);
+    const unsigned fw =
+        behavior_.alu8_flags_wide && width == 8 ? 32 : width;
     const u64 wide = am - bm - bin;
-    const u64 res = truncate(wide, width);
+    const u64 res = truncate(wide, fw);
     u32 set = 0;
-    if (get_bit(wide, width))
+    if (get_bit(wide, fw))
         set |= arch::kFlagCf;
-    const bool sa = get_bit(am, width - 1), sb = get_bit(bm, width - 1),
-               sr = get_bit(res, width - 1);
+    const bool sa = get_bit(am, fw - 1), sb = get_bit(bm, fw - 1),
+               sr = get_bit(res, fw - 1);
     if (sa != sb && sa != sr)
         set |= arch::kFlagOf;
     if ((am ^ bm ^ res) & 0x10)
         set |= arch::kFlagAf;
-    set_flags_szp(w, res, width, set,
+    set_flags_szp(w, res, fw, set,
                   arch::kFlagCf | arch::kFlagOf | arch::kFlagAf);
 }
 
 void
 DirectCpu::flags_logic(Work &w, u64 res, unsigned width)
 {
-    set_flags_szp(w, res, width, 0,
+    const unsigned fw =
+        behavior_.alu8_flags_wide && width == 8 ? 32 : width;
+    set_flags_szp(w, truncate(res, width), fw, 0,
                   arch::kFlagCf | arch::kFlagOf | arch::kFlagAf);
 }
 
@@ -456,7 +476,8 @@ DirectCpu::step()
             if (w.c.cr0 & arch::kCr0Pg) {
                 auto tr = arch::translate_linear(
                     ram_.data(), w.c.cr3, lin, {false, false},
-                    (w.c.cr0 & arch::kCr0Wp) != 0, true);
+                    (w.c.cr0 & arch::kCr0Wp) != 0,
+                    behavior_.set_pte_accessed_dirty);
                 if (!tr.ok) {
                     pending = {arch::kExcPf, tr.pf_error, true, true,
                                lin};

@@ -58,6 +58,26 @@ struct Behavior
      *  Bochs-like behaviour clears it instead. */
     bool shift_clears_af = false;
     UndefFlagStyle undef_flags = UndefFlagStyle::Hardware;
+
+    /// @name Injectable defects (defects::catalogue()). All default to
+    /// the faithful behaviour; both hardware_behavior() and
+    /// lofi_behavior() leave them off, so only mutation-derived
+    /// variant backends ever see them.
+    /// @{
+    /** Compute 8-bit ALU flags at 32-bit width (wrong CF/OF/SF/ZF on
+     *  byte adds, subs and logic ops). */
+    bool alu8_flags_wide = false;
+    /** Page walks set PTE/PDE accessed and dirty bits (hardware).
+     *  Off models an emulator whose soft-MMU forgets them. */
+    bool set_pte_accessed_dirty = true;
+    /** Segment-limit comparison off by one: the last valid byte of a
+     *  segment faults (and one past an expand-down limit is let in). */
+    bool seg_limit_off_by_one = false;
+    /** wrmsr stores only the low 16 bits of EAX. */
+    bool wrmsr_truncate_16 = false;
+    /// @}
+
+    bool operator==(const Behavior &) const = default;
 };
 
 /** The hardware model's configuration (all defaults). */

@@ -1045,7 +1045,11 @@ DirectCpu::execute(Work &w, const DecodedInsn &insn)
       }
       case Op::Wrmsr: {
         const u32 idx = w.c.gpr[arch::kEcx];
-        const u32 v = w.c.gpr[arch::kEax];
+        // Seeded defect: the variant emulator's MSR store path keeps
+        // only the low 16 bits of EAX.
+        const u32 v = behavior_.wrmsr_truncate_16
+            ? (w.c.gpr[arch::kEax] & 0xffffu)
+            : w.c.gpr[arch::kEax];
         switch (idx) {
           case 0x174: w.c.msr.sysenter_cs = v; break;
           case 0x175: w.c.msr.sysenter_esp = v; break;

@@ -1,0 +1,503 @@
+#include "defects/defects.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "support/rng.h"
+
+namespace pokeemu::defects {
+
+const char *
+defect_kind_name(DefectKind kind)
+{
+    switch (kind) {
+      case DefectKind::Behavioral: return "behavioral";
+      case DefectKind::Misbehavior: return "misbehavior";
+    }
+    return "?";
+}
+
+namespace {
+
+DefectSpec
+behavioral(std::string name, bool lofi::BugConfig::*knob,
+           bool detectable, std::string description,
+           std::vector<std::string> expected,
+           std::vector<std::vector<u8>> focus)
+{
+    DefectSpec d;
+    d.name = std::move(name);
+    d.kind = DefectKind::Behavioral;
+    d.detectable = detectable;
+    d.description = std::move(description);
+    d.knob = knob;
+    d.expected_clusters = std::move(expected);
+    d.focus_encodings = std::move(focus);
+    return d;
+}
+
+DefectSpec
+misbehavior(std::string name, lofi::Misbehavior m,
+            std::string description,
+            std::vector<std::vector<u8>> focus)
+{
+    DefectSpec d;
+    d.name = std::move(name);
+    d.kind = DefectKind::Misbehavior;
+    d.detectable = false;
+    d.description = std::move(description);
+    d.misbehavior = m;
+    d.expected_clusters = {};
+    d.focus_encodings = std::move(focus);
+    return d;
+}
+
+std::vector<DefectSpec>
+build_catalogue()
+{
+    using B = lofi::BugConfig;
+    std::vector<DefectSpec> c;
+
+    // --- The eight classic seeded bugs (paper §6.2), promoted. ---
+    c.push_back(behavioral(
+        "no-segment-checks", &B::no_segment_checks, true,
+        "segment limit/type/null checks skipped on data accesses",
+        {"segment-limits-and-rights-not-enforced"},
+        {{0x50}, {0x01, 0x08}}));
+    c.push_back(behavioral(
+        "leave-nonatomic", &B::leave_nonatomic, true,
+        "leave updates ESP before the faultable stack read",
+        {"atomicity-violation-leave"}, {{0xc9}}));
+    c.push_back(behavioral(
+        "cmpxchg-nonatomic", &B::cmpxchg_nonatomic, true,
+        "cmpxchg checks write permission only on the equal path",
+        {"atomicity-violation-cmpxchg"}, {{0x0f, 0xb1, 0x0b}}));
+    c.push_back(behavioral(
+        "iret-pop-order", &B::iret_pop_order, true,
+        "iret pops stack items outermost-to-innermost",
+        {"iret-pop-order"}, {{0xcf}}));
+    c.push_back(behavioral(
+        "rdmsr-no-gp", &B::rdmsr_no_gp, true,
+        "rdmsr/wrmsr of an unknown MSR does not raise #GP",
+        {"rdmsr-no-gp-on-invalid-msr"}, {{0x0f, 0x32}, {0x0f, 0x30}}));
+    c.push_back(behavioral(
+        "no-accessed-flag", &B::no_accessed_flag, true,
+        "segment loads do not set the descriptor accessed flag",
+        {"segment-accessed-flag-not-set"}, {{0x8e, 0xd8}}));
+    c.push_back(behavioral(
+        "reject-valid-encodings", &B::reject_valid_encodings, true,
+        "undocumented alias encodings (shift /6, F6 /1) rejected",
+        {"rejects-valid-encoding"},
+        {{0xd0, 0xf0}, {0xf6, 0xc8, 0x01}}));
+    c.push_back(behavioral(
+        "undef-flags-divergence", &B::undef_flags_divergence, false,
+        "documented-undefined flags resolved differently from "
+        "hardware; deliberately filtered by the pipeline (paper §5), "
+        "so non-detection is the correct outcome",
+        {}, {{0xd3, 0xe0}, {0x0f, 0xbc, 0xd0}, {0xf7, 0xf3}}));
+
+    // --- New injectable DirectCpu defects. ---
+    c.push_back(behavioral(
+        // Latent: the defect only shows when an 8-bit operation
+        // carries/overflows out of bit 7, and no path constraint
+        // forces such operand values into the minimized tests
+        // (value-dependent defects evade path-coverage test suites;
+        // the paper's §8 limitation, reproduced here on purpose).
+        "flags-wrong-width", &B::flags_wrong_width, false,
+        "8-bit ALU flags computed at 32-bit width",
+        {"status-flags-divergence"},
+        {{0x00, 0x08}, {0x38, 0x08}, {0x04, 0x05}, {0x3c, 0x05}}));
+    c.push_back(behavioral(
+        "far-fetch-reordered", &B::far_fetch_selector_first, true,
+        "far pointer loads fetch the selector before the offset",
+        {"far-pointer-fetch-order"},
+        {{0xc4, 0x08}, {0x0f, 0xb4, 0x03}}));
+    c.push_back(behavioral(
+        "pte-ad-dropped", &B::pte_accessed_dirty_dropped, true,
+        "page walks do not set PTE/PDE accessed and dirty bits",
+        {"pte-accessed-dirty-not-set"}, {{0x50}, {0x74, 0x00}}));
+    c.push_back(behavioral(
+        "seg-limit-off-by-one", &B::seg_limit_off_by_one, false,
+        "segment-limit comparison off by one (last valid byte "
+        "faults); evades tests whose accesses were minimized away "
+        "from the exact boundary",
+        {"segment-limits-and-rights-not-enforced"},
+        {{0x50}, {0x01, 0x08}, {0xc9}}));
+    c.push_back(behavioral(
+        "wrmsr-truncated", &B::wrmsr_truncated, false,
+        "wrmsr stores only the low 16 bits of EAX; value-dependent, "
+        "so it evades tests minimized toward the zeroed baseline",
+        {"msr-write-truncated"}, {{0x0f, 0x30}}));
+
+    // --- Misbehaviour classes: containment, not detection. ---
+    c.push_back(misbehavior(
+        "backend-crash", lofi::Misbehavior::Crash,
+        "the variant backend throws entering its run loop",
+        {{0x50}, {0x74, 0x00}}));
+    c.push_back(misbehavior(
+        "backend-hang", lofi::Misbehavior::Hang,
+        "the variant backend ignores the instruction cap; only the "
+        "per-run watchdog ends it",
+        {{0x50}, {0x74, 0x00}}));
+    c.push_back(misbehavior(
+        "snapshot-corruption", lofi::Misbehavior::CorruptSnapshot,
+        "the variant backend emits a short RAM dump",
+        {{0x50}, {0x74, 0x00}}));
+
+    return c;
+}
+
+/** Decode one focus encoding to its table index. */
+int
+focus_index(const std::vector<u8> &encoding)
+{
+    std::vector<u8> buf = encoding;
+    buf.resize(arch::kMaxInsnLength, 0);
+    arch::DecodedInsn insn;
+    if (arch::decode(buf.data(), buf.size(), insn) !=
+        arch::DecodeStatus::Ok) {
+        throw std::logic_error(
+            "defects: focus encoding failed to decode");
+    }
+    return insn.table_index;
+}
+
+bool
+is_timeout_cluster(const std::string &name)
+{
+    return name.rfind("timeout-only-", 0) == 0;
+}
+
+} // namespace
+
+const std::vector<DefectSpec> &
+catalogue()
+{
+    static const std::vector<DefectSpec> c = build_catalogue();
+    return c;
+}
+
+const DefectSpec *
+find_defect(const std::string &name)
+{
+    for (const DefectSpec &d : catalogue()) {
+        if (d.name == name)
+            return &d;
+    }
+    return nullptr;
+}
+
+lofi::BugConfig
+apply_defects(const std::vector<std::size_t> &defects)
+{
+    lofi::BugConfig bugs = lofi::BugConfig::none();
+    for (std::size_t i : defects) {
+        const DefectSpec &d = catalogue().at(i);
+        if (d.knob != nullptr)
+            bugs.*d.knob = true;
+    }
+    return bugs;
+}
+
+MutationPlan
+single_defect_plan()
+{
+    MutationPlan plan;
+    for (std::size_t i = 0; i < catalogue().size(); ++i)
+        plan.variants.push_back({catalogue()[i].name, {i}});
+    return plan;
+}
+
+MutationPlan
+pair_defect_plan(u64 seed, std::size_t count)
+{
+    std::vector<std::size_t> behavioral_idx;
+    for (std::size_t i = 0; i < catalogue().size(); ++i) {
+        if (catalogue()[i].kind == DefectKind::Behavioral)
+            behavioral_idx.push_back(i);
+    }
+    const std::size_t n = behavioral_idx.size();
+    const std::size_t max_pairs = n * (n - 1) / 2;
+    count = std::min(count, max_pairs);
+
+    MutationPlan plan;
+    Rng rng(seed);
+    std::set<std::pair<std::size_t, std::size_t>> chosen;
+    while (chosen.size() < count) {
+        std::size_t a = rng.below(n);
+        std::size_t b = rng.below(n);
+        if (a == b)
+            continue;
+        if (a > b)
+            std::swap(a, b);
+        if (!chosen.insert({a, b}).second)
+            continue;
+        const std::size_t ia = behavioral_idx[a];
+        const std::size_t ib = behavioral_idx[b];
+        plan.variants.push_back(
+            {"pair:" + catalogue()[ia].name + "+" +
+                 catalogue()[ib].name,
+             {ia, ib}});
+    }
+    return plan;
+}
+
+CampaignOptions
+variant_campaign(const Variant &variant, const MatrixOptions &options)
+{
+    CampaignOptions campaign;
+    campaign.shards = options.shards;
+    campaign.pipeline.max_paths_per_insn = options.max_paths;
+    campaign.pipeline.seed = options.seed;
+    campaign.pipeline.max_insns_per_test = options.max_insns_per_test;
+    campaign.pipeline.bugs = apply_defects(variant.defects);
+    campaign.pipeline.resilience.budgets.test_watchdog_insns =
+        options.watchdog_insns;
+
+    std::set<int> filter;
+    for (std::size_t i : variant.defects) {
+        const DefectSpec &d = catalogue().at(i);
+        if (d.misbehavior != lofi::Misbehavior::None)
+            campaign.pipeline.lofi_misbehavior = d.misbehavior;
+        for (const auto &encoding : d.focus_encodings)
+            filter.insert(focus_index(encoding));
+    }
+    campaign.pipeline.instruction_filter.assign(filter.begin(),
+                                                filter.end());
+    return campaign;
+}
+
+double
+VariantScore::precision() const
+{
+    return total_clusters == 0
+        ? 1.0
+        : static_cast<double>(matched_clusters) /
+            static_cast<double>(total_clusters);
+}
+
+double
+VariantScore::purity() const
+{
+    return total_diff_tests == 0
+        ? 1.0
+        : static_cast<double>(matched_tests) /
+            static_cast<double>(total_diff_tests);
+}
+
+bool
+VariantScore::contained() const
+{
+    return campaign_complete &&
+        tests_executed + quarantined_backend + quarantined_execution ==
+            test_programs;
+}
+
+VariantScore
+score_variant(const Variant &variant, const CampaignResult &result)
+{
+    VariantScore score;
+    score.variant = variant.name;
+
+    std::set<std::string> expected;
+    bool any_detectable = false;
+    for (std::size_t i : variant.defects) {
+        const DefectSpec &d = catalogue().at(i);
+        score.defect_names.push_back(d.name);
+        if (d.kind == DefectKind::Misbehavior)
+            score.kind = DefectKind::Misbehavior;
+        any_detectable = any_detectable || d.detectable;
+        expected.insert(d.expected_clusters.begin(),
+                        d.expected_clusters.end());
+    }
+    score.detectable = any_detectable;
+
+    const PipelineStats &stats = result.merged;
+    for (const harness::Cluster &c : stats.lofi_clusters.clusters()) {
+        if (is_timeout_cluster(c.root_cause))
+            continue;
+        score.observed_clusters.push_back(c.root_cause);
+        ++score.total_clusters;
+        score.total_diff_tests += c.count;
+        if (expected.count(c.root_cause)) {
+            score.detected = true;
+            ++score.matched_clusters;
+            score.matched_tests += c.count;
+        }
+    }
+
+    score.test_programs = stats.test_programs;
+    score.tests_executed = stats.tests_executed;
+    score.quarantined_backend =
+        stats.quarantine.count(support::Stage::Backend);
+    score.quarantined_execution =
+        stats.quarantine.count(support::Stage::Execution);
+    score.campaign_complete = result.complete;
+    return score;
+}
+
+double
+MatrixResult::recall() const
+{
+    return detectable_total == 0
+        ? 1.0
+        : static_cast<double>(detectable_found) /
+            static_cast<double>(detectable_total);
+}
+
+bool
+MatrixResult::containment_complete() const
+{
+    for (const VariantScore &s : scores) {
+        if (!s.contained())
+            return false;
+    }
+    return !scores.empty();
+}
+
+MatrixResult
+run_matrix(const MatrixOptions &options)
+{
+    MutationPlan plan = single_defect_plan();
+    if (options.include_pairs) {
+        MutationPlan pairs =
+            pair_defect_plan(options.pair_seed, options.pair_count);
+        plan.variants.insert(plan.variants.end(),
+                             pairs.variants.begin(),
+                             pairs.variants.end());
+    }
+
+    MatrixResult result;
+    for (const Variant &variant : plan.variants) {
+        const bool is_misbehavior = std::any_of(
+            variant.defects.begin(), variant.defects.end(),
+            [](std::size_t i) {
+                return catalogue()[i].kind == DefectKind::Misbehavior;
+            });
+        if (is_misbehavior && !options.include_misbehavior)
+            continue;
+        if (!options.only.empty() &&
+            std::find(options.only.begin(), options.only.end(),
+                      variant.name) == options.only.end()) {
+            continue;
+        }
+
+        const CampaignResult campaign =
+            run_campaign(variant_campaign(variant, options));
+        VariantScore score = score_variant(variant, campaign);
+
+        // Per-class rollup covers single-defect variants only: a pair
+        // variant's observations cannot be attributed to one class.
+        if (variant.defects.size() == 1) {
+            const DefectSpec &d = catalogue()[variant.defects[0]];
+            ClassScore cls;
+            cls.defect = d.name;
+            cls.kind = d.kind;
+            cls.detectable = d.detectable;
+            cls.detected = score.detected;
+            cls.contained = score.contained();
+            cls.precision = score.precision();
+            cls.purity = score.purity();
+            result.classes.push_back(cls);
+            if (d.detectable) {
+                ++result.detectable_total;
+                result.detectable_found += score.detected;
+            }
+            if (d.kind == DefectKind::Misbehavior) {
+                ++result.misbehavior_total;
+                result.misbehavior_contained += score.contained();
+            }
+        }
+        result.scores.push_back(std::move(score));
+    }
+    return result;
+}
+
+std::string
+matrix_table(const MatrixResult &result)
+{
+    std::ostringstream os;
+    os << "variant                                   kind         "
+          "detect  prec   purity contained\n";
+    for (const VariantScore &s : result.scores) {
+        os << "  " << s.variant;
+        if (s.variant.size() >= 40)
+            os << ' ';
+        for (std::size_t i = s.variant.size(); i < 40; ++i)
+            os << ' ';
+        os << defect_kind_name(s.kind);
+        for (std::size_t i =
+                 std::string(defect_kind_name(s.kind)).size();
+             i < 13; ++i)
+            os << ' ';
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%-8s%.2f   %.2f   %s",
+                      s.detected ? "yes"
+                                 : (s.detectable ? "MISS" : "-"),
+                      s.precision(), s.purity(),
+                      s.contained() ? "yes" : "NO");
+        os << buf << "\n";
+    }
+    os << "recall over detectable classes: "
+       << result.detectable_found << "/" << result.detectable_total
+       << "\n";
+    os << "misbehaving variants contained: "
+       << result.misbehavior_contained << "/"
+       << result.misbehavior_total << "\n";
+    return os.str();
+}
+
+void
+write_matrix_json(std::FILE *f, const MatrixResult &result)
+{
+    std::fprintf(f, "  \"recall\": %.4f,\n", result.recall());
+    std::fprintf(f, "  \"detectable_total\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     result.detectable_total));
+    std::fprintf(f, "  \"detectable_found\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     result.detectable_found));
+    std::fprintf(f, "  \"misbehavior_total\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     result.misbehavior_total));
+    std::fprintf(f, "  \"misbehavior_contained\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     result.misbehavior_contained));
+    std::fprintf(f, "  \"variants\": [\n");
+    for (std::size_t i = 0; i < result.scores.size(); ++i) {
+        const VariantScore &s = result.scores[i];
+        std::fprintf(f, "    {\"variant\": \"%s\", ",
+                     s.variant.c_str());
+        std::fprintf(f, "\"kind\": \"%s\", ",
+                     defect_kind_name(s.kind));
+        std::fprintf(f, "\"detectable\": %s, ",
+                     s.detectable ? "true" : "false");
+        std::fprintf(f, "\"detected\": %s, ",
+                     s.detected ? "true" : "false");
+        std::fprintf(f, "\"precision\": %.4f, ", s.precision());
+        std::fprintf(f, "\"purity\": %.4f, ", s.purity());
+        std::fprintf(f, "\"tests\": %llu, ",
+                     static_cast<unsigned long long>(s.test_programs));
+        std::fprintf(f, "\"executed\": %llu, ",
+                     static_cast<unsigned long long>(
+                         s.tests_executed));
+        std::fprintf(f, "\"quarantined_backend\": %llu, ",
+                     static_cast<unsigned long long>(
+                         s.quarantined_backend));
+        std::fprintf(f, "\"contained\": %s, ",
+                     s.contained() ? "true" : "false");
+        std::fprintf(f, "\"clusters\": [");
+        for (std::size_t c = 0; c < s.observed_clusters.size(); ++c) {
+            std::fprintf(f, "%s\"%s\"", c ? ", " : "",
+                         s.observed_clusters[c].c_str());
+        }
+        std::fprintf(f, "]}%s\n",
+                     i + 1 < result.scores.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]");
+}
+
+} // namespace pokeemu::defects

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Seeded-defect backend corpus: mutation-derived Lo-Fi variants with
+ * detection scoring.
+ *
+ * The paper's claim is that path-exploration-lifted tests catch real
+ * emulator fidelity bugs, but a single Lo-Fi backend with one fixed
+ * bug set gives no ground-truth *recall* measurement. This module
+ * turns the pipeline into a scored bug-finding benchmark:
+ *
+ *  - DefectSpec / catalogue(): every injectable defect the backend
+ *    supports — the eight classic lofi::BugConfig knobs, five deeper
+ *    DirectCpu defects (wrong flag widths, reordered paired memory
+ *    accesses, dropped PTE accessed/dirty updates, off-by-one segment
+ *    limits, truncated MSR writes), and three *misbehaviour* classes
+ *    (crash, hang, snapshot corruption) that exercise containment
+ *    rather than detection. The classes mirror the deviation taxonomy
+ *    of the ARM deviation-locating work (PAPERS.md).
+ *  - MutationPlan: deterministic seeded derivation of variant
+ *    backends — every single-defect mutant plus seeded k=2 pairs.
+ *  - run_matrix(): run the sharded campaign against each variant
+ *    (each mutates the *patched* emulator, BugConfig::none(), so any
+ *    observed cluster is attributable to the seeded defect alone) and
+ *    score recall / precision / cluster purity per defect class.
+ */
+#ifndef POKEEMU_DEFECTS_DEFECTS_H
+#define POKEEMU_DEFECTS_DEFECTS_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "pokeemu/shard.h"
+
+namespace pokeemu::defects {
+
+/** How a catalogue entry manifests. */
+enum class DefectKind : u8 {
+    Behavioral,  ///< Wrong-but-well-formed results; scored on recall.
+    Misbehavior, ///< Crash/hang/corruption; scored on containment.
+};
+
+const char *defect_kind_name(DefectKind kind);
+
+/** One injectable defect. */
+struct DefectSpec
+{
+    std::string name;
+    DefectKind kind = DefectKind::Behavioral;
+    /**
+     * Whether the lifted test suite is expected to detect the defect
+     * (recall is scored over detectable entries only). The negatives
+     * are findings in their own right: documented-undefined
+     * divergence is deliberately filtered (paper §5), and
+     * value-dependent defects (truncated MSR writes) or exact
+     * boundary conditions (off-by-one limits) can evade tests whose
+     * operands were minimized toward the baseline state.
+     */
+    bool detectable = true;
+    std::string description;
+    /** BugConfig member the defect toggles (Behavioral only). */
+    bool lofi::BugConfig::*knob = nullptr;
+    /** Misbehaviour class (Misbehavior only). */
+    lofi::Misbehavior misbehavior = lofi::Misbehavior::None;
+    /** Cluster names counted as a correct detection. */
+    std::vector<std::string> expected_clusters;
+    /** Encodings of instructions that expose the defect (the variant
+     *  campaign's instruction filter is their union). */
+    std::vector<std::vector<u8>> focus_encodings;
+};
+
+/** The full defect catalogue (stable order; names unique). */
+const std::vector<DefectSpec> &catalogue();
+
+/** Find a catalogue entry by name (nullptr when unknown). */
+const DefectSpec *find_defect(const std::string &name);
+
+/** BugConfig::none() with the given catalogue entries applied
+ *  (Misbehavior entries contribute no knob). */
+lofi::BugConfig apply_defects(const std::vector<std::size_t> &defects);
+
+/** One mutation-derived variant backend. */
+struct Variant
+{
+    std::string name;
+    std::vector<std::size_t> defects; ///< Catalogue indices.
+};
+
+/** A deterministic set of variants to run. */
+struct MutationPlan
+{
+    std::vector<Variant> variants;
+};
+
+/** Every single-defect mutant, in catalogue order. */
+MutationPlan single_defect_plan();
+
+/**
+ * Seeded k=2 mutants: @p count distinct unordered pairs of
+ * *behavioral* catalogue entries, chosen by a seeded Rng. The same
+ * seed always yields the same plan (variant names include both defect
+ * names, e.g. "pair:leave-nonatomic+wrmsr-truncated").
+ */
+MutationPlan pair_defect_plan(u64 seed, std::size_t count);
+
+/** Matrix-wide knobs. */
+struct MatrixOptions
+{
+    /** Per-instruction path cap for each variant campaign. */
+    u64 max_paths = 24;
+    u64 seed = 1;
+    /** Shard count for each variant campaign. */
+    u32 shards = 1;
+    /** Per-test Lo-Fi watchdog (instructions); keeps hang variants
+     *  deterministic — see BudgetOptions::test_watchdog_insns. */
+    u64 watchdog_insns = 1u << 15;
+    u64 max_insns_per_test = 1u << 14;
+    /** Include the seeded k=2 pair variants. */
+    bool include_pairs = false;
+    std::size_t pair_count = 4;
+    u64 pair_seed = 7;
+    /** Include the crash/hang/corruption variants. */
+    bool include_misbehavior = true;
+    /** Restrict to these variant names (empty = all planned). */
+    std::vector<std::string> only;
+};
+
+/** The campaign configuration one variant runs under. */
+CampaignOptions variant_campaign(const Variant &variant,
+                                 const MatrixOptions &options);
+
+/** One variant's scored outcome. */
+struct VariantScore
+{
+    std::string variant;
+    std::vector<std::string> defect_names;
+    DefectKind kind = DefectKind::Behavioral;
+    bool detectable = false; ///< Any seeded defect is detectable.
+    bool detected = false;   ///< An expected cluster was observed.
+    /** Cluster-level precision: expected / observed non-timeout
+     *  clusters. */
+    u64 matched_clusters = 0;
+    u64 total_clusters = 0;
+    /** Test-level purity: tests in expected clusters / tests in any
+     *  non-timeout cluster. */
+    u64 matched_tests = 0;
+    u64 total_diff_tests = 0;
+    /** Containment accounting (all variants; decisive for
+     *  Misbehavior ones). */
+    u64 test_programs = 0;
+    u64 tests_executed = 0;
+    u64 quarantined_backend = 0;
+    u64 quarantined_execution = 0;
+    bool campaign_complete = false;
+    std::vector<std::string> observed_clusters;
+
+    double precision() const;
+    double purity() const;
+    /** Campaign finished and every non-executed test is ledgered. */
+    bool contained() const;
+};
+
+/** Score one variant from its campaign result. */
+VariantScore score_variant(const Variant &variant,
+                           const CampaignResult &result);
+
+/** Per-defect-class rollup over single-defect variants. */
+struct ClassScore
+{
+    std::string defect;
+    DefectKind kind = DefectKind::Behavioral;
+    bool detectable = false;
+    bool detected = false;
+    bool contained = false;
+    double precision = 0.0;
+    double purity = 0.0;
+};
+
+/** The whole matrix. */
+struct MatrixResult
+{
+    std::vector<VariantScore> scores;
+    std::vector<ClassScore> classes;
+    u64 detectable_total = 0;
+    u64 detectable_found = 0;
+    u64 misbehavior_total = 0;
+    u64 misbehavior_contained = 0;
+
+    /** Recall over detectable single-defect classes. */
+    double recall() const;
+    bool recall_complete() const
+    {
+        return detectable_found == detectable_total;
+    }
+    /** Every variant (including misbehaving ones) fully contained. */
+    bool containment_complete() const;
+};
+
+/** Run the planned variants; see file comment. */
+MatrixResult run_matrix(const MatrixOptions &options);
+
+/** Human-readable per-variant + per-class table. */
+std::string matrix_table(const MatrixResult &result);
+
+/** BENCH_defects.json-style rows (shared by tools/ and bench/). */
+void write_matrix_json(std::FILE *f, const MatrixResult &result);
+
+} // namespace pokeemu::defects
+
+#endif // POKEEMU_DEFECTS_DEFECTS_H

@@ -78,6 +78,15 @@ classify_difference(const arch::DecodedInsn &insn,
          b.cpu.exception.vector == arch::kExcGp)) {
         return "rdmsr-no-gp-on-invalid-msr";
     }
+    // MSR store divergence: wrmsr completed on both sides but the MSR
+    // file disagrees (e.g. the seeded 16-bit-truncating write path).
+    if (op == Op::Wrmsr && diff.mem_total == 0 && !diff.cpu.empty() &&
+        std::all_of(diff.cpu.begin(), diff.cpu.end(),
+                    [](const arch::FieldDiff &f) {
+                        return f.field.rfind("msr.", 0) == 0;
+                    })) {
+        return "msr-write-truncated";
+    }
     // Far-pointer fetch order: differing fault addresses, fault
     // vectors, or page-table accessed bits on a far load.
     if (is_far_load(op) &&
@@ -125,6 +134,16 @@ classify_difference(const arch::DecodedInsn &insn,
             : b.cpu.exception.vector;
         if (vec == arch::kExcPf && !is_string_op(op))
             return "page-protection-divergence";
+    }
+    // Page-walk accessed/dirty bits: registers agree everywhere and
+    // the only memory divergence is inside the page-table structures —
+    // the soft-MMU forgot to set PTE/PDE A/D bits. Ordered after the
+    // far-load rule: PT-only divergence on a far load is fetch-order
+    // evidence there.
+    if (diff.cpu.empty() && diff.mem_total > 0 &&
+        mem_only_in(diff, arch::layout::kPhysPageDir,
+                    arch::layout::kPhysPageTable + 0x1000)) {
+        return "pte-accessed-dirty-not-set";
     }
     // Accessed flag: differences confined to GDT bytes and/or the
     // cached access field.

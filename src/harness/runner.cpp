@@ -34,7 +34,7 @@ TestRunner::TestRunner() : TestRunner(Config{}) {}
 
 TestRunner::TestRunner(const Config &config)
     : config_(config), hifi_(config.hifi_options),
-      lofi_(config.bugs)
+      lofi_(config.bugs, config.lofi_misbehavior)
 {
 }
 
@@ -56,6 +56,25 @@ TestRunner::run_one_into(Backend backend,
         config_.injector->maybe_fail(
             injection_site(backend),
             std::string("runner: ") + backend_name(backend));
+    }
+    if (config_.injector && backend == Backend::LoFi) {
+        // Chaos sites for the Stage::Backend containment path: the
+        // injected fault is re-classed so the pipeline quarantines it
+        // exactly like a genuinely misbehaving variant backend.
+        try {
+            config_.injector->maybe_fail(
+                support::FaultSite::BackendCrash, "runner: lofi");
+        } catch (const support::FaultError &e) {
+            throw support::FaultError(
+                support::FaultClass::BackendCrash, e.what());
+        }
+        try {
+            config_.injector->maybe_fail(
+                support::FaultSite::BackendHang, "runner: lofi");
+        } catch (const support::FaultError &e) {
+            throw support::FaultError(
+                support::FaultClass::BackendHang, e.what());
+        }
     }
 
     // Build the test image in the reusable buffer: copy the immutable
@@ -88,7 +107,12 @@ TestRunner::run_one_into(Backend backend,
       }
       case Backend::LoFi: {
         lofi_.reset(reset, image_);
-        const auto stop = lofi_.run(config_.max_insns);
+        // Per-run watchdog: bounds the variant backend itself, so a
+        // hung lo-fi variant is quarantined per-test instead of
+        // stalling the campaign (see Config).
+        support::Deadline watchdog = support::Deadline::with(
+            config_.watchdog_wall_ms, config_.watchdog_insns);
+        const auto stop = lofi_.run(config_.max_insns, &watchdog);
         out.timed_out = stop == backend::StopReason::InsnLimit;
         lofi_.snapshot_into(out.snapshot);
         out.insns = lofi_.insn_count();
@@ -102,6 +126,16 @@ TestRunner::run_one_into(Backend backend,
         out.insns = guest_run_.insns_executed;
         break;
       }
+    }
+
+    // Shape-validate every backend's snapshot before it reaches the
+    // differ: a corrupting variant must surface as a quarantinable
+    // per-test fault, not as downstream misbehaviour in comparison.
+    if (out.snapshot.ram.size() != arch::kPhysMemSize) {
+        throw support::FaultError(
+            support::FaultClass::SnapshotCorrupt,
+            std::string("runner: ") + backend_name(backend) +
+                " snapshot has wrong RAM size");
     }
 }
 

@@ -48,6 +48,18 @@ class TestRunner
         u64 max_insns = 1u << 14;
         /** Chaos hook: one occurrence per backend run (not owned). */
         support::FaultInjector *injector = nullptr;
+        /** Misbehaviour class of the Lo-Fi variant under test. */
+        lofi::Misbehavior lofi_misbehavior = lofi::Misbehavior::None;
+        /**
+         * Per-run watchdog around the Lo-Fi backend: instruction
+         * budget (0 = unlimited) and a wall-clock cap in ms (0 =
+         * unlimited). The instruction budget is deterministic — a
+         * hang trips at the same point on every shard layout — while
+         * the wall cap is a machine-dependent safety net, so only the
+         * budget should be armed where byte-identical reports matter.
+         */
+        u64 watchdog_insns = 0;
+        u64 watchdog_wall_ms = 0;
     };
 
     TestRunner(); ///< Default configuration (all Lo-Fi bugs seeded).

@@ -1,5 +1,7 @@
 #include "lofi/lofi_emulator.h"
 
+#include <algorithm>
+
 namespace pokeemu::lofi {
 
 BugConfig
@@ -14,6 +16,13 @@ BugConfig::none()
     b.no_accessed_flag = false;
     b.reject_valid_encodings = false;
     b.undef_flags_divergence = false;
+    // The injectable defects already default off; restated so none()
+    // stays the all-bugs-fixed configuration by inspection.
+    b.flags_wrong_width = false;
+    b.far_fetch_selector_first = false;
+    b.pte_accessed_dirty_dropped = false;
+    b.seg_limit_off_by_one = false;
+    b.wrmsr_truncated = false;
     return b;
 }
 
@@ -31,7 +40,77 @@ behavior_from_bugs(const BugConfig &bugs)
     b.undef_flags = bugs.undef_flags_divergence
         ? backend::UndefFlagStyle::LoFi
         : backend::UndefFlagStyle::Hardware;
+    b.alu8_flags_wide = bugs.flags_wrong_width;
+    b.far_fetch_offset_first = !bugs.far_fetch_selector_first;
+    b.set_pte_accessed_dirty = !bugs.pte_accessed_dirty_dropped;
+    b.seg_limit_off_by_one = bugs.seg_limit_off_by_one;
+    b.wrmsr_truncate_16 = bugs.wrmsr_truncated;
     return b;
+}
+
+const char *
+misbehavior_name(Misbehavior m)
+{
+    switch (m) {
+      case Misbehavior::None: return "none";
+      case Misbehavior::Crash: return "crash";
+      case Misbehavior::Hang: return "hang";
+      case Misbehavior::CorruptSnapshot: return "corrupt-snapshot";
+    }
+    return "?";
+}
+
+backend::StopReason
+LoFiEmulator::run(u64 max_insns, support::Deadline *watchdog)
+{
+    using support::FaultClass;
+    using support::FaultError;
+
+    if (misbehavior_ == Misbehavior::Crash) {
+        // Messages are constant strings (no counters) so a resumed or
+        // re-sharded campaign ledgers byte-identical entries.
+        throw FaultError(FaultClass::BackendCrash,
+                         "lofi variant crashed entering its run loop");
+    }
+    if (misbehavior_ == Misbehavior::Hang) {
+        // The model of a backend stuck in its dispatch loop: the
+        // instruction cap is ignored and only the per-run watchdog
+        // ends it. With no watchdog armed the hang is reported
+        // immediately — looping forever would make the containment
+        // failure itself untestable.
+        if (watchdog == nullptr || !watchdog->limited())
+            throw FaultError(FaultClass::BackendHang,
+                             "lofi variant hung (no watchdog armed)");
+        while (true) {
+            cpu_.run(kWatchdogChunk);
+            if (watchdog->consume(kWatchdogChunk))
+                throw FaultError(
+                    FaultClass::BackendHang,
+                    "lofi variant hung; per-run watchdog expired");
+        }
+    }
+    if (watchdog == nullptr || !watchdog->limited())
+        return cpu_.run(max_insns);
+    // Honest backend under a watchdog: run in chunks, charging the
+    // watchdog for instructions actually executed. A completed run is
+    // never flagged; one whose caller-configured budget is tighter
+    // than the instruction cap trips deterministically (the step
+    // budget counts instructions, not wall time).
+    u64 remaining = max_insns;
+    while (remaining > 0) {
+        const u64 chunk = std::min<u64>(kWatchdogChunk, remaining);
+        const u64 before = cpu_.insn_count();
+        const backend::StopReason r = cpu_.run(chunk);
+        const u64 executed = cpu_.insn_count() - before;
+        if (r != backend::StopReason::InsnLimit)
+            return r;
+        remaining -= chunk;
+        if (watchdog->consume(executed == 0 ? 1 : executed))
+            throw FaultError(
+                FaultClass::BackendHang,
+                "lofi backend exceeded the per-run watchdog");
+    }
+    return backend::StopReason::InsnLimit;
 }
 
 } // namespace pokeemu::lofi

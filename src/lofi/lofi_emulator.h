@@ -12,6 +12,7 @@
 #define POKEEMU_LOFI_LOFI_EMULATOR_H
 
 #include "backend/direct_cpu.h"
+#include "support/fault.h"
 
 namespace pokeemu::lofi {
 
@@ -39,12 +40,49 @@ struct BugConfig
      *  (shift OF for count > 1, mul/div flags, bsf/bsr destination). */
     bool undef_flags_divergence = true;
 
+    /// @name Injectable defects (defects::catalogue()). Off by
+    /// default: the stock Lo-Fi emulator does not ship these — only
+    /// mutation-derived variant backends turn them on, so existing
+    /// reports and path sets are unchanged.
+    /// @{
+    /** 8-bit ALU flags computed at 32-bit width. */
+    bool flags_wrong_width = false;
+    /** Far pointer loads fetch the selector before the offset
+     *  (reordered paired memory accesses). */
+    bool far_fetch_selector_first = false;
+    /** Page walks do not set PTE/PDE accessed and dirty bits. */
+    bool pte_accessed_dirty_dropped = false;
+    /** Segment-limit comparison off by one. */
+    bool seg_limit_off_by_one = false;
+    /** wrmsr stores only the low 16 bits of EAX. */
+    bool wrmsr_truncated = false;
+    /// @}
+
     /** All bugs fixed (the "patched emulator" configuration). */
     static BugConfig none();
+
+    bool operator==(const BugConfig &) const = default;
 };
 
 /** Translate the bug configuration to backend behaviour knobs. */
 backend::Behavior behavior_from_bugs(const BugConfig &bugs);
+
+/**
+ * Containment-exercising misbehaviour classes (defects::catalogue()).
+ * Unlike BugConfig defects — which produce wrong-but-well-formed
+ * results the pipeline should *detect* — these make the variant
+ * backend fail as a process: the harness must *contain* them
+ * per-unit (quarantine at Stage::Backend) so the defect matrix
+ * degrades gracefully instead of dying.
+ */
+enum class Misbehavior : u8 {
+    None,            ///< The stock, well-behaved backend.
+    Crash,           ///< run() throws entering its dispatch loop.
+    Hang,            ///< run() ignores the cap; watchdog must trip.
+    CorruptSnapshot, ///< snapshot_into() emits a short RAM dump.
+};
+
+const char *misbehavior_name(Misbehavior m);
 
 /**
  * See file comment. Thin facade over the direct backend configured
@@ -54,8 +92,9 @@ backend::Behavior behavior_from_bugs(const BugConfig &bugs);
 class LoFiEmulator
 {
   public:
-    explicit LoFiEmulator(const BugConfig &bugs = BugConfig{})
-        : cpu_(behavior_from_bugs(bugs))
+    explicit LoFiEmulator(const BugConfig &bugs = BugConfig{},
+                          Misbehavior misbehavior = Misbehavior::None)
+        : cpu_(behavior_from_bugs(bugs)), misbehavior_(misbehavior)
     {
     }
 
@@ -65,10 +104,15 @@ class LoFiEmulator
         cpu_.reset(cpu, ram);
     }
 
-    backend::StopReason run(u64 max_insns = 1u << 20)
-    {
-        return cpu_.run(max_insns);
-    }
+    /**
+     * Run up to @p max_insns instructions. An optional per-run
+     * watchdog bounds the backend itself (instruction budget, plus an
+     * optional wall clock as a non-deterministic safety net): a
+     * misbehaving variant that ignores the cap is stopped with a
+     * FaultError(BackendHang) instead of stalling the campaign.
+     */
+    backend::StopReason run(u64 max_insns = 1u << 20,
+                            support::Deadline *watchdog = nullptr);
 
     arch::Snapshot snapshot() const { return cpu_.snapshot(); }
 
@@ -76,14 +120,26 @@ class LoFiEmulator
     snapshot_into(arch::Snapshot &out) const
     {
         cpu_.snapshot_into(out);
+        // The corrupting variant drops the top half of its RAM dump;
+        // harness::TestRunner validates snapshot shape and quarantines
+        // the unit as FaultClass::SnapshotCorrupt.
+        if (misbehavior_ == Misbehavior::CorruptSnapshot)
+            out.ram.resize(out.ram.size() / 2);
     }
     const arch::CpuState &cpu() const { return cpu_.cpu(); }
     u64 insn_count() const { return cpu_.insn_count(); }
     u64 cache_hits() const { return cpu_.cache_hits(); }
     u64 cache_misses() const { return cpu_.cache_misses(); }
+    Misbehavior misbehavior() const { return misbehavior_; }
 
   private:
+    /** Instructions per watchdog charge; small enough that a hung
+     *  backend is caught promptly, large enough to stay off the hot
+     *  path (one Deadline::consume per 64 instructions). */
+    static constexpr u64 kWatchdogChunk = 64;
+
     backend::DirectCpu cpu_;
+    Misbehavior misbehavior_ = Misbehavior::None;
 };
 
 } // namespace pokeemu::lofi

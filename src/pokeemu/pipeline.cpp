@@ -107,7 +107,17 @@ options_fingerprint(const PipelineOptions &options)
                (u64{b.rdmsr_no_gp} << 4) |
                (u64{b.no_accessed_flag} << 5) |
                (u64{b.reject_valid_encodings} << 6) |
-               (u64{b.undef_flags_divergence} << 7));
+               (u64{b.undef_flags_divergence} << 7) |
+               (u64{b.flags_wrong_width} << 8) |
+               (u64{b.far_fetch_selector_first} << 9) |
+               (u64{b.pte_accessed_dirty_dropped} << 10) |
+               (u64{b.seg_limit_off_by_one} << 11) |
+               (u64{b.wrmsr_truncated} << 12));
+    // A crash/hang/corrupt variant quarantines different tests, so a
+    // checkpoint written under one misbehaviour class must not resume
+    // under another. (The watchdog budgets are resilience knobs and
+    // deliberately stay out of the fingerprint, like all of them.)
+    fp_add(h, static_cast<u64>(options.lofi_misbehavior));
     return h;
 }
 
@@ -592,6 +602,9 @@ Pipeline::execute_and_compare()
     cfg.hifi_options.opt = options_.opt;
     cfg.max_insns = options_.max_insns_per_test;
     cfg.injector = injector_.enabled() ? &injector_ : nullptr;
+    cfg.lofi_misbehavior = options_.lofi_misbehavior;
+    cfg.watchdog_insns = res.budgets.test_watchdog_insns;
+    cfg.watchdog_wall_ms = res.budgets.test_watchdog_ms;
     harness::TestRunner runner(cfg);
     // Units whose Validated-mode check failed replay on original IR.
     std::unique_ptr<harness::TestRunner> fallback_runner;
@@ -678,7 +691,13 @@ Pipeline::execute_and_compare()
                               test.program.code, hw_run);
             stats_.t_execution_hw += seconds_since(t0);
         } catch (const support::FaultError &e) {
-            quarantine(Stage::Execution,
+            // Misbehaving-backend faults (crash, watchdog hang,
+            // corrupt snapshot) are their own stage: the defect
+            // matrix scores containment separately from ordinary
+            // execution refusals.
+            quarantine(support::is_backend_fault(e.fault_class())
+                           ? Stage::Backend
+                           : Stage::Execution,
                        "test " + std::to_string(test.id),
                        e.fault_class(), e.what());
             exec_faulted = true;

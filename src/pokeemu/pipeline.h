@@ -70,6 +70,10 @@ struct PipelineOptions
      */
     analysis::OptMode opt = analysis::OptMode::Off;
     lofi::BugConfig bugs{};
+    /** Misbehaviour class of the Lo-Fi variant backend (the defect
+     *  matrix runs crash/hang/corrupt variants through the full
+     *  pipeline to prove per-unit containment at Stage::Backend). */
+    lofi::Misbehavior lofi_misbehavior = lofi::Misbehavior::None;
     u64 max_insns_per_test = 1u << 14;
     /** Fault isolation: budgets, checkpoint/resume, chaos plan. */
     ResilienceOptions resilience{};

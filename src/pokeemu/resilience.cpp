@@ -206,9 +206,9 @@ load_checkpoint(std::istream &in)
         std::string message_hex;
         if (!(in >> stage >> cls >> unit_hex >> message_hex))
             checkpoint_error("truncated quarantine row");
-        if (stage > static_cast<unsigned>(support::Stage::Validation) ||
-            cls >
-                static_cast<unsigned>(support::FaultClass::Miscompile)) {
+        if (stage > static_cast<unsigned>(support::Stage::Backend) ||
+            cls > static_cast<unsigned>(
+                      support::FaultClass::SnapshotCorrupt)) {
             checkpoint_error("bad quarantine stage/class");
         }
         cp.quarantine.add(static_cast<support::Stage>(stage),

@@ -43,6 +43,13 @@ struct BudgetOptions
     /** Per-solver-query budget; steps are SAT search iterations. */
     u64 solver_query_ms = 0;
     u64 solver_query_steps = 0;
+    /** Per-test watchdog around the Lo-Fi backend run (stage 4):
+     *  instructions executed and/or wall clock. The instruction budget
+     *  trips deterministically (same quarantined set on every shard
+     *  layout); the wall cap is a machine-dependent safety net. A hung
+     *  variant backend is quarantined per-test at Stage::Backend. */
+    u64 test_watchdog_insns = 0;
+    u64 test_watchdog_ms = 0;
     /** Budget multiplier for the single retry granted to a unit that
      *  ran out of budget before being marked incomplete. */
     double escalation = 4.0;

@@ -14,6 +14,7 @@ stage_name(Stage stage)
       case Stage::Execution: return "execution";
       case Stage::Comparison: return "comparison";
       case Stage::Validation: return "validation";
+      case Stage::Backend: return "backend";
     }
     return "?";
 }
@@ -29,6 +30,9 @@ fault_class_name(FaultClass cls)
       case FaultClass::Execution: return "execution";
       case FaultClass::Injected: return "injected";
       case FaultClass::Miscompile: return "miscompile";
+      case FaultClass::BackendCrash: return "backend-crash";
+      case FaultClass::BackendHang: return "backend-hang";
+      case FaultClass::SnapshotCorrupt: return "snapshot-corrupt";
     }
     return "?";
 }
@@ -43,6 +47,8 @@ fault_site_name(FaultSite site)
       case FaultSite::BackendHiFi: return "backend-hifi";
       case FaultSite::BackendLoFi: return "backend-lofi";
       case FaultSite::BackendHw: return "backend-hw";
+      case FaultSite::BackendCrash: return "backend-crash";
+      case FaultSite::BackendHang: return "backend-hang";
     }
     return "?";
 }

@@ -47,6 +47,13 @@ enum class Stage : u8 {
      *  re-attempted on resume (the unit itself completed), so the
      *  resume logic must replay them into the live ledger verbatim. */
     Validation,
+    /** A backend misbehaved while executing one test — crashed, hung
+     *  past the per-run watchdog, or produced a corrupt snapshot.
+     *  Distinct from Execution (a backend *refusing* a test) because
+     *  the defect matrix scores containment of misbehaving variant
+     *  backends separately from ordinary execution failures. Appended
+     *  last so persisted checkpoint ledgers keep their encoding. */
+    Backend,
 };
 
 const char *stage_name(Stage stage);
@@ -60,9 +67,22 @@ enum class FaultClass : u8 {
     Execution,       ///< A backend refused or failed the test.
     Injected,        ///< Synthetic fault from a FaultInjector.
     Miscompile,      ///< Translation validation found a counterexample.
+    BackendCrash,    ///< A backend threw out of its run loop.
+    BackendHang,     ///< A backend tripped the per-run watchdog.
+    SnapshotCorrupt, ///< A backend emitted an invalid snapshot.
 };
 
 const char *fault_class_name(FaultClass cls);
+
+/** True for the classes a misbehaving backend raises; the pipeline
+ *  routes these to Stage::Backend instead of Stage::Execution. */
+inline bool
+is_backend_fault(FaultClass cls)
+{
+    return cls == FaultClass::BackendCrash ||
+        cls == FaultClass::BackendHang ||
+        cls == FaultClass::SnapshotCorrupt;
+}
 
 /**
  * A typed, unit-attributable failure. Library code inside a pipeline
@@ -254,9 +274,17 @@ enum class FaultSite : u8 {
     BackendHiFi, ///< Hi-Fi execution of one test.
     BackendLoFi, ///< Lo-Fi execution of one test.
     BackendHw,   ///< Hardware-oracle execution of one test.
+    /** Lo-Fi run raising a backend crash (FaultClass::BackendCrash)
+     *  rather than a generic injected fault — exercises the
+     *  Stage::Backend containment path end to end. */
+    BackendCrash,
+    /** Lo-Fi run burning its entire per-run watchdog budget before
+     *  failing (FaultClass::BackendHang) — the chaos analog of a
+     *  variant backend stuck in its dispatch loop. */
+    BackendHang,
 };
 
-constexpr std::size_t kNumFaultSites = 6;
+constexpr std::size_t kNumFaultSites = 8;
 
 const char *fault_site_name(FaultSite site);
 
@@ -268,8 +296,8 @@ struct FaultPlan
     double probability = 0.0;
     u64 seed = 1;
     /** Armed sites; all on by default (filtered via arm()/disarm()). */
-    bool armed[kNumFaultSites] = {true, true, true,
-                                  true, true, true};
+    bool armed[kNumFaultSites] = {true, true, true, true,
+                                  true, true, true, true};
     /**
      * Key the fail/pass decision by the occurrence's `where` string
      * instead of its per-site counter. Counter streams depend on how

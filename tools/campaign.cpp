@@ -18,6 +18,7 @@
 #include <cstring>
 #include <string>
 
+#include "defects/defects.h"
 #include "pokeemu/shard.h"
 #include "support/logging.h"
 
@@ -50,9 +51,54 @@ usage(const char *argv0)
                  "  --coverage            per-instruction IR coverage\n"
                  "                        table after the report\n"
                  "  --seed N              exploration seed\n"
+                 "  --bugs A,B,...        seed these catalogue bugs\n"
+                 "                        into the Lo-Fi backend\n"
+                 "                        (--list-bugs for names)\n"
+                 "  --list-bugs           print seedable bug names\n"
                  "  --sequential          run shards in one thread\n"
                  "  --verbose             info-level logging\n",
                  argv0);
+}
+
+/** Seedable bugs = behavioral catalogue entries (the misbehaviour
+ *  classes are driven by the defect matrix, not this CLI). */
+void
+list_bugs(std::FILE *out)
+{
+    for (const defects::DefectSpec &d : defects::catalogue()) {
+        if (d.kind != defects::DefectKind::Behavioral)
+            continue;
+        std::fprintf(out, "  %-24s %s\n", d.name.c_str(),
+                     d.description.c_str());
+    }
+}
+
+/** Resolve a comma-separated bug-name list against the catalogue;
+ *  exits with the available names on an unknown one. */
+lofi::BugConfig
+parse_bugs(const std::string &list)
+{
+    lofi::BugConfig bugs = lofi::BugConfig::none();
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string name = list.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        pos = comma == std::string::npos ? list.size() + 1 : comma + 1;
+        if (name.empty())
+            continue;
+        const defects::DefectSpec *d = defects::find_defect(name);
+        if (d == nullptr || d->knob == nullptr) {
+            std::fprintf(stderr,
+                         "unknown bug '%s'; available bugs:\n",
+                         name.c_str());
+            list_bugs(stderr);
+            std::exit(2);
+        }
+        bugs.*d->knob = true;
+    }
+    return bugs;
 }
 
 bool
@@ -158,6 +204,11 @@ main(int argc, char **argv)
                 return 2;
             }
             options.pipeline.seed = n;
+        } else if (arg == "--bugs") {
+            options.pipeline.bugs = parse_bugs(value());
+        } else if (arg == "--list-bugs") {
+            list_bugs(stdout);
+            return 0;
         } else if (arg == "--sequential") {
             options.parallel = false;
         } else if (arg == "--verbose") {

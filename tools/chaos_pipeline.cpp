@@ -182,6 +182,11 @@ struct SitePlan
     FaultSite site;
     double probability;
     Stage stage; ///< Where its quarantine records must land.
+    /** Class its records must carry: Injected for the generic sites;
+     *  the backend sites re-class their faults to the misbehaving-
+     *  backend classes so they quarantine at Stage::Backend exactly
+     *  like a crashing or hung variant backend would. */
+    FaultClass cls;
 };
 
 } // namespace
@@ -222,12 +227,22 @@ main(int argc, char **argv)
 
     // ---- 1+2+3: per-site containment. ----
     const SitePlan sites[] = {
-        {FaultSite::SolverQuery, 0.05, Stage::StateExploration},
-        {FaultSite::Exploration, 0.50, Stage::StateExploration},
-        {FaultSite::Generation, 0.25, Stage::Generation},
-        {FaultSite::BackendHiFi, 0.10, Stage::Execution},
-        {FaultSite::BackendLoFi, 0.10, Stage::Execution},
-        {FaultSite::BackendHw, 0.10, Stage::Execution},
+        {FaultSite::SolverQuery, 0.05, Stage::StateExploration,
+         FaultClass::Injected},
+        {FaultSite::Exploration, 0.50, Stage::StateExploration,
+         FaultClass::Injected},
+        {FaultSite::Generation, 0.25, Stage::Generation,
+         FaultClass::Injected},
+        {FaultSite::BackendHiFi, 0.10, Stage::Execution,
+         FaultClass::Injected},
+        {FaultSite::BackendLoFi, 0.10, Stage::Execution,
+         FaultClass::Injected},
+        {FaultSite::BackendHw, 0.10, Stage::Execution,
+         FaultClass::Injected},
+        {FaultSite::BackendCrash, 0.10, Stage::Backend,
+         FaultClass::BackendCrash},
+        {FaultSite::BackendHang, 0.10, Stage::Backend,
+         FaultClass::BackendHang},
     };
     for (const SitePlan &plan : sites) {
         const std::string label =
@@ -249,8 +264,8 @@ main(int argc, char **argv)
                  label + ": quarantine total vs injected");
         for (const support::QuarantinedUnit &q :
              s.quarantine.units()) {
-            check(q.cls == FaultClass::Injected,
-                  label + ": quarantine class not Injected");
+            check(q.cls == plan.cls,
+                  label + ": quarantine class mismatch");
             check(q.stage == plan.stage,
                   label + ": quarantine stage mismatch");
         }
@@ -396,9 +411,13 @@ main(int argc, char **argv)
               "chaos: no faults injected (vacuous; raise rate)");
         check_eq(s.quarantine.total(), inj.total_injected(),
                  "chaos: quarantine total vs injected");
+        // The backend sites re-class their injected faults to the
+        // misbehaving-backend classes (see SitePlan::cls).
         for (const support::QuarantinedUnit &q : s.quarantine.units())
-            check(q.cls == FaultClass::Injected,
-                  "chaos: quarantine class not Injected");
+            check(q.cls == FaultClass::Injected ||
+                      q.cls == FaultClass::BackendCrash ||
+                      q.cls == FaultClass::BackendHang,
+                  "chaos: unexpected quarantine class");
         std::printf("%s", s.to_string().c_str());
     }
 

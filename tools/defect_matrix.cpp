@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Defect-matrix CLI: run the full pipeline against every
+ * mutation-derived Lo-Fi variant backend in the defect catalogue and
+ * score detection per defect class (src/defects/defects.h).
+ *
+ *   defect_matrix --list
+ *   defect_matrix
+ *   defect_matrix --variant wrmsr-truncated --shards 4
+ *   defect_matrix --pairs 4 --json BENCH_defects.json
+ *
+ * Exit status: 0 when every detectable class was detected AND every
+ * variant (including the crash/hang/corruption ones) was fully
+ * contained; 3 otherwise; 2 on usage errors.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "defects/defects.h"
+#include "support/logging.h"
+
+using namespace pokeemu;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [options]\n"
+                 "  --list             print the defect catalogue\n"
+                 "  --variant NAME     run only this variant (repeat\n"
+                 "                     for several)\n"
+                 "  --pairs N          add N seeded defect-pair\n"
+                 "                     variants (default 0)\n"
+                 "  --pair-seed N      seed for the pair plan\n"
+                 "  --no-misbehavior   skip crash/hang/corruption\n"
+                 "                     variants\n"
+                 "  --shards N         shard count per campaign\n"
+                 "  --max-paths N      per-instruction path cap\n"
+                 "  --seed N           exploration seed\n"
+                 "  --json FILE        also write machine-readable\n"
+                 "                     results\n"
+                 "  --verbose          info-level logging\n",
+                 argv0);
+}
+
+bool
+parse_u64(const char *s, u64 &out)
+{
+    char *end = nullptr;
+    out = std::strtoull(s, &end, 10);
+    return end != s && *end == '\0';
+}
+
+void
+print_catalogue()
+{
+    std::printf("defect catalogue (%zu entries):\n",
+                defects::catalogue().size());
+    for (const defects::DefectSpec &d : defects::catalogue()) {
+        std::printf("  %-24s %-11s %-10s %s\n", d.name.c_str(),
+                    defects::defect_kind_name(d.kind),
+                    d.detectable ? "detectable" : "latent",
+                    d.description.c_str());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    defects::MatrixOptions options;
+    std::string json_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        u64 n = 0;
+        if (arg == "--list") {
+            print_catalogue();
+            return 0;
+        } else if (arg == "--variant") {
+            options.only.push_back(value());
+        } else if (arg == "--pairs") {
+            if (!parse_u64(value(), n)) {
+                std::fprintf(stderr, "bad --pairs\n");
+                return 2;
+            }
+            options.include_pairs = n > 0;
+            options.pair_count = static_cast<std::size_t>(n);
+        } else if (arg == "--pair-seed") {
+            if (!parse_u64(value(), n)) {
+                std::fprintf(stderr, "bad --pair-seed\n");
+                return 2;
+            }
+            options.pair_seed = n;
+        } else if (arg == "--no-misbehavior") {
+            options.include_misbehavior = false;
+        } else if (arg == "--shards") {
+            if (!parse_u64(value(), n) || n == 0) {
+                std::fprintf(stderr, "bad --shards\n");
+                return 2;
+            }
+            options.shards = static_cast<u32>(n);
+        } else if (arg == "--max-paths") {
+            if (!parse_u64(value(), n) || n == 0) {
+                std::fprintf(stderr, "bad --max-paths\n");
+                return 2;
+            }
+            options.max_paths = n;
+        } else if (arg == "--seed") {
+            if (!parse_u64(value(), n)) {
+                std::fprintf(stderr, "bad --seed\n");
+                return 2;
+            }
+            options.seed = n;
+        } else if (arg == "--json") {
+            json_path = value();
+        } else if (arg == "--verbose") {
+            set_log_level(LogLevel::Info);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    // Unknown --variant names are a usage error, not an empty run.
+    for (const std::string &name : options.only) {
+        if (name.rfind("pair:", 0) == 0)
+            continue;
+        if (defects::find_defect(name) == nullptr) {
+            std::fprintf(stderr, "unknown variant '%s'; known:\n",
+                         name.c_str());
+            for (const defects::DefectSpec &d : defects::catalogue())
+                std::fprintf(stderr, "  %s\n", d.name.c_str());
+            return 2;
+        }
+    }
+
+    try {
+        const defects::MatrixResult result =
+            defects::run_matrix(options);
+        std::fputs(defects::matrix_table(result).c_str(), stdout);
+
+        if (!json_path.empty()) {
+            std::FILE *f = std::fopen(json_path.c_str(), "w");
+            if (f == nullptr) {
+                std::fprintf(stderr, "cannot write '%s'\n",
+                             json_path.c_str());
+                return 1;
+            }
+            std::fprintf(f, "{\n");
+            defects::write_matrix_json(f, result);
+            std::fprintf(f, "\n}\n");
+            std::fclose(f);
+        }
+
+        const bool ok =
+            result.recall_complete() && result.containment_complete();
+        if (!ok) {
+            std::fprintf(stderr,
+                         "FAIL: recall %llu/%llu, containment %s\n",
+                         static_cast<unsigned long long>(
+                             result.detectable_found),
+                         static_cast<unsigned long long>(
+                             result.detectable_total),
+                         result.containment_complete() ? "ok"
+                                                       : "violated");
+        }
+        return ok ? 0 : 3;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "defect matrix failed: %s\n", e.what());
+        return 1;
+    }
+}
