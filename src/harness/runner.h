@@ -87,6 +87,7 @@ class TestRunner
 
     const hw::Vmm &vmm() const { return vmm_; }
     const lofi::LoFiEmulator &lofi() const { return lofi_; }
+    const hifi::HiFiEmulator &hifi() const { return hifi_; }
 
   private:
     Config config_;

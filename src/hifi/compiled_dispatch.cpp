@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Compiled-semantics dispatch: shape matching against the generated
+ * table. Separated from compiled.cpp because these functions reference
+ * compiled_table(), which only exists in the semgen-generated
+ * translation unit (linked as pokeemu_compiled after the core
+ * library); tools/semgen itself must link without it.
+ */
+#include "hifi/compiled.h"
+
+namespace pokeemu::hifi {
+
+bool
+shape_matches(const CompiledShape &shape, const arch::DecodedInsn &insn)
+{
+    if (shape.table_index != insn.table_index ||
+        shape.length != insn.length || shape.lock != insn.lock ||
+        shape.rep != insn.rep || shape.repne != insn.repne ||
+        shape.seg_override != insn.seg_override ||
+        shape.has_modrm != insn.has_modrm ||
+        shape.has_sib != insn.has_sib) {
+        return false;
+    }
+    if (shape.has_modrm && shape.modrm != insn.modrm)
+        return false;
+    if (shape.has_sib && shape.sib != insn.sib)
+        return false;
+    if (!shape.params_ok &&
+        (shape.imm != insn.imm || shape.disp != insn.disp ||
+         shape.imm_sel != insn.imm_sel)) {
+        return false;
+    }
+    return true;
+}
+
+const CompiledEntry *
+compiled_find(const arch::DecodedInsn &insn)
+{
+    const CompiledTable &table = compiled_table();
+    if (insn.table_index < 0 ||
+        static_cast<std::size_t>(insn.table_index) >= table.rows) {
+        return nullptr;
+    }
+    const u32 begin = table.row_begin[insn.table_index];
+    const u32 end = table.row_begin[insn.table_index + 1];
+    for (u32 i = begin; i < end; ++i) {
+        if (shape_matches(table.entries[i].shape, insn))
+            return &table.entries[i];
+    }
+    return nullptr;
+}
+
+} // namespace pokeemu::hifi

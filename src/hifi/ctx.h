@@ -120,6 +120,26 @@ class Ctx
                    const ExprRef &value);
     /// @}
 
+    /// @name Encoding-value operands (immediate / displacement).
+    /// Specialized mode (the default) returns the decoded encoding's
+    /// constants — byte-identical to the pre-parameterization
+    /// programs. Generic mode (opt_.generic_params, used only by the
+    /// compiled-handler generator) returns expressions over the
+    /// param-block loads emitted at the top of build().
+    /// @{
+    bool generic() const { return opt_.generic_params; }
+    /** The 32-bit value immediate (insn_.imm). */
+    ExprRef imm_v(unsigned width);
+    /** imm's low byte sign-extended to @p width. */
+    ExprRef imm_sext8_v(unsigned width);
+    /** imm's low byte masked to a 5-bit shift count (width 8). */
+    ExprRef shift_count_v();
+    /** imm's low byte zero-extended to 32 (bt-family bit offset). */
+    ExprRef imm_low8_32_v();
+    /** The 32-bit displacement (insn_.disp). */
+    ExprRef disp_v();
+    /// @}
+
     /// @name Operand helpers.
     /// @{
     /** Effective address of the ModRM memory operand. */
@@ -205,6 +225,12 @@ class Ctx
     IrBuilder b_;
     const DecodedInsn &insn_;
     const SemanticsOptions &opt_;
+
+    /** Param-block loads (generic mode only; null otherwise). Loaded
+     *  once in the entry block so every use is dominated; the
+     *  optimizer's DCE drops whichever a program never reads. */
+    ExprRef imm_param_;
+    ExprRef disp_param_;
 
     struct PendingFault
     {

@@ -18,6 +18,7 @@
 #include <memory>
 
 #include "arch/snapshot.h"
+#include "hifi/compiled.h"
 #include "hifi/decoder_ir.h"
 #include "hifi/semantics.h"
 #include "ir/eval.h"
@@ -58,6 +59,13 @@ class HiFiEmulator : public ir::ConcreteMemory
     /** Instructions retired since reset. */
     u64 insn_count() const { return insn_count_; }
 
+    /// @name Compiled-semantics dispatch accounting (since
+    /// construction; SemanticsOptions::compiled selects the mode).
+    /// @{
+    u64 compiled_hits() const { return compiled_hits_; }
+    u64 compiled_misses() const { return compiled_misses_; }
+    /// @}
+
     /// @name ir::ConcreteMemory (the IR address space).
     /// @{
     u64 load(u32 addr, unsigned size) override;
@@ -69,6 +77,14 @@ class HiFiEmulator : public ir::ConcreteMemory
                           u32 cr2, bool set_cr2);
     u8 *resolve(u32 addr);
 
+    /** Dispatch @p insn to its generated handler if one matches.
+     *  Returns true when the instruction was fully executed (On) or
+     *  executed and cross-checked (CrossCheck); false on a table miss
+     *  (caller falls back to the interpreter). Throws
+     *  FaultError(CodegenMismatch) on a stale table or a CrossCheck
+     *  divergence. */
+    bool step_compiled(const arch::DecodedInsn &insn);
+
     SemanticsOptions options_;
     std::array<u8, arch::layout::kCpuStateSize> state_{};
     std::array<u8, 0x100> scratch_{}; ///< Insn buffer + decoder state.
@@ -77,6 +93,10 @@ class HiFiEmulator : public ir::ConcreteMemory
     std::map<std::vector<u8>, std::shared_ptr<const ir::Program>>
         semantics_cache_;
     u64 insn_count_ = 0;
+    u64 compiled_hits_ = 0;
+    u64 compiled_misses_ = 0;
+    /** Staleness guard ran (table hash == compiled_expected_hash()). */
+    bool compiled_checked_ = false;
 };
 
 } // namespace pokeemu::hifi

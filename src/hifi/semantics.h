@@ -44,6 +44,16 @@ halt_exception_code(u8 vector)
 }
 /// @}
 
+/**
+ * How HiFiEmulator executes semantics for concrete replay
+ * (hifi/compiled.h): interpret the IR, dispatch to the build-time
+ * compiled handler (interpreter fallback for uncompiled encodings), or
+ * run both and fault on divergence (FaultClass::CodegenMismatch).
+ */
+enum class CompiledExec : u8 { Off, On, CrossCheck };
+
+const char *compiled_exec_name(CompiledExec mode);
+
 /** Options controlling semantics generation. */
 struct SemanticsOptions
 {
@@ -68,7 +78,34 @@ struct SemanticsOptions
      * (pokeemu/pipeline.h), which only threads On/Off down here.
      */
     analysis::OptMode opt = analysis::OptMode::Off;
+
+    /** Concrete-replay execution mode (used by HiFiEmulator, not by
+     *  the builder itself; carried here so one options struct threads
+     *  through runner/pipeline/campaign). */
+    CompiledExec compiled = CompiledExec::Off;
+
+    /**
+     * Internal (semgen / compiled dispatch): emit the instruction's
+     * value immediate and displacement as loads from the parameter
+     * block (param_block below) instead of baking the encoding's
+     * constants into the program, so one generated handler serves
+     * every encoding that shares the row's structural shape. Register
+     * numbers, operand form, length and prefixes stay baked — only
+     * *values* are parameterized. Never set by user-facing options;
+     * with it false, built programs are byte-identical to before.
+     */
+    bool generic_params = false;
 };
+
+/**
+ * Parameter block read by generic-params programs. Lives in the
+ * instruction-buffer region just past the decoder scratch (+0x40..0x4b,
+ * decoder_ir.h) inside HiFiEmulator's 0x100-byte scratch window.
+ */
+namespace param_block {
+constexpr u32 kImm = arch::layout::kInsnBufBase + 0x60;  ///< 4 bytes.
+constexpr u32 kDisp = arch::layout::kInsnBufBase + 0x64; ///< 4 bytes.
+} // namespace param_block
 
 /**
  * Build the semantics program for @p insn. EIP in the state image must

@@ -478,10 +478,51 @@ Ctx::effective_segment() const
 }
 
 ExprRef
+Ctx::imm_v(unsigned width)
+{
+    if (!generic())
+        return E::constant(width, insn_.imm);
+    return width == 32 ? imm_param_
+                       : E::extract(imm_param_, 0, width);
+}
+
+ExprRef
+Ctx::imm_sext8_v(unsigned width)
+{
+    if (!generic()) {
+        return E::constant(
+            width, static_cast<u64>(sign_extend(insn_.imm & 0xff, 8)));
+    }
+    return E::sext(E::extract(imm_param_, 0, 8), width);
+}
+
+ExprRef
+Ctx::shift_count_v()
+{
+    if (!generic())
+        return E::constant(8, insn_.imm & 0x1f);
+    return E::band(E::extract(imm_param_, 0, 8), E::constant(8, 0x1f));
+}
+
+ExprRef
+Ctx::imm_low8_32_v()
+{
+    if (!generic())
+        return imm32(insn_.imm & 0xff);
+    return E::zext(E::extract(imm_param_, 0, 8), 32);
+}
+
+ExprRef
+Ctx::disp_v()
+{
+    return generic() ? disp_param_ : imm32(insn_.disp);
+}
+
+ExprRef
 Ctx::effective_address()
 {
     assert(insn_.is_memory_operand());
-    ExprRef ea = imm32(insn_.disp);
+    ExprRef ea = disp_v();
     if (insn_.has_sib) {
         // Base register (none when base==5 with mod==0: disp32 only).
         if (!(insn_.base == 5 && insn_.mod == 0))
@@ -882,6 +923,17 @@ Ctx::load_segment(unsigned s, const ExprRef &selector)
 ir::Program
 Ctx::build()
 {
+    if (opt_.generic_params) {
+        // Entry-block param loads so every later use is dominated.
+        // Unused ones are constant-address loads the optimizer's DCE
+        // removes (compiled units always build with opt = On).
+        imm_param_ = b_.load(imm32(param_block::kImm), 4,
+                             ir::ConcretizePolicy::SingleRandom,
+                             "imm param");
+        disp_param_ = b_.load(imm32(param_block::kDisp), 4,
+                              ir::ConcretizePolicy::SingleRandom,
+                              "disp param");
+    }
     gen();
     flush_faults();
     return b_.finish();

@@ -26,14 +26,6 @@ bit_of(const ExprRef &value, unsigned pos)
     return E::extract(value, pos, 1);
 }
 
-/** Sign-extended 8-bit immediate as a value of @p width bits. */
-ExprRef
-sext_imm8(u32 imm, unsigned width)
-{
-    return E::constant(width,
-                       static_cast<u64>(sign_extend(imm & 0xff, 8)));
-}
-
 } // namespace
 
 // ---------------------------------------------------------------------
@@ -171,17 +163,17 @@ Ctx::gen_alu()
       case Op::AluAlImm8: case Op::AluEaxImm32:
         dst_kind = Dst::Acc;
         a = reg_operand(arch::kEax, w);
-        b = E::constant(w, insn_.imm);
+        b = imm_v(w);
         break;
       case Op::Grp1Rm8Imm8: case Op::Grp1Rm32Imm32:
         dst_kind = Dst::Rm;
         a = is_cmp ? read_rm(w) : read_rm_for_write(w, pw);
-        b = E::constant(w, insn_.imm);
+        b = imm_v(w);
         break;
       case Op::Grp1Rm32Imm8:
         dst_kind = Dst::Rm;
         a = is_cmp ? read_rm(w) : read_rm_for_write(w, pw);
-        b = sext_imm8(insn_.imm, 32);
+        b = imm_sext8_v(32);
         break;
       default:
         panic("bad alu op");
@@ -287,11 +279,11 @@ Ctx::gen_inc_dec_push_pop()
         done();
         return;
       case Op::PushImm32:
-        push32(imm32(insn_.imm));
+        push32(imm_v(32));
         done();
         return;
       case Op::PushImm8:
-        push32(sext_imm8(insn_.imm, 32));
+        push32(imm_sext8_v(32));
         done();
         return;
       case Op::PushRm32:
@@ -352,7 +344,7 @@ Ctx::gen_mov()
       case Op::MovRm8Imm8:
       case Op::MovRm32Imm32: {
         const unsigned w = op == Op::MovRm8Imm8 ? 8 : 32;
-        ExprRef v = E::constant(w, insn_.imm);
+        ExprRef v = imm_v(w);
         if (insn_.mod == 3) {
             set_reg_operand(insn_.rm, w, v);
         } else {
@@ -363,11 +355,11 @@ Ctx::gen_mov()
         return;
       }
       case Op::MovR8Imm8:
-        set_gpr8(insn_.desc->aux, E::constant(8, insn_.imm));
+        set_gpr8(insn_.desc->aux, imm_v(8));
         done();
         return;
       case Op::MovR32Imm32:
-        set_gpr(insn_.desc->aux, imm32(insn_.imm));
+        set_gpr(insn_.desc->aux, imm_v(32));
         done();
         return;
       case Op::MovRm16Sreg: {
@@ -395,7 +387,7 @@ Ctx::gen_mov()
             insn_.seg_override >= 0
                 ? static_cast<unsigned>(insn_.seg_override)
                 : static_cast<unsigned>(arch::kDs),
-            imm32(insn_.imm), 1));
+            imm_v(32), 1));
         done();
         return;
       case Op::MovEaxMoffs:
@@ -403,21 +395,21 @@ Ctx::gen_mov()
             insn_.seg_override >= 0
                 ? static_cast<unsigned>(insn_.seg_override)
                 : static_cast<unsigned>(arch::kDs),
-            imm32(insn_.imm), 4));
+            imm_v(32), 4));
         done();
         return;
       case Op::MovMoffsAl:
         mem_write(insn_.seg_override >= 0
                       ? static_cast<unsigned>(insn_.seg_override)
                       : static_cast<unsigned>(arch::kDs),
-                  imm32(insn_.imm), 1, gpr8(0));
+                  imm_v(32), 1, gpr8(0));
         done();
         return;
       case Op::MovMoffsEax:
         mem_write(insn_.seg_override >= 0
                       ? static_cast<unsigned>(insn_.seg_override)
                       : static_cast<unsigned>(arch::kDs),
-                  imm32(insn_.imm), 4, gpr(arch::kEax));
+                  imm_v(32), 4, gpr(arch::kEax));
         done();
         return;
       default:
@@ -448,7 +440,7 @@ Ctx::gen_test_xchg()
         const unsigned w = op == Op::TestAlImm8 ? 8 : 32;
         ExprRef a = reg_operand(arch::kEax, w);
         write_flags(flags_logic(b_.assign(
-            E::band(a, E::constant(w, insn_.imm)), "test")));
+            E::band(a, imm_v(w)), "test")));
         done();
         return;
       }
@@ -491,16 +483,13 @@ Ctx::gen_jcc_setcc_cmov()
       case Op::JccRel8:
       case Op::JccRel32: {
         ExprRef cond = cond_cc(cc);
-        const u32 fallthrough_delta = insn_.length;
-        const s64 rel = op == Op::JccRel8
-            ? sign_extend(insn_.imm & 0xff, 8)
-            : sign_extend(insn_.imm, 32);
+        ExprRef rel = op == Op::JccRel8 ? imm_sext8_v(32) : imm_v(32);
         ExprRef eip = b_.assign(ld32(layout::kEipAddr), "eip");
-        ExprRef next = E::add(eip, imm32(fallthrough_delta));
+        ExprRef next = E::add(eip, imm32(insn_.length));
         Label taken = b_.label(), not_taken = b_.label();
         b_.cjmp(cond, taken, not_taken, "jcc");
         b_.bind(taken);
-        set_eip(E::add(next, imm32(static_cast<u64>(rel))));
+        set_eip(E::add(next, rel));
         b_.halt(kHaltOk);
         b_.bind(not_taken);
         set_eip(next);
@@ -713,7 +702,7 @@ Ctx::gen_shift()
 
     ExprRef count;
     if (op == Op::ShiftRm8Imm8 || op == Op::ShiftRm32Imm8) {
-        count = E::constant(8, insn_.imm & 0x1f);
+        count = shift_count_v();
     } else if (op == Op::ShiftRm8One || op == Op::ShiftRm32One) {
         count = E::constant(8, 1);
     } else {

@@ -78,8 +78,11 @@ Ctx::gen_control()
       }
       case Op::RetImm16: {
         ExprRef target = b_.assign(stack_read(imm32(0), 4), "return");
-        set_gpr(arch::kEsp,
-                E::add(gpr(arch::kEsp), imm32(4 + insn_.imm)));
+        ExprRef pop = generic()
+            ? E::add(imm32(4),
+                     E::zext(E::extract(imm_v(32), 0, 16), 32))
+            : imm32(4 + insn_.imm);
+        set_gpr(arch::kEsp, E::add(gpr(arch::kEsp), pop));
         set_eip(target);
         b_.halt(kHaltOk);
         return;
@@ -89,19 +92,25 @@ Ctx::gen_control()
         ExprRef next = b_.assign(E::add(eip, imm32(insn_.length)),
                                  "return address");
         push32(next);
-        set_eip(E::add(next, imm32(static_cast<u64>(
-                                 sign_extend(insn_.imm, 32)))));
+        set_eip(E::add(next, imm_v(32)));
         b_.halt(kHaltOk);
         return;
       }
       case Op::JmpRel32:
       case Op::JmpRel8: {
-        const s64 rel = insn_.desc->op == Op::JmpRel8
-            ? sign_extend(insn_.imm & 0xff, 8)
-            : sign_extend(insn_.imm, 32);
         ExprRef eip = ld32(layout::kEipAddr);
-        set_eip(E::add(eip, imm32(insn_.length +
-                                  static_cast<u64>(rel))));
+        if (generic()) {
+            ExprRef rel = insn_.desc->op == Op::JmpRel8
+                ? imm_sext8_v(32)
+                : imm_v(32);
+            set_eip(E::add(E::add(eip, imm32(insn_.length)), rel));
+        } else {
+            const s64 rel = insn_.desc->op == Op::JmpRel8
+                ? sign_extend(insn_.imm & 0xff, 8)
+                : sign_extend(insn_.imm, 32);
+            set_eip(E::add(eip, imm32(insn_.length +
+                                      static_cast<u64>(rel))));
+        }
         b_.halt(kHaltOk);
         return;
       }
@@ -441,7 +450,7 @@ Ctx::gen_grp3()
         const unsigned w = op == Op::Grp3TestRm8Imm8 ? 8 : 32;
         ExprRef a = read_rm(w);
         write_flags(flags_logic(b_.assign(
-            E::band(a, E::constant(w, insn_.imm)), "test")));
+            E::band(a, imm_v(w)), "test")));
         done();
         return;
       }
@@ -812,7 +821,7 @@ Ctx::gen_bitops()
         }
 
         ExprRef bitoff = from_reg ? gpr(insn_.reg)
-                                  : imm32(insn_.imm & 0xff);
+                                  : imm_low8_32_v();
         bitoff = b_.assign(bitoff, "bit offset");
         ExprRef idx = b_.assign(E::band(bitoff, imm32(31)),
                                 "bit index");
@@ -869,7 +878,7 @@ Ctx::gen_bitops()
         const bool left = op == Op::ShldImm8 || op == Op::ShldCl;
         ExprRef count =
             (op == Op::ShldImm8 || op == Op::ShrdImm8)
-                ? E::constant(8, insn_.imm & 0x1f)
+                ? shift_count_v()
                 : E::band(gpr8(1), E::constant(8, 0x1f));
         count = b_.assign(count, "count");
         ExprRef is_zero = E::eq(count, E::constant(8, 0));
@@ -961,10 +970,8 @@ Ctx::gen_mul_imul()
     } else {
         a = b_.assign(read_rm(32), "src");
         b = op == Op::ImulR32Rm32Imm32
-            ? imm32(insn_.imm)
-            : E::constant(32,
-                          static_cast<u64>(sign_extend(insn_.imm & 0xff,
-                                                       8)));
+            ? imm_v(32)
+            : imm_sext8_v(32);
     }
     ExprRef wide = b_.assign(E::mul(E::sext(a, 64), E::sext(b, 64)),
                              "product");

@@ -98,6 +98,11 @@ options_fingerprint(const PipelineOptions &options)
     // filled; resuming under a different mode would mix full and empty
     // columns in one file.
     fp_add(h, static_cast<u64>(options.opt));
+    // Compiled dispatch never changes results either (CrossCheck
+    // proves it per instruction), but the modes quarantine different
+    // units under injected faults and fill the hit/miss counters
+    // differently; a checkpoint must not resume across modes.
+    fp_add(h, static_cast<u64>(options.compiled));
     fp_add(h, options.max_insns_per_test);
     const lofi::BugConfig &b = options.bugs;
     fp_add(h, (u64{b.no_segment_checks} << 0) |
@@ -600,6 +605,9 @@ Pipeline::execute_and_compare()
     // exploration already happened on the original, so the test set is
     // the same either way.
     cfg.hifi_options.opt = options_.opt;
+    // Compiled handlers replace the IR interpreter per instruction;
+    // dispatch misses fall back to interpretation inside the emulator.
+    cfg.hifi_options.compiled = options_.compiled;
     cfg.max_insns = options_.max_insns_per_test;
     cfg.injector = injector_.enabled() ? &injector_ : nullptr;
     cfg.lofi_misbehavior = options_.lofi_misbehavior;
@@ -612,6 +620,9 @@ Pipeline::execute_and_compare()
         !opt_fallback_.empty()) {
         harness::TestRunner::Config fcfg = cfg;
         fcfg.hifi_options.opt = analysis::OptMode::Off;
+        // Handlers are generated from optimized programs; a unit whose
+        // optimization failed validation must not replay through them.
+        fcfg.hifi_options.compiled = hifi::CompiledExec::Off;
         fallback_runner = std::make_unique<harness::TestRunner>(fcfg);
     }
 
@@ -772,6 +783,13 @@ Pipeline::execute_and_compare()
         }
     }
     sync_execution(done);
+    stats_.compiled_hits += runner.hifi().compiled_hits();
+    stats_.compiled_misses += runner.hifi().compiled_misses();
+    if (fallback_runner != nullptr) {
+        stats_.compiled_hits += fallback_runner->hifi().compiled_hits();
+        stats_.compiled_misses +=
+            fallback_runner->hifi().compiled_misses();
+    }
     if (tests_since_checkpoint != 0 || done == start)
         write_checkpoint();
 }

@@ -69,6 +69,16 @@ struct PipelineOptions
      * replaying that unit's tests on the original program instead.
      */
     analysis::OptMode opt = analysis::OptMode::Off;
+    /**
+     * Compiled-semantics execution for stage-4 Hi-Fi replay
+     * (hifi/compiled.h). On dispatches each instruction to its
+     * build-time generated native handler (interpreter fallback for
+     * unmatched encodings); CrossCheck additionally interprets the
+     * handler's source program and quarantines any divergence as
+     * FaultClass::CodegenMismatch. Final states — and therefore
+     * reports — are identical in every mode.
+     */
+    hifi::CompiledExec compiled = hifi::CompiledExec::Off;
     lofi::BugConfig bugs{};
     /** Misbehaviour class of the Lo-Fi variant backend (the defect
      *  matrix runs crash/hang/corrupt variants through the full
@@ -133,6 +143,12 @@ struct PipelineStats
     u64 generation_failures = 0;
     // Stage 4+5.
     u64 tests_executed = 0;
+    /** Compiled-dispatch accounting (hifi/compiled.h): instructions
+     *  retired by a generated handler vs. interpreter fallbacks.
+     *  Deliberately absent from to_string() so reports stay
+     *  byte-identical across CompiledExec modes. */
+    u64 compiled_hits = 0;
+    u64 compiled_misses = 0;
     u64 lofi_raw_diffs = 0;  ///< Lo-Fi vs hardware, before filtering.
     u64 hifi_raw_diffs = 0;  ///< Hi-Fi vs hardware, before filtering.
     u64 lofi_diffs = 0;      ///< After undefined-behaviour filtering.

@@ -296,6 +296,8 @@ merge_outcomes(CampaignResult &result, const ShardPlan &plan,
         m.hifi_diffs += st.hifi_diffs;
         m.filtered_undefined += st.filtered_undefined;
         m.timeouts += st.timeouts;
+        m.compiled_hits += st.compiled_hits;
+        m.compiled_misses += st.compiled_misses;
         m.hifi_timeouts += st.hifi_timeouts;
         m.lofi_timeouts += st.lofi_timeouts;
         m.hw_timeouts += st.hw_timeouts;

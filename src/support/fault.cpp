@@ -33,6 +33,7 @@ fault_class_name(FaultClass cls)
       case FaultClass::BackendCrash: return "backend-crash";
       case FaultClass::BackendHang: return "backend-hang";
       case FaultClass::SnapshotCorrupt: return "snapshot-corrupt";
+      case FaultClass::CodegenMismatch: return "codegen-mismatch";
     }
     return "?";
 }

@@ -70,6 +70,11 @@ enum class FaultClass : u8 {
     BackendCrash,    ///< A backend threw out of its run loop.
     BackendHang,     ///< A backend tripped the per-run watchdog.
     SnapshotCorrupt, ///< A backend emitted an invalid snapshot.
+    /** CompiledExec::CrossCheck caught the compiled handler diverging
+     *  from the IR interpreter, or the generated handler table is
+     *  stale (semantics hash mismatch). Appended last so persisted
+     *  checkpoint ledgers keep their encoding. */
+    CodegenMismatch,
 };
 
 const char *fault_class_name(FaultClass cls);

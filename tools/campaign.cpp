@@ -48,6 +48,11 @@ usage(const char *argv0)
                  "                        on, or validated (prove each\n"
                  "                        unit's optimization with the\n"
                  "                        solver)\n"
+                 "  --compiled M          compiled-semantics replay:\n"
+                 "                        off (default), on, or\n"
+                 "                        crosscheck (run handler and\n"
+                 "                        interpreter, quarantine any\n"
+                 "                        divergence)\n"
                  "  --coverage            per-instruction IR coverage\n"
                  "                        table after the report\n"
                  "  --seed N              exploration seed\n"
@@ -194,6 +199,20 @@ main(int argc, char **argv)
             } else {
                 std::fprintf(stderr,
                              "bad --opt (want off|on|validated)\n");
+                return 2;
+            }
+        } else if (arg == "--compiled") {
+            const std::string mode = value();
+            if (mode == "off") {
+                options.pipeline.compiled = hifi::CompiledExec::Off;
+            } else if (mode == "on") {
+                options.pipeline.compiled = hifi::CompiledExec::On;
+            } else if (mode == "crosscheck") {
+                options.pipeline.compiled =
+                    hifi::CompiledExec::CrossCheck;
+            } else {
+                std::fprintf(
+                    stderr, "bad --compiled (want off|on|crosscheck)\n");
                 return 2;
             }
         } else if (arg == "--coverage") {
