@@ -24,6 +24,12 @@ struct Snapshot
 {
     CpuState cpu;
     std::vector<u8> ram; ///< kPhysMemSize bytes.
+    /** Cycles charged over the run (timing/cost_model.h); 0 when the
+     *  backend ran without cycle accounting. Deliberately ignored by
+     *  diff_snapshots: timing is its own difference class
+     *  (TimingDivergence), compared by the harness only on runs whose
+     *  architectural state already agrees. */
+    u64 cycles = 0;
 };
 
 /** One differing CPU field. */

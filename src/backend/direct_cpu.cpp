@@ -2,6 +2,7 @@
 
 #include "arch/descriptors.h"
 #include "arch/paging.h"
+#include "timing/cost_model.h"
 
 namespace pokeemu::backend {
 
@@ -71,6 +72,35 @@ DirectCpu::reset(const CpuState &cpu, const std::vector<u8> &ram)
     insn_count_ = 0;
     cache_hits_ = 0;
     cache_misses_ = 0;
+    cycles_ = 0;
+}
+
+void
+DirectCpu::charge(int table_index, bool mem_form, bool faulted)
+{
+    if (!behavior_.cycle_accounting)
+        return;
+    const timing::UnitCost &cost =
+        timing::cost_model().cost_for(table_index, mem_form);
+    u64 total = cost.base;
+    if (!behavior_.mem_access_cost_dropped)
+        total += timing::kMemAccessCost * cost.mem_accesses;
+    if (faulted)
+        total += cost.fault_extra;
+    if (behavior_.half_cycle_accounting)
+        total >>= 1;
+    cycles_ += total;
+}
+
+void
+DirectCpu::charge_fault_path()
+{
+    if (!behavior_.cycle_accounting)
+        return;
+    u64 total = timing::kFaultPathCycles;
+    if (behavior_.half_cycle_accounting)
+        total >>= 1;
+    cycles_ += total;
 }
 
 // ---------------------------------------------------------------------
@@ -456,6 +486,13 @@ DirectCpu::step()
     if (cpu_.halted)
         return false;
 
+    // Cost key of the instruction whose semantics are executing, for
+    // fault-path charging from the handler below (the DecodedInsn
+    // itself dies with the try scope). row < 0 = faulted before its
+    // semantics ran (fetch/decode/alias): flat fault-path charge,
+    // mirroring HiFiEmulator's pre-semantics sites.
+    int charge_row = -1;
+    bool charge_memform = false;
     Work w{cpu_};
     try {
         // Fetch up to 15 bytes through CS + MMU.
@@ -527,9 +564,12 @@ DirectCpu::step()
         if (!behavior_.accept_alias_encodings && insn.desc->is_alias)
             raise(arch::kExcUd, 0, false);
 
+        charge_row = insn.table_index;
+        charge_memform = insn.is_memory_operand();
         execute(w, insn);
         cpu_ = w.c;
         ++insn_count_;
+        charge(charge_row, charge_memform, false);
         return true;
     } catch (const GuestFault &f) {
         // Commit the working state as mutated so far (string progress
@@ -542,6 +582,10 @@ DirectCpu::step()
             w.c.cr2 = f.cr2;
         w.c.halted = 1;
         cpu_ = w.c;
+        if (charge_row >= 0)
+            charge(charge_row, charge_memform, true);
+        else
+            charge_fault_path();
         return false;
     }
 }

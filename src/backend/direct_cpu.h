@@ -77,6 +77,24 @@ struct Behavior
     bool wrmsr_truncate_16 = false;
     /// @}
 
+    /** Accumulate per-run cycle totals (timing/cost_model.h) into
+     *  snapshots. Off by default: accounting is opt-in per campaign
+     *  (--timing), and a zero total keeps reports byte-identical to
+     *  the timing-off output. */
+    bool cycle_accounting = false;
+
+    /// @name Injectable timing defects (pose64-style: architectural
+    /// results stay right while cycle totals go wrong). Only charged
+    /// when cycle_accounting is on.
+    /// @{
+    /** Every charge halved — the pose64 2x systematic undercount.
+     *  Costs are even by construction (timing/cost_model.h), so the
+     *  halving is exact and clusters at cycles-2x-under. */
+    bool half_cycle_accounting = false;
+    /** Per-memory-access cost never accumulated. */
+    bool mem_access_cost_dropped = false;
+    /// @}
+
     bool operator==(const Behavior &) const = default;
 };
 
@@ -113,7 +131,7 @@ class DirectCpu
     StopReason run(u64 max_insns = 1u << 20);
 
     const arch::CpuState &cpu() const { return cpu_; }
-    arch::Snapshot snapshot() const { return {cpu_, ram_}; }
+    arch::Snapshot snapshot() const { return {cpu_, ram_, cycles_}; }
 
     /** Snapshot into a reusable buffer (avoids a 4 MiB allocation per
      *  test; the vector assignment reuses existing capacity). */
@@ -122,9 +140,16 @@ class DirectCpu
     {
         out.cpu = cpu_;
         out.ram = ram_;
+        out.cycles = cycles_;
     }
 
     u64 insn_count() const { return insn_count_; }
+
+    /// @name Cycle accounting (timing/cost_model.h).
+    /// @{
+    void set_cycle_accounting(bool on) { behavior_.cycle_accounting = on; }
+    u64 cycle_count() const { return cycles_; }
+    /// @}
 
     /// @name Translation-cache statistics (the Lo-Fi "JIT" model).
     /// @{
@@ -185,6 +210,16 @@ class DirectCpu
 
     void execute(Work &w, const arch::DecodedInsn &insn);
 
+    /// @name Cycle charging (one call per retirement attempt).
+    /// @{
+    /** Charge the (row, operand form) cost — plus the fault surcharge
+     *  when the semantics faulted — with timing defects applied. */
+    void charge(int table_index, bool mem_form, bool faulted);
+    /** Flat pre-semantics fault-path charge (fetch starvation,
+     *  undecodable bytes, rejected alias). */
+    void charge_fault_path();
+    /// @}
+
     Behavior behavior_;
     arch::CpuState cpu_;
     std::vector<u8> ram_;
@@ -200,6 +235,7 @@ class DirectCpu
     u64 insn_count_ = 0;
     u64 cache_hits_ = 0;
     u64 cache_misses_ = 0;
+    u64 cycles_ = 0;
 };
 
 } // namespace pokeemu::backend

@@ -132,6 +132,29 @@ build_catalogue()
         "so it evades tests minimized toward the zeroed baseline",
         {"msr-write-truncated"}, {{0x0f, 0x30}}));
 
+    // --- Timing defects (pose64-style): architectural state stays
+    // right, only cycle totals go wrong. Detectable solely as
+    // TimingDivergence with PipelineOptions::timing on, which the
+    // variant campaign enables for them (DefectSpec::timing). ---
+    c.push_back(behavioral(
+        // Every charge in the cost model is even (timing/cost_model.h),
+        // so halving is exact and the rounded ratio lands precisely in
+        // the 2x bucket on every test.
+        "half-cycle-accounting", &B::half_cycle_accounting, true,
+        "every cycle charge halved (a 2x systematic undercount)",
+        {"cycles-2x-under-lofi"},
+        {{0x50}, {0x01, 0x08}, {0xc9}}));
+    c.back().timing = true;
+    c.push_back(behavioral(
+        "mem-cost-dropped", &B::mem_access_cost_dropped, true,
+        "per-memory-access cost never accumulated; the undercount "
+        "ratio depends on each test's memory traffic, so detections "
+        "spread across the under-side ratio buckets",
+        {"cycles-under-lofi", "cycles-2x-under-lofi",
+         "cycles-3x-under-lofi", "cycles-4x+-under-lofi"},
+        {{0x50}, {0x01, 0x08}, {0xc9}}));
+    c.back().timing = true;
+
     // --- Misbehaviour classes: containment, not detection. ---
     c.push_back(misbehavior(
         "backend-crash", lofi::Misbehavior::Crash,
@@ -262,6 +285,8 @@ variant_campaign(const Variant &variant, const MatrixOptions &options)
         const DefectSpec &d = catalogue().at(i);
         if (d.misbehavior != lofi::Misbehavior::None)
             campaign.pipeline.lofi_misbehavior = d.misbehavior;
+        if (d.timing)
+            campaign.pipeline.timing = true;
         for (const auto &encoding : d.focus_encodings)
             filter.insert(focus_index(encoding));
     }
@@ -316,18 +341,26 @@ score_variant(const Variant &variant, const CampaignResult &result)
     score.detectable = any_detectable;
 
     const PipelineStats &stats = result.merged;
-    for (const harness::Cluster &c : stats.lofi_clusters.clusters()) {
-        if (is_timeout_cluster(c.root_cause))
-            continue;
-        score.observed_clusters.push_back(c.root_cause);
-        ++score.total_clusters;
-        score.total_diff_tests += c.count;
-        if (expected.count(c.root_cause)) {
-            score.detected = true;
-            ++score.matched_clusters;
-            score.matched_tests += c.count;
-        }
-    }
+    const auto score_clusters =
+        [&](const harness::RootCauseClusterer &clusterer) {
+            for (const harness::Cluster &c : clusterer.clusters()) {
+                if (is_timeout_cluster(c.root_cause))
+                    continue;
+                score.observed_clusters.push_back(c.root_cause);
+                ++score.total_clusters;
+                score.total_diff_tests += c.count;
+                if (expected.count(c.root_cause)) {
+                    score.detected = true;
+                    ++score.matched_clusters;
+                    score.matched_tests += c.count;
+                }
+            }
+        };
+    score_clusters(stats.lofi_clusters);
+    // TimingDivergence clusters are scored with the same precision /
+    // purity accounting: a timing defect must surface here, and any
+    // spurious state-diff cluster it causes would cost precision.
+    score_clusters(stats.lofi_timing_clusters);
 
     score.test_programs = stats.test_programs;
     score.tests_executed = stats.tests_executed;

@@ -62,6 +62,11 @@ struct DefectSpec
     bool lofi::BugConfig::*knob = nullptr;
     /** Misbehaviour class (Misbehavior only). */
     lofi::Misbehavior misbehavior = lofi::Misbehavior::None;
+    /** The defect is observable only through cycle accounting
+     *  (architectural state stays right); variant campaigns seeding it
+     *  run with PipelineOptions::timing on, and its expected clusters
+     *  are TimingDivergence buckets. */
+    bool timing = false;
     /** Cluster names counted as a correct detection. */
     std::vector<std::string> expected_clusters;
     /** Encodings of instructions that expose the defect (the variant

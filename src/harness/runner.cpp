@@ -17,6 +17,17 @@ injection_site(Backend backend)
     return support::FaultSite::BackendHw;
 }
 
+/** The runner owns the timing switch: merge it into the Hi-Fi options
+ *  before the member is constructed (Config::timing is authoritative
+ *  so callers cannot half-enable accounting via hifi_options). */
+hifi::SemanticsOptions
+hifi_options_of(const TestRunner::Config &config)
+{
+    hifi::SemanticsOptions options = config.hifi_options;
+    options.timing = config.timing;
+    return options;
+}
+
 } // namespace
 
 const char *
@@ -33,9 +44,11 @@ backend_name(Backend backend)
 TestRunner::TestRunner() : TestRunner(Config{}) {}
 
 TestRunner::TestRunner(const Config &config)
-    : config_(config), hifi_(config.hifi_options),
+    : config_(config), hifi_(hifi_options_of(config)),
       lofi_(config.bugs, config.lofi_misbehavior)
 {
+    lofi_.set_cycle_accounting(config.timing);
+    vmm_.set_cycle_accounting(config.timing);
 }
 
 BackendRun

@@ -60,6 +60,14 @@ class TestRunner
          */
         u64 watchdog_insns = 0;
         u64 watchdog_wall_ms = 0;
+        /**
+         * Enable cycle accounting (timing/cost_model.h) on all three
+         * backends; per-run totals ride along in each BackendRun
+         * snapshot. Off by default: with it off every snapshot carries
+         * cycles == 0 and reports are byte-identical to a build
+         * without the timing subsystem.
+         */
+        bool timing = false;
     };
 
     TestRunner(); ///< Default configuration (all Lo-Fi bugs seeded).

@@ -182,6 +182,13 @@ compute_expected_hash()
         const std::string text = ir::to_string(unit.program);
         hash_u64(h, text.size());
         hash_bytes(h, text.data(), text.size());
+        // Fold the derived cycle cost so a change to the derivation
+        // rules (timing/cost_model.h) stales the emitted cost table
+        // exactly like a semantics change stales the handlers.
+        const timing::UnitCost cost = timing::derive_cost(unit.program);
+        hash_u64(h, cost.base);
+        hash_u64(h, cost.mem_accesses);
+        hash_u64(h, cost.fault_extra);
     }
     return h;
 }

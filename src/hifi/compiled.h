@@ -33,6 +33,7 @@
 #include "arch/decoder.h"
 #include "hifi/semantics.h"
 #include "ir/eval.h"
+#include "timing/cost_model.h"
 
 namespace pokeemu::hifi {
 
@@ -87,6 +88,21 @@ struct CompiledTable
 
 /** Defined in the semgen-generated translation unit. */
 const CompiledTable &compiled_table();
+
+/** The generated per-unit cycle-cost table (timing/cost_model.h),
+ *  parallel to CompiledTable::entries: costs[i] is the cost semgen
+ *  derived from the exact program it compiled into entries[i]. The
+ *  triples are folded into compiled_expected_hash(), so a cost table
+ *  that disagrees with fresh derivation is refused as stale together
+ *  with the handlers. */
+struct CompiledCostTable
+{
+    const timing::UnitCost *costs;
+    std::size_t num;
+};
+
+/** Defined in the semgen-generated translation unit. */
+const CompiledCostTable &compiled_cost_table();
 
 /** Does @p insn match @p shape (see CompiledShape)? */
 bool shape_matches(const CompiledShape &shape,

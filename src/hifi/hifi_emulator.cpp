@@ -24,6 +24,23 @@ HiFiEmulator::reset(const arch::CpuState &cpu, const std::vector<u8> &ram)
     assert(ram.size() == arch::kPhysMemSize);
     ram_ = ram;
     insn_count_ = 0;
+    cycles_ = 0;
+}
+
+void
+HiFiEmulator::charge(const arch::DecodedInsn &insn, u32 halt_code)
+{
+    if (!options_.timing)
+        return;
+    cycles_ += timing::cost_model().cost_for(insn).charge(
+        (halt_code & kHaltException) != 0);
+}
+
+void
+HiFiEmulator::charge_fault_path()
+{
+    if (options_.timing)
+        cycles_ += timing::kFaultPathCycles;
 }
 
 u8 *
@@ -85,7 +102,7 @@ HiFiEmulator::cpu() const
 arch::Snapshot
 HiFiEmulator::snapshot() const
 {
-    return {cpu(), ram_};
+    return {cpu(), ram_, cycles_};
 }
 
 void
@@ -93,6 +110,7 @@ HiFiEmulator::snapshot_into(arch::Snapshot &out) const
 {
     out.cpu = cpu();
     out.ram = ram_;
+    out.cycles = cycles_;
 }
 
 void
@@ -173,6 +191,9 @@ HiFiEmulator::step_compiled(const arch::DecodedInsn &insn)
         panic("hifi compiled semantics did not halt");
     ++compiled_hits_;
     ++insn_count_;
+    // Charged exactly once per retirement: the CrossCheck reference
+    // interpretation above is bookkeeping, not a second retirement.
+    charge(insn, result.halt_code);
     return true;
 }
 
@@ -222,6 +243,7 @@ HiFiEmulator::step()
     if (avail == 0) {
         record_exception(fetch_vector, fetch_error, true, fetch_cr2,
                          fetch_vector == arch::kExcPf);
+        charge_fault_path();
         return false;
     }
 
@@ -240,10 +262,12 @@ HiFiEmulator::step()
         } else {
             record_exception(arch::kExcGp, 0, true, 0, false);
         }
+        charge_fault_path();
         return false;
     }
     if (dres.halt_code == kDecodeInvalid) {
         record_exception(arch::kExcUd, 0, false, 0, false);
+        charge_fault_path();
         return false;
     }
 
@@ -282,6 +306,7 @@ HiFiEmulator::step()
     if (sres.status != ir::RunStatus::Halted)
         panic("hifi semantics did not halt");
     ++insn_count_;
+    charge(insn, sres.halt_code);
     return true;
 }
 

@@ -59,6 +59,10 @@ class HiFiEmulator : public ir::ConcreteMemory
     /** Instructions retired since reset. */
     u64 insn_count() const { return insn_count_; }
 
+    /** Cycles charged since reset (timing/cost_model.h); 0 unless
+     *  SemanticsOptions::timing is on. */
+    u64 cycle_count() const { return cycles_; }
+
     /// @name Compiled-semantics dispatch accounting (since
     /// construction; SemanticsOptions::compiled selects the mode).
     /// @{
@@ -85,6 +89,14 @@ class HiFiEmulator : public ir::ConcreteMemory
      *  divergence. */
     bool step_compiled(const arch::DecodedInsn &insn);
 
+    /// @name Cycle charging (mirrors DirectCpu::charge*: identical
+    /// decisions for identical executions, so the backends' totals
+    /// agree unless a timing defect is seeded).
+    /// @{
+    void charge(const arch::DecodedInsn &insn, u32 halt_code);
+    void charge_fault_path();
+    /// @}
+
     SemanticsOptions options_;
     std::array<u8, arch::layout::kCpuStateSize> state_{};
     std::array<u8, 0x100> scratch_{}; ///< Insn buffer + decoder state.
@@ -93,6 +105,7 @@ class HiFiEmulator : public ir::ConcreteMemory
     std::map<std::vector<u8>, std::shared_ptr<const ir::Program>>
         semantics_cache_;
     u64 insn_count_ = 0;
+    u64 cycles_ = 0;
     u64 compiled_hits_ = 0;
     u64 compiled_misses_ = 0;
     /** Staleness guard ran (table hash == compiled_expected_hash()). */

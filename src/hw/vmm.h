@@ -61,6 +61,13 @@ class Vmm
     u64 exception_traps() const { return exceptions_; }
     /// @}
 
+    /** Enable cycle accounting on the guest (timing/cost_model.h);
+     *  per-run totals then ride along in GuestRun::snapshot. */
+    void set_cycle_accounting(bool on)
+    {
+        guest_.set_cycle_accounting(on);
+    }
+
   private:
     backend::DirectCpu guest_;
     u64 tests_ = 0;

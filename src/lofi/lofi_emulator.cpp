@@ -23,6 +23,8 @@ BugConfig::none()
     b.pte_accessed_dirty_dropped = false;
     b.seg_limit_off_by_one = false;
     b.wrmsr_truncated = false;
+    b.half_cycle_accounting = false;
+    b.mem_access_cost_dropped = false;
     return b;
 }
 
@@ -45,6 +47,8 @@ behavior_from_bugs(const BugConfig &bugs)
     b.set_pte_accessed_dirty = !bugs.pte_accessed_dirty_dropped;
     b.seg_limit_off_by_one = bugs.seg_limit_off_by_one;
     b.wrmsr_truncate_16 = bugs.wrmsr_truncated;
+    b.half_cycle_accounting = bugs.half_cycle_accounting;
+    b.mem_access_cost_dropped = bugs.mem_access_cost_dropped;
     return b;
 }
 

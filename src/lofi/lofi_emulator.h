@@ -58,6 +58,16 @@ struct BugConfig
     bool wrmsr_truncated = false;
     /// @}
 
+    /// @name Injectable timing defects (pose64-style: architectural
+    /// state stays right, cycle totals go wrong; detected only as
+    /// TimingDivergence). Off by default like the other defects.
+    /// @{
+    /** Every cycle charge halved (the pose64 2x undercount). */
+    bool half_cycle_accounting = false;
+    /** Per-memory-access cost never accumulated. */
+    bool mem_access_cost_dropped = false;
+    /// @}
+
     /** All bugs fixed (the "patched emulator" configuration). */
     static BugConfig none();
 
@@ -131,6 +141,12 @@ class LoFiEmulator
     u64 cache_hits() const { return cpu_.cache_hits(); }
     u64 cache_misses() const { return cpu_.cache_misses(); }
     Misbehavior misbehavior() const { return misbehavior_; }
+
+    /// @name Cycle accounting (timing/cost_model.h).
+    /// @{
+    void set_cycle_accounting(bool on) { cpu_.set_cycle_accounting(on); }
+    u64 cycle_count() const { return cpu_.cycle_count(); }
+    /// @}
 
   private:
     /** Instructions per watchdog charge; small enough that a hung

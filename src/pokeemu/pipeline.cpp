@@ -11,6 +11,7 @@
 #include "arch/layout.h"
 #include "harness/filter.h"
 #include "support/logging.h"
+#include "timing/cost_model.h"
 
 namespace pokeemu {
 
@@ -103,6 +104,10 @@ options_fingerprint(const PipelineOptions &options)
     // units under injected faults and fill the hit/miss counters
     // differently; a checkpoint must not resume across modes.
     fp_add(h, static_cast<u64>(options.compiled));
+    // Timing changes what is measured (cycle totals, TimingDivergence
+    // counts and clusters are all zero with it off), so a checkpoint
+    // written under one mode must not resume under the other.
+    fp_add(h, options.timing);
     fp_add(h, options.max_insns_per_test);
     const lofi::BugConfig &b = options.bugs;
     fp_add(h, (u64{b.no_segment_checks} << 0) |
@@ -117,7 +122,9 @@ options_fingerprint(const PipelineOptions &options)
                (u64{b.far_fetch_selector_first} << 9) |
                (u64{b.pte_accessed_dirty_dropped} << 10) |
                (u64{b.seg_limit_off_by_one} << 11) |
-               (u64{b.wrmsr_truncated} << 12));
+               (u64{b.wrmsr_truncated} << 12) |
+               (u64{b.half_cycle_accounting} << 13) |
+               (u64{b.mem_access_cost_dropped} << 14));
     // A crash/hang/corrupt variant quarantines different tests, so a
     // checkpoint written under one misbehaviour class must not resume
     // under another. (The watchdog budgets are resilience knobs and
@@ -453,6 +460,14 @@ Pipeline::explore_and_generate()
         cu.covered_edges = explored.stats.covered_edges;
         cu.total_edges = explored.stats.total_edges;
         cu.truncation = explored.stats.truncation;
+        // Cycle-cost columns (checkpoint v5): the model is static, so
+        // these are recorded whether or not this campaign charges
+        // cycles — every checkpoint documents the costs in force.
+        const timing::UnitCost unit_cost =
+            timing::cost_model().cost_for(insn);
+        cu.cost_base = unit_cost.base;
+        cu.cost_mem_accesses = unit_cost.mem_accesses;
+        cu.cost_fault_extra = unit_cost.fault_extra;
 
         ++stats_.instructions_explored;
         if (explored.stats.complete)
@@ -609,6 +624,10 @@ Pipeline::execute_and_compare()
     // dispatch misses fall back to interpretation inside the emulator.
     cfg.hifi_options.compiled = options_.compiled;
     cfg.max_insns = options_.max_insns_per_test;
+    // Cycle accounting on all three backends; the fallback runner
+    // below copies cfg, so validation-fallback units keep charging
+    // (their interpreted totals equal the compiled ones by design).
+    cfg.timing = options_.timing;
     cfg.injector = injector_.enabled() ? &injector_ : nullptr;
     cfg.lofi_misbehavior = options_.lofi_misbehavior;
     cfg.watchdog_insns = res.budgets.test_watchdog_insns;
@@ -644,8 +663,15 @@ Pipeline::execute_and_compare()
         stats_.hifi_timeouts = e.hifi_timeouts;
         stats_.lofi_timeouts = e.lofi_timeouts;
         stats_.hw_timeouts = e.hw_timeouts;
+        stats_.hifi_cycles = e.hifi_cycles;
+        stats_.lofi_cycles = e.lofi_cycles;
+        stats_.hw_cycles = e.hw_cycles;
+        stats_.lofi_timing_divergences = e.lofi_timing_divergences;
+        stats_.hifi_timing_divergences = e.hifi_timing_divergences;
         stats_.lofi_clusters = e.lofi_clusters;
         stats_.hifi_clusters = e.hifi_clusters;
+        stats_.lofi_timing_clusters = e.lofi_timing_clusters;
+        stats_.hifi_timing_clusters = e.hifi_timing_clusters;
         stats_.tests_resumed = start;
     }
 
@@ -662,8 +688,15 @@ Pipeline::execute_and_compare()
         e.hifi_timeouts = stats_.hifi_timeouts;
         e.lofi_timeouts = stats_.lofi_timeouts;
         e.hw_timeouts = stats_.hw_timeouts;
+        e.hifi_cycles = stats_.hifi_cycles;
+        e.lofi_cycles = stats_.lofi_cycles;
+        e.hw_cycles = stats_.hw_cycles;
+        e.lofi_timing_divergences = stats_.lofi_timing_divergences;
+        e.hifi_timing_divergences = stats_.hifi_timing_divergences;
         e.lofi_clusters = stats_.lofi_clusters;
         e.hifi_clusters = stats_.hifi_clusters;
+        e.lofi_timing_clusters = stats_.lofi_timing_clusters;
+        e.hifi_timing_clusters = stats_.hifi_timing_clusters;
     };
 
     // Reused across tests: fresh 4 MiB snapshot allocations per test
@@ -724,6 +757,11 @@ Pipeline::execute_and_compare()
             stats_.hifi_timeouts += hifi_run.timed_out;
             stats_.lofi_timeouts += lofi_run.timed_out;
             stats_.hw_timeouts += hw_run.timed_out;
+            // Cycle totals over every executed test (all zero with
+            // timing off: no backend ever charges then).
+            stats_.hifi_cycles += hifi_run.snapshot.cycles;
+            stats_.lofi_cycles += lofi_run.snapshot.cycles;
+            stats_.hw_cycles += hw_run.snapshot.cycles;
 
             if (hw_run.timed_out) {
                 // No oracle to compare against: excluded entirely.
@@ -733,6 +771,8 @@ Pipeline::execute_and_compare()
                 const auto analyze =
                     [&](const harness::BackendRun &run, u64 &raw,
                         u64 &real, harness::RootCauseClusterer &cl,
+                        u64 &timing_div,
+                        harness::RootCauseClusterer &timing_cl,
                         const char *backend) {
                         if (run.timed_out) {
                             // A timeout on one backend is its own
@@ -750,27 +790,46 @@ Pipeline::execute_and_compare()
                         const arch::SnapshotDiff diff =
                             arch::diff_snapshots(run.snapshot,
                                                  hw_run.snapshot);
-                        if (diff.empty())
-                            return;
-                        ++raw;
-                        const harness::FilterResult filtered =
-                            harness::filter_undefined(
-                                test.insn, run.snapshot,
-                                hw_run.snapshot, diff);
-                        if (filtered.fully_filtered()) {
-                            ++stats_.filtered_undefined;
-                            return;
+                        bool state_clean = diff.empty();
+                        if (!diff.empty()) {
+                            ++raw;
+                            const harness::FilterResult filtered =
+                                harness::filter_undefined(
+                                    test.insn, run.snapshot,
+                                    hw_run.snapshot, diff);
+                            if (filtered.fully_filtered()) {
+                                ++stats_.filtered_undefined;
+                                state_clean = true;
+                            } else {
+                                ++real;
+                                cl.add(test.id, test.insn,
+                                       filtered.remaining,
+                                       run.snapshot, hw_run.snapshot);
+                            }
                         }
-                        ++real;
-                        cl.add(test.id, test.insn, filtered.remaining,
-                               run.snapshot, hw_run.snapshot);
+                        // TimingDivergence (DESIGN.md §16): compared
+                        // only on runs whose architectural state is
+                        // otherwise clean, so timing clusters never
+                        // overlap state-diff or timeout clusters.
+                        if (options_.timing && state_clean &&
+                            run.snapshot.cycles !=
+                                hw_run.snapshot.cycles) {
+                            ++timing_div;
+                            timing_cl.add_named(
+                                test.id, test.insn,
+                                timing::divergence_label(
+                                    hw_run.snapshot.cycles,
+                                    run.snapshot.cycles, backend));
+                        }
                     };
                 analyze(lofi_run, stats_.lofi_raw_diffs,
                         stats_.lofi_diffs, stats_.lofi_clusters,
-                        "lofi");
+                        stats_.lofi_timing_divergences,
+                        stats_.lofi_timing_clusters, "lofi");
                 analyze(hifi_run, stats_.hifi_raw_diffs,
                         stats_.hifi_diffs, stats_.hifi_clusters,
-                        "hifi");
+                        stats_.hifi_timing_divergences,
+                        stats_.hifi_timing_clusters, "hifi");
                 stats_.t_comparison += seconds_since(t0);
             }
         }
@@ -907,6 +966,14 @@ PipelineStats::to_string() const
        << " after filtering\n";
     os << "  " << filtered_undefined
        << " differences were entirely undefined behaviour\n";
+    // Timing lines are gated on nonzero totals so a timing-off report
+    // is byte-identical to one from a build without the subsystem.
+    if (hifi_cycles || lofi_cycles || hw_cycles) {
+        os << "cycle totals: hifi " << hifi_cycles << ", lofi "
+           << lofi_cycles << ", hw " << hw_cycles << "\n";
+        os << "timing divergences: lofi " << lofi_timing_divergences
+           << ", hifi " << hifi_timing_divergences << "\n";
+    }
     if (units_resumed || tests_resumed) {
         os << "resume: " << units_resumed << " instructions and "
            << tests_resumed << " executed tests from checkpoint\n";
@@ -917,6 +984,12 @@ PipelineStats::to_string() const
         os << quarantine.to_string();
     os << "lofi root causes:\n" << lofi_clusters.to_string();
     os << "hifi root causes:\n" << hifi_clusters.to_string();
+    if (lofi_timing_clusters.total() || hifi_timing_clusters.total()) {
+        os << "lofi timing divergences:\n"
+           << lofi_timing_clusters.to_string();
+        os << "hifi timing divergences:\n"
+           << hifi_timing_clusters.to_string();
+    }
     return os.str();
 }
 

@@ -79,6 +79,18 @@ struct PipelineOptions
      * reports — are identical in every mode.
      */
     hifi::CompiledExec compiled = hifi::CompiledExec::Off;
+    /**
+     * Cycle-fidelity model (timing/cost_model.h, DESIGN.md §16). On
+     * enables cycle accounting on all three backends and compares
+     * per-test cycle totals against the hardware oracle on runs whose
+     * architectural state is otherwise clean; mismatches are counted
+     * and clustered as TimingDivergence, separately from state diffs
+     * and timeouts. Off (the default) charges nothing and leaves
+     * reports byte-identical to a run without the subsystem. Part of
+     * the options fingerprint: a checkpoint written under one timing
+     * mode refuses to resume under the other.
+     */
+    bool timing = false;
     lofi::BugConfig bugs{};
     /** Misbehaviour class of the Lo-Fi variant backend (the defect
      *  matrix runs crash/hang/corrupt variants through the full
@@ -162,8 +174,23 @@ struct PipelineStats
     u64 hifi_timeouts = 0; ///< Per-backend timed_out totals.
     u64 lofi_timeouts = 0;
     u64 hw_timeouts = 0;
+    /** Cycle accounting (PipelineOptions::timing; all zero when off).
+     *  Totals are summed over executed tests; divergences count tests
+     *  whose architectural state matched hardware (after filtering)
+     *  but whose cycle total did not — the TimingDivergence class,
+     *  disjoint by construction from state diffs and timeouts. */
+    u64 hifi_cycles = 0;
+    u64 lofi_cycles = 0;
+    u64 hw_cycles = 0;
+    u64 lofi_timing_divergences = 0;
+    u64 hifi_timing_divergences = 0;
     harness::RootCauseClusterer lofi_clusters;
     harness::RootCauseClusterer hifi_clusters;
+    /** TimingDivergence clusters (ratio buckets, timing/cost_model.h);
+     *  kept apart from the state-diff clusterers above so timing and
+     *  state root causes never share a table. */
+    harness::RootCauseClusterer lofi_timing_clusters;
+    harness::RootCauseClusterer hifi_timing_clusters;
     // Fault isolation.
     support::QuarantineReport quarantine;
     u64 budget_retries = 0;    ///< Units granted an escalated retry.

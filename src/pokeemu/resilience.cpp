@@ -12,17 +12,20 @@ namespace pokeemu {
 
 namespace {
 
-/** v4 added the per-unit IR-optimizer columns (stmts_before,
- *  stmts_after, opt_validated, opt_fallback). v3 added the per-unit
- *  solver_queries_avoided column (static pruning); v2 added per-unit
- *  coverage + truncation columns; v1 files carry no coverage data.
- *  Resuming an old file would silently under-report those counters —
- *  load refuses all of them by name. */
-constexpr const char *kMagic = "pokeemu-checkpoint-v4";
+/** v5 added the cycle-fidelity columns (per-unit cost triples, the
+ *  campaign cycle totals + timing-divergence counters, and the two
+ *  TimingDivergence clusterers). v4 added the per-unit IR-optimizer
+ *  columns (stmts_before, stmts_after, opt_validated, opt_fallback);
+ *  v3 added the per-unit solver_queries_avoided column (static
+ *  pruning); v2 added per-unit coverage + truncation columns; v1
+ *  files carry no coverage data. Resuming an old file would silently
+ *  under-report those counters — load refuses all of them by name. */
+constexpr const char *kMagic = "pokeemu-checkpoint-v5";
 constexpr const char *kMagicOld[] = {
     "pokeemu-checkpoint-v1",
     "pokeemu-checkpoint-v2",
     "pokeemu-checkpoint-v3",
+    "pokeemu-checkpoint-v4",
 };
 
 [[noreturn]] void
@@ -91,6 +94,8 @@ save_checkpoint(std::ostream &out, const Checkpoint &checkpoint)
             << static_cast<unsigned>(u.truncation) << " "
             << u.stmts_before << " " << u.stmts_after << " "
             << u.opt_validated << " " << u.opt_fallback << " "
+            << u.cost_base << " " << u.cost_mem_accesses << " "
+            << u.cost_fault_extra << " "
             << u.tests.size() << "\n";
         for (const CheckpointTest &t : u.tests) {
             out << "test " << t.id << " " << t.table_index << " "
@@ -104,9 +109,14 @@ save_checkpoint(std::ostream &out, const Checkpoint &checkpoint)
         << " " << e.hifi_raw_diffs << " " << e.lofi_diffs << " "
         << e.hifi_diffs << " " << e.filtered_undefined << " "
         << e.timeouts << " " << e.hifi_timeouts << " "
-        << e.lofi_timeouts << " " << e.hw_timeouts << "\n";
+        << e.lofi_timeouts << " " << e.hw_timeouts << " "
+        << e.hifi_cycles << " " << e.lofi_cycles << " "
+        << e.hw_cycles << " " << e.lofi_timing_divergences << " "
+        << e.hifi_timing_divergences << "\n";
     e.lofi_clusters.save(out);
     e.hifi_clusters.save(out);
+    e.lofi_timing_clusters.save(out);
+    e.hifi_timing_clusters.save(out);
     const auto &quarantined = checkpoint.quarantine.units();
     out << "quarantined " << quarantined.size() << "\n";
     for (const support::QuarantinedUnit &q : quarantined) {
@@ -127,7 +137,7 @@ load_checkpoint(std::istream &in)
             if (magic == old) {
                 checkpoint_error(
                     "this is a " + magic + " file; the current format "
-                    "is pokeemu-checkpoint-v4 (per-unit IR-optimizer "
+                    "is pokeemu-checkpoint-v5 (cycle-fidelity "
                     "columns) and old progress cannot be resumed — "
                     "delete the old checkpoint and restart the "
                     "campaign");
@@ -159,7 +169,8 @@ load_checkpoint(std::istream &in)
               u.generation_failures >> u.covered_blocks >>
               u.total_blocks >> u.covered_edges >> u.total_edges >>
               truncation >> u.stmts_before >> u.stmts_after >>
-              u.opt_validated >> u.opt_fallback >> ntests)) {
+              u.opt_validated >> u.opt_fallback >> u.cost_base >>
+              u.cost_mem_accesses >> u.cost_fault_extra >> ntests)) {
             checkpoint_error("truncated unit row");
         }
         if (truncation >= coverage::kNumTruncationReasons)
@@ -189,11 +200,15 @@ load_checkpoint(std::istream &in)
     if (!(in >> e.tests_executed >> e.lofi_raw_diffs >>
           e.hifi_raw_diffs >> e.lofi_diffs >> e.hifi_diffs >>
           e.filtered_undefined >> e.timeouts >> e.hifi_timeouts >>
-          e.lofi_timeouts >> e.hw_timeouts)) {
+          e.lofi_timeouts >> e.hw_timeouts >> e.hifi_cycles >>
+          e.lofi_cycles >> e.hw_cycles >>
+          e.lofi_timing_divergences >> e.hifi_timing_divergences)) {
         checkpoint_error("truncated counters row");
     }
     e.lofi_clusters.load(in);
     e.hifi_clusters.load(in);
+    e.lofi_timing_clusters.load(in);
+    e.hifi_timing_clusters.load(in);
     expect_tag(in, "quarantined");
     std::size_t nquarantined = 0;
     if (!(in >> nquarantined))

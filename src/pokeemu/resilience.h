@@ -133,6 +133,15 @@ struct CheckpointUnit
     u64 stmts_after = 0;
     bool opt_validated = false;
     bool opt_fallback = false;
+    /** Cycle-cost columns (v5): the unit's derived cost triple
+     *  (timing/cost_model.h) for the explored representative's operand
+     *  form. Recorded in every run — the model is static, so the
+     *  columns are identical whether or not timing ran — making a
+     *  checkpoint self-describing about the costs its campaign
+     *  charged. */
+    u64 cost_base = 0;
+    u64 cost_mem_accesses = 0;
+    u64 cost_fault_extra = 0;
     std::vector<CheckpointTest> tests;
 };
 
@@ -151,8 +160,19 @@ struct CheckpointExecution
     u64 hifi_timeouts = 0;
     u64 lofi_timeouts = 0;
     u64 hw_timeouts = 0;
+    /** Cycle-accounting columns (v5); all zero when the campaign ran
+     *  with timing off. */
+    u64 hifi_cycles = 0;
+    u64 lofi_cycles = 0;
+    u64 hw_cycles = 0;
+    u64 lofi_timing_divergences = 0;
+    u64 hifi_timing_divergences = 0;
     harness::RootCauseClusterer lofi_clusters;
     harness::RootCauseClusterer hifi_clusters;
+    /** TimingDivergence clusters (v5), apart from the state-diff
+     *  clusterers above exactly as in PipelineStats. */
+    harness::RootCauseClusterer lofi_timing_clusters;
+    harness::RootCauseClusterer hifi_timing_clusters;
 };
 
 /** A pipeline run's persisted progress. */

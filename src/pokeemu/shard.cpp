@@ -301,6 +301,11 @@ merge_outcomes(CampaignResult &result, const ShardPlan &plan,
         m.hifi_timeouts += st.hifi_timeouts;
         m.lofi_timeouts += st.lofi_timeouts;
         m.hw_timeouts += st.hw_timeouts;
+        m.hifi_cycles += st.hifi_cycles;
+        m.lofi_cycles += st.lofi_cycles;
+        m.hw_cycles += st.hw_cycles;
+        m.lofi_timing_divergences += st.lofi_timing_divergences;
+        m.hifi_timing_divergences += st.hifi_timing_divergences;
         m.budget_incomplete += st.budget_incomplete;
         // Session-scoped counters (budget_retries, units_resumed,
         // tests_resumed, checkpoints_written) are layout-dependent by
@@ -312,6 +317,8 @@ merge_outcomes(CampaignResult &result, const ShardPlan &plan,
         };
         m.lofi_clusters.merge(st.lofi_clusters, rm);
         m.hifi_clusters.merge(st.hifi_clusters, rm);
+        m.lofi_timing_clusters.merge(st.lofi_timing_clusters, rm);
+        m.hifi_timing_clusters.merge(st.hifi_timing_clusters, rm);
     }
 
     // Quarantine ledger: remap execution entries to global test ids,
@@ -378,8 +385,15 @@ merge_outcomes(CampaignResult &result, const ShardPlan &plan,
     e.hifi_timeouts = m.hifi_timeouts;
     e.lofi_timeouts = m.lofi_timeouts;
     e.hw_timeouts = m.hw_timeouts;
+    e.hifi_cycles = m.hifi_cycles;
+    e.lofi_cycles = m.lofi_cycles;
+    e.hw_cycles = m.hw_cycles;
+    e.lofi_timing_divergences = m.lofi_timing_divergences;
+    e.hifi_timing_divergences = m.hifi_timing_divergences;
     e.lofi_clusters = m.lofi_clusters;
     e.hifi_clusters = m.hifi_clusters;
+    e.lofi_timing_clusters = m.lofi_timing_clusters;
+    e.hifi_timing_clusters = m.hifi_timing_clusters;
     mc.quarantine = m.quarantine;
 }
 
@@ -583,10 +597,25 @@ CampaignResult::report() const
        << m.hifi_diffs << " after filtering\n";
     os << m.filtered_undefined
        << " differences were entirely undefined behaviour\n";
+    // Timing lines are gated on nonzero totals so a timing-off
+    // campaign's report is byte-identical to a pre-timing one.
+    if (m.hifi_cycles || m.lofi_cycles || m.hw_cycles) {
+        os << "cycle totals: hifi " << m.hifi_cycles << ", lofi "
+           << m.lofi_cycles << ", hw " << m.hw_cycles << "\n";
+        os << "timing divergences: lofi " << m.lofi_timing_divergences
+           << ", hifi " << m.hifi_timing_divergences << "\n";
+    }
     if (m.quarantine.total() != 0)
         os << m.quarantine.to_string();
     os << "lofi root causes:\n" << m.lofi_clusters.to_string();
     os << "hifi root causes:\n" << m.hifi_clusters.to_string();
+    if (m.lofi_timing_clusters.total() ||
+        m.hifi_timing_clusters.total()) {
+        os << "lofi timing divergences:\n"
+           << m.lofi_timing_clusters.to_string();
+        os << "hifi timing divergences:\n"
+           << m.hifi_timing_clusters.to_string();
+    }
     return os.str();
 }
 

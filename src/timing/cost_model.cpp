@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Cost derivation, lookup, and divergence bucketing. The process-wide
+ * cost_model() singleton lives in cost_tables.cpp: it references the
+ * semgen-generated tables, and tools/semgen itself links this file
+ * (for derive_cost) against the core library *without* a generated
+ * table, exactly like hifi/compiled.cpp vs compiled_dispatch.cpp.
+ */
+#include "timing/cost_model.h"
+
+#include <stdexcept>
+
+#include "arch/layout.h"
+#include "hifi/semantics.h"
+
+namespace pokeemu::timing {
+
+namespace layout = arch::layout;
+
+UnitCost
+derive_cost(const ir::Program &program)
+{
+    UnitCost cost;
+    u64 retired = 0;
+    bool fault_reachable = false;
+    for (const ir::Stmt &stmt : program.stmts) {
+        switch (stmt.kind) {
+        case ir::StmtKind::Comment:
+            continue;
+        case ir::StmtKind::Load:
+        case ir::StmtKind::Store:
+            // Constant addresses below the guest-physical window are
+            // CPU-state-image / scratch traffic — the IR's register
+            // file — and fold into the base. Everything else (guest
+            // RAM, or a computed address that could reach it) is a
+            // memory access.
+            if (!(stmt.addr->is_const() &&
+                  stmt.addr->value() < layout::kGuestPhysBase))
+                ++cost.mem_accesses;
+            break;
+        case ir::StmtKind::Halt:
+            // A non-constant halt code can carry the exception bit at
+            // run time; a constant one is inspected directly.
+            if (!stmt.expr->is_const() ||
+                (stmt.expr->value() & hifi::kHaltException) != 0)
+                fault_reachable = true;
+            break;
+        default:
+            break;
+        }
+        ++retired;
+    }
+    cost.base = 2 + 2 * (retired / 8);
+    cost.fault_extra = fault_reachable ? kExceptionCycles : 0;
+    return cost;
+}
+
+void
+CostModel::set(int table_index, bool mem_form, const UnitCost &cost)
+{
+    if (table_index < 0)
+        throw std::logic_error("CostModel::set: negative row");
+    const std::size_t row = static_cast<std::size_t>(table_index);
+    if (row >= rows_.size())
+        rows_.resize(row + 1);
+    rows_[row].form[mem_form ? 1 : 0] = cost;
+    rows_[row].have[mem_form ? 1 : 0] = true;
+}
+
+const UnitCost &
+CostModel::cost_for(int table_index, bool mem_form) const
+{
+    const std::size_t row = static_cast<std::size_t>(table_index);
+    if (table_index < 0 || row >= rows_.size())
+        return fallback_;
+    const RowCost &rc = rows_[row];
+    const unsigned want = mem_form ? 1 : 0;
+    if (rc.have[want])
+        return rc.form[want];
+    if (rc.have[1 - want])
+        return rc.form[1 - want];
+    return fallback_;
+}
+
+std::string
+divergence_label(u64 hw_cycles, u64 backend_cycles,
+                 const std::string &backend)
+{
+    if (hw_cycles == 0 || backend_cycles == 0)
+        return "cycles-zero-" + backend;
+    const bool under = backend_cycles < hw_cycles;
+    const u64 hi = under ? hw_cycles : backend_cycles;
+    const u64 lo = under ? backend_cycles : hw_cycles;
+    const u64 ratio = (hi + lo / 2) / lo; // Rounded to nearest.
+    const std::string side = under ? "under-" : "over-";
+    if (ratio <= 1)
+        return "cycles-" + side + backend;
+    if (ratio >= 4)
+        return "cycles-4x+-" + side + backend;
+    return "cycles-" + std::to_string(ratio) + "x-" + side + backend;
+}
+
+} // namespace pokeemu::timing

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The process-wide cost model, assembled from the semgen-generated
+ * cost table. Kept out of cost_model.cpp so tools/semgen (which needs
+ * derive_cost but has no generated table to link) still resolves.
+ */
+#include "timing/cost_model.h"
+
+#include <stdexcept>
+
+#include "hifi/compiled.h"
+
+namespace pokeemu::timing {
+
+const CostModel &
+cost_model()
+{
+    static const CostModel model = [] {
+        CostModel m;
+        const hifi::CompiledTable &table = hifi::compiled_table();
+        const hifi::CompiledCostTable &costs =
+            hifi::compiled_cost_table();
+        if (costs.num != table.num_entries)
+            throw std::logic_error(
+                "compiled cost table disagrees with dispatch table — "
+                "regenerate compiled semantics");
+        for (std::size_t i = 0; i < costs.num; ++i) {
+            const hifi::CompiledShape &shape = table.entries[i].shape;
+            const bool mem_form =
+                shape.has_modrm && (shape.modrm >> 6) != 3;
+            m.set(shape.table_index, mem_form, costs.costs[i]);
+        }
+        return m;
+    }();
+    return model;
+}
+
+} // namespace pokeemu::timing

@@ -567,14 +567,19 @@ TEST(CheckpointV2, RejectsBadTruncationReason)
     std::stringstream buf;
     save_checkpoint(buf, cp);
     std::string text = buf.str();
-    // The truncation column is the second-to-last field of the unit
-    // row ("... truncation ntests\n").
+    // The truncation column is the 16th field after "unit" (see
+    // save_checkpoint's unit row layout).
     const auto pos = text.find("unit ");
     ASSERT_NE(pos, std::string::npos);
-    const auto eol = text.find('\n', pos);
-    const auto last_space = text.rfind(' ', eol);
-    const auto trunc_space = text.rfind(' ', last_space - 1);
-    text.replace(trunc_space + 1, last_space - trunc_space - 1, "99");
+    std::size_t field_start = pos;
+    for (int f = 0; f < 16; ++f) {
+        field_start = text.find(' ', field_start);
+        ASSERT_NE(field_start, std::string::npos);
+        ++field_start;
+    }
+    const std::size_t field_end = text.find(' ', field_start);
+    ASSERT_NE(field_end, std::string::npos);
+    text.replace(field_start, field_end - field_start, "99");
     std::stringstream bad(text);
     EXPECT_THROW(load_checkpoint(bad), std::logic_error);
 }

@@ -189,8 +189,9 @@ TEST(DefectCatalogue, EntriesAreWellFormed)
             EXPECT_FALSE(d.detectable) << d.name;
         }
     }
-    // Eight classic §6.2 bugs + five injectable DirectCpu defects.
-    EXPECT_EQ(behavioral, 13u);
+    // Eight classic §6.2 bugs + five injectable DirectCpu defects +
+    // two injectable timing defects.
+    EXPECT_EQ(behavioral, 15u);
     EXPECT_EQ(misbehaving, 3u);
     // The latent set is an empirical fact about the pipeline: these
     // defects are value-dependent (or masked by the EFLAGS oracle),

@@ -392,7 +392,7 @@ TEST(Checkpoint, OldVersionRefusedByName)
         const std::string what = e.what();
         EXPECT_NE(what.find("pokeemu-checkpoint-v2"), std::string::npos)
             << what;
-        EXPECT_NE(what.find("pokeemu-checkpoint-v4"), std::string::npos)
+        EXPECT_NE(what.find("pokeemu-checkpoint-v5"), std::string::npos)
             << what;
     }
 }

@@ -241,5 +241,86 @@ TEST(Campaign, SlicingWithoutCheckpointDirThrows)
     EXPECT_THROW(run_campaign(resume_options), std::logic_error);
 }
 
+// ---------------------------------------------------------------------
+// Cycle fidelity across shards (DESIGN.md §16): the merged report with
+// timing on is as deterministic as the state-only one.
+// ---------------------------------------------------------------------
+
+/** base_campaign with the cycle-fidelity model enabled. */
+CampaignOptions
+timing_campaign()
+{
+    CampaignOptions options = base_campaign();
+    options.pipeline.timing = true;
+    return options;
+}
+
+/** 1-shard timing-on reference report, computed once per process. */
+const std::string &
+timing_reference_report()
+{
+    static const std::string report = [] {
+        return run_campaign(timing_campaign()).report();
+    }();
+    return report;
+}
+
+TEST(Campaign, TimingReportByteIdenticalAcrossShardCounts)
+{
+    // The reference report must actually carry the new observable —
+    // otherwise byte-identity would hold vacuously.
+    EXPECT_NE(timing_reference_report().find("cycle totals:"),
+              std::string::npos);
+    for (u32 shards : {2u, 4u}) {
+        CampaignOptions options = timing_campaign();
+        options.shards = shards;
+        const CampaignResult result = run_campaign(options);
+        EXPECT_TRUE(result.complete);
+        EXPECT_EQ(result.report(), timing_reference_report())
+            << "shards=" << shards;
+    }
+}
+
+TEST(Campaign, TimingSurvivesInterruptAndResume)
+{
+    const std::filesystem::path dir = scratch_dir("timing_resume");
+    CampaignOptions options = timing_campaign();
+    options.shards = 2;
+    options.checkpoint_dir = dir.string();
+    options.explore_slice_units = 1;
+    options.execute_slice_tests = 3;
+    options.max_sessions_per_shard = 1;
+
+    const CampaignResult interrupted = run_campaign(options);
+    EXPECT_FALSE(interrupted.complete);
+
+    // Cycle counters cross the checkpoint boundary: the resumed
+    // campaign's totals must match the uninterrupted reference bytes.
+    options.max_sessions_per_shard = 0;
+    options.resume = true;
+    const CampaignResult resumed = run_campaign(options);
+    EXPECT_TRUE(resumed.complete);
+    EXPECT_EQ(resumed.report(), timing_reference_report());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Campaign, ResumeRefusesDifferentTimingMode)
+{
+    // timing is part of the options fingerprint: a checkpoint written
+    // with it off must not resume with it on (the resumed half would
+    // charge cycles the first half never counted).
+    const std::filesystem::path dir = scratch_dir("timing_mismatch");
+    CampaignOptions options = base_campaign();
+    options.shards = 2;
+    options.checkpoint_dir = dir.string();
+    run_campaign(options);
+
+    CampaignOptions other = options;
+    other.pipeline.timing = true;
+    other.resume = true;
+    EXPECT_THROW(run_campaign(other), std::logic_error);
+    std::filesystem::remove_all(dir);
+}
+
 } // namespace
 } // namespace pokeemu

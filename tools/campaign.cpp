@@ -53,6 +53,10 @@ usage(const char *argv0)
                  "                        crosscheck (run handler and\n"
                  "                        interpreter, quarantine any\n"
                  "                        divergence)\n"
+                 "  --timing M            cycle-fidelity model: off\n"
+                 "                        (default) or on (charge\n"
+                 "                        cycles on every backend and\n"
+                 "                        cluster timing divergences)\n"
                  "  --coverage            per-instruction IR coverage\n"
                  "                        table after the report\n"
                  "  --seed N              exploration seed\n"
@@ -213,6 +217,16 @@ main(int argc, char **argv)
             } else {
                 std::fprintf(
                     stderr, "bad --compiled (want off|on|crosscheck)\n");
+                return 2;
+            }
+        } else if (arg == "--timing") {
+            const std::string mode = value();
+            if (mode == "off") {
+                options.pipeline.timing = false;
+            } else if (mode == "on") {
+                options.pipeline.timing = true;
+            } else {
+                std::fprintf(stderr, "bad --timing (want off|on)\n");
                 return 2;
             }
         } else if (arg == "--coverage") {

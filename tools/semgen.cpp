@@ -501,7 +501,29 @@ main(int argc, char **argv)
         out += std::to_string(row_begin[r]) + ", ";
     }
     out += "\n};\n\n";
+
+    // Cycle-cost table (timing/cost_model.h), derived from the exact
+    // programs compiled above; the triples are part of the staleness
+    // hash, so editing the derivation rules without regenerating is
+    // refused like any other semantics change.
+    out += "const timing::UnitCost g_costs[] = {\n";
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        const timing::UnitCost cost =
+            timing::derive_cost(units[i].program);
+        out += "    {" + std::to_string(cost.base) + ", " +
+            std::to_string(cost.mem_accesses) + ", " +
+            std::to_string(cost.fault_extra) + "},\n";
+    }
+    out += "};\n\n";
     out += "} // namespace\n\n";
+
+    out += "const CompiledCostTable &\ncompiled_cost_table()\n{\n";
+    out += "    static const CompiledCostTable table = {\n";
+    out += "        g_costs,\n";
+    out += "        " + std::to_string(units.size()) + ",\n";
+    out += "    };\n";
+    out += "    return table;\n";
+    out += "}\n\n";
 
     out += "const CompiledTable &\ncompiled_table()\n{\n";
     out += "    static const CompiledTable table = {\n";
