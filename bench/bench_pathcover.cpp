@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Path-cover scheduling bench: explore the capped multi-path workload
+ * under PathCoverFirst (minimal-path-cover guided, PR 10) vs
+ * UncoveredEdgeFirst (the PR 4 frontier scheduler) at the same path
+ * cap and compare the block/edge coverage the surviving paths achieve,
+ * emitting BENCH_pathcover.json.
+ *
+ * This gates the tentpole claim: the static path-cover scaffold must
+ * buy at least as much IR coverage as the frontier heuristic for the
+ * same budget (and the exit status enforces blocks + edges >=, so the
+ * ctest smoke run catches regressions where the chain scores steer
+ * exploration *away* from new structure).
+ *
+ * Scale knobs: POKEEMU_INSNS (workload size, default 12) and
+ * POKEEMU_PATHS (per-instruction cap, default 6; low on purpose —
+ * the cap must truncate for scheduling to matter).
+ */
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "explore/state_explorer.h"
+#include "testgen/baseline.h"
+
+using namespace pokeemu;
+
+namespace {
+
+/** The multi-path families (shared with bench_coverage): iret, string
+ *  moves, far-pointer loads, stack ops, shifts — instructions whose
+ *  path trees overflow a small cap. */
+constexpr int kWorkload[] = {
+    274, // iret: deepest path tree in the table
+    201, // movsd
+    266, // les
+    80,  // push r
+    181, // pop r/m
+    206, // stosb
+    267, // lds
+    340, // lss
+    245, // shl r/m,cl
+    81,  // push r
+    341, // lfs
+    342, // lgs
+};
+
+struct Row
+{
+    const char *schedule = "";
+    u64 covered_blocks = 0;
+    u64 total_blocks = 0;
+    u64 covered_edges = 0;
+    u64 total_edges = 0;
+    u64 paths = 0;
+    u64 truncated = 0;
+    double wall_seconds = 0;
+};
+
+Row
+sweep(coverage::SchedulePolicy schedule, const explore::StateSpec &spec,
+      const symexec::Summary &summary, std::size_t insns, u64 cap)
+{
+    Row row;
+    row.schedule = coverage::schedule_policy_name(schedule);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < insns; ++i) {
+        const std::vector<u8> bytes =
+            arch::canonical_encoding(kWorkload[i]);
+        arch::DecodedInsn insn;
+        if (arch::decode(bytes.data(), bytes.size(), insn) !=
+            arch::DecodeStatus::Ok) {
+            continue;
+        }
+        explore::StateExploreOptions options;
+        options.max_paths = cap;
+        options.schedule = schedule;
+        options.minimize = false;
+        const explore::StateExploreResult result =
+            explore_instruction(insn, spec, &summary, options);
+        row.covered_blocks += result.stats.covered_blocks;
+        row.total_blocks += result.stats.total_blocks;
+        row.covered_edges += result.stats.covered_edges;
+        row.total_edges += result.stats.total_edges;
+        row.paths += result.stats.paths;
+        row.truncated += result.stats.truncation !=
+            coverage::TruncationReason::None;
+    }
+    row.wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--smoke")
+            smoke = true;
+    }
+
+    bench::header("bench_pathcover",
+                  "coverage at a path cap: path-cover vs frontier "
+                  "scheduling");
+    const std::size_t insns = static_cast<std::size_t>(std::min<u64>(
+        bench::env_u64("POKEEMU_INSNS", smoke ? 8 : 12),
+        std::size(kWorkload)));
+    const u64 cap = bench::env_u64("POKEEMU_PATHS", 6);
+    std::printf("workload: %zu instructions, %llu paths/insn cap\n",
+                insns, static_cast<unsigned long long>(cap));
+
+    symexec::VarPool summary_pool;
+    const symexec::Summary summary =
+        hifi::summarize_descriptor_load(summary_pool);
+    const explore::StateSpec spec(testgen::baseline_cpu_state(),
+                                  testgen::baseline_ram_after_init(),
+                                  &summary);
+
+    const Row pathcover =
+        sweep(coverage::SchedulePolicy::PathCoverFirst, spec, summary,
+              insns, cap);
+    const Row frontier =
+        sweep(coverage::SchedulePolicy::UncoveredEdgeFirst, spec,
+              summary, insns, cap);
+
+    std::printf("schedule   blocks        edges         paths  "
+                "truncated  wall(s)\n");
+    for (const Row *row : {&pathcover, &frontier}) {
+        std::printf("%-9s  %5llu/%-5llu  %5llu/%-5llu  %5llu  %9llu  "
+                    "%7.3f\n",
+                    row->schedule,
+                    static_cast<unsigned long long>(row->covered_blocks),
+                    static_cast<unsigned long long>(row->total_blocks),
+                    static_cast<unsigned long long>(row->covered_edges),
+                    static_cast<unsigned long long>(row->total_edges),
+                    static_cast<unsigned long long>(row->paths),
+                    static_cast<unsigned long long>(row->truncated),
+                    row->wall_seconds);
+    }
+    const u64 pathcover_total =
+        pathcover.covered_blocks + pathcover.covered_edges;
+    const u64 frontier_total =
+        frontier.covered_blocks + frontier.covered_edges;
+    const bool pathcover_wins = pathcover_total >= frontier_total;
+    std::printf("path-cover coverage gain at the cap: %+lld blocks, "
+                "%+lld edges (%s)\n",
+                static_cast<long long>(pathcover.covered_blocks) -
+                    static_cast<long long>(frontier.covered_blocks),
+                static_cast<long long>(pathcover.covered_edges) -
+                    static_cast<long long>(frontier.covered_edges),
+                pathcover_total > frontier_total ? "strictly higher"
+                : pathcover_wins                 ? "equal"
+                                                 : "LOWER");
+
+    {
+        std::FILE *out = std::fopen("BENCH_pathcover.json", "w");
+        if (out == nullptr) {
+            std::fprintf(stderr, "cannot write BENCH_pathcover.json\n");
+            return 1;
+        }
+        std::fprintf(out, "{\n  \"bench\": \"pathcover\",\n");
+        std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+        std::fprintf(out, "  \"instructions\": %zu,\n", insns);
+        std::fprintf(out, "  \"path_cap\": %llu,\n",
+                     static_cast<unsigned long long>(cap));
+        std::fprintf(out, "  \"pathcover_at_least_frontier\": %s,\n",
+                     pathcover_wins ? "true" : "false");
+        std::fprintf(out, "  \"runs\": [\n");
+        const Row *rows[] = {&pathcover, &frontier};
+        for (std::size_t i = 0; i < 2; ++i) {
+            const Row *row = rows[i];
+            std::fprintf(
+                out,
+                "    {\"schedule\": \"%s\", "
+                "\"covered_blocks\": %llu, \"total_blocks\": %llu, "
+                "\"covered_edges\": %llu, \"total_edges\": %llu, "
+                "\"paths\": %llu, \"truncated\": %llu, "
+                "\"wall_seconds\": %.6f}%s\n",
+                row->schedule,
+                static_cast<unsigned long long>(row->covered_blocks),
+                static_cast<unsigned long long>(row->total_blocks),
+                static_cast<unsigned long long>(row->covered_edges),
+                static_cast<unsigned long long>(row->total_edges),
+                static_cast<unsigned long long>(row->paths),
+                static_cast<unsigned long long>(row->truncated),
+                row->wall_seconds, i == 0 ? "," : "");
+        }
+        std::fprintf(out, "  ]\n}\n");
+        std::fclose(out);
+    }
+    std::printf("wrote BENCH_pathcover.json\n");
+    return pathcover_wins ? 0 : 1;
+}

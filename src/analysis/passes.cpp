@@ -297,6 +297,70 @@ pass_assume_placement(const ir::Program &program, const Cfg &cfg,
     }
 }
 
+void
+pass_same_target_cjmp(const ir::Program &program, const Cfg &cfg,
+                      const PathStructure &structure, Report &report)
+{
+    constexpr const char *kPass = "same-target-cjmp";
+    // An arm block is effect-free when every statement is a Comment or
+    // the terminating Jmp — traversing it changes nothing a later
+    // statement can observe.
+    const auto effect_free = [&](BlockId b) {
+        const BasicBlock &block = cfg.blocks()[b];
+        for (u32 i = block.first; i < block.end; ++i) {
+            const StmtKind kind = program.stmts[i].kind;
+            if (kind != StmtKind::Comment && kind != StmtKind::Jmp)
+                return false;
+        }
+        return true;
+    };
+    for (BlockId b = 0; b < cfg.num_blocks(); ++b) {
+        if (!cfg.reachable(b))
+            continue;
+        const BasicBlock &block = cfg.blocks()[b];
+        const u32 last = block.last();
+        const ir::Stmt &stmt = program.stmts[last];
+        if (stmt.kind != StmtKind::CJmp)
+            continue;
+        if (lint_allowed(program, last, kPass))
+            continue;
+        const BlockId t_true =
+            cfg.block_of(program.label_pos[stmt.target_true]);
+        const BlockId t_false =
+            cfg.block_of(program.label_pos[stmt.target_false]);
+        if (t_true == t_false) {
+            report.warning(last, kPass,
+                           "cjmp: both targets enter the same block — "
+                           "the branch splits paths that rejoin "
+                           "immediately");
+            continue;
+        }
+        // Diamond with effect-free arms: the join (the CJmp's
+        // immediate post-dominator) is each successor, or one
+        // Comment/Jmp-only block away from it.
+        const BlockId join = structure.ipdom(b);
+        if (join == kVirtualExit || join == kNoBlock)
+            continue;
+        bool trivial = true;
+        for (const BlockId s : {t_true, t_false}) {
+            if (s == join)
+                continue;
+            const BasicBlock &arm = cfg.blocks()[s];
+            if (arm.succs.size() == 1 && arm.succs[0] == join &&
+                arm.preds.size() == 1 && effect_free(s))
+                continue;
+            trivial = false;
+            break;
+        }
+        if (trivial) {
+            report.warning(last, kPass,
+                           "cjmp: branch rejoins at its immediate "
+                           "post-dominator with no intervening side "
+                           "effects");
+        }
+    }
+}
+
 Report
 run_pipeline(const ir::Program &program)
 {
@@ -309,6 +373,8 @@ run_pipeline(const ir::Program &program)
     pass_unreachable(program, cfg, report);
     pass_dead_code(program, cfg, report);
     pass_assume_placement(program, cfg, report);
+    const PathStructure structure = PathStructure::build(program, cfg);
+    pass_same_target_cjmp(program, cfg, structure, report);
     // Dataflow-backed lints: pure mode (fresh variables for every
     // initial byte, no preconditions), so a finding holds for every
     // caller-supplied initial state. Skipped when the engine bails.

@@ -15,6 +15,7 @@
 #include "analysis/cfg.h"
 #include "analysis/dataflow.h"
 #include "analysis/diagnostic.h"
+#include "analysis/pathstructure.h"
 #include "analysis/verifier.h"
 
 namespace pokeemu::analysis {
@@ -91,6 +92,20 @@ void pass_dataflow_unreachable(const ir::Program &program,
  * (warning).
  */
 void pass_assume_placement(const ir::Program &program, const Cfg &cfg,
+                           Report &report);
+
+/**
+ * Degenerate-branch lints built on the dominator/post-dominator trees
+ * (warning): a CJmp whose two targets enter the same block splits a
+ * decision-tree node to go nowhere different, and a CJmp immediately
+ * post-dominated by its own join with no intervening side effects
+ * (arms that are empty or only Comment/Jmp) distinguishes paths no
+ * later statement can tell apart. Both double exploration work per
+ * path that reaches them; `lint: allow-same-target-cjmp` marks the
+ * intentional ones.
+ */
+void pass_same_target_cjmp(const ir::Program &program, const Cfg &cfg,
+                           const PathStructure &structure,
                            Report &report);
 
 /**

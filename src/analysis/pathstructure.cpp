@@ -1,0 +1,415 @@
+#include "analysis/pathstructure.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace pokeemu::analysis {
+
+namespace {
+
+u64
+sat_add(u64 a, u64 b)
+{
+    return a >= kPathCountCap - b ? kPathCountCap : a + b;
+}
+
+u64
+sat_mul(u64 a, u64 b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    return a >= kPathCountCap / b ? kPathCountCap : a * b;
+}
+
+/**
+ * Cooper-Harvey-Kennedy iterative dominators over an arbitrary
+ * pred/order representation, so the same routine serves dominators
+ * (CFG, entry, CFG preds) and post-dominators (reverse graph rooted at
+ * the virtual exit, whose "preds" are the original successors).
+ *
+ * @p rpo       reverse postorder of the graph, root first.
+ * @p po_num    postorder number per node (higher = earlier in rpo);
+ *              nodes absent from the traversal keep kNoBlock idoms.
+ * @p preds     predecessor list per node.
+ * Returns idom per node; idom[root] == root.
+ */
+std::vector<BlockId>
+chk_dominators(u32 num_nodes, const std::vector<BlockId> &rpo,
+               const std::vector<u32> &po_num,
+               const std::vector<std::vector<BlockId>> &preds)
+{
+    std::vector<BlockId> idom(num_nodes, kNoBlock);
+    if (rpo.empty())
+        return idom;
+    const BlockId root = rpo[0];
+    idom[root] = root;
+
+    const auto intersect = [&](BlockId a, BlockId b) {
+        while (a != b) {
+            while (po_num[a] < po_num[b])
+                a = idom[a];
+            while (po_num[b] < po_num[a])
+                b = idom[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = 1; i < rpo.size(); ++i) {
+            const BlockId b = rpo[i];
+            BlockId new_idom = kNoBlock;
+            for (BlockId p : preds[b]) {
+                if (idom[p] == kNoBlock)
+                    continue; // Not yet processed / unreachable.
+                new_idom = new_idom == kNoBlock ? p
+                                                : intersect(p, new_idom);
+            }
+            assert(new_idom != kNoBlock &&
+                   "rpo node with no processed pred");
+            if (idom[b] != new_idom) {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    return idom;
+}
+
+/** Tree depth per node from an idom array (root depth 0). */
+std::vector<u32>
+tree_depths(const std::vector<BlockId> &idom, BlockId root)
+{
+    std::vector<u32> depth(idom.size(), 0);
+    // idom chains are acyclic and end at the root; resolve each node
+    // by walking up, memoizing nothing — chains are short in practice
+    // and this runs once per unit.
+    for (BlockId b = 0; b < idom.size(); ++b) {
+        if (idom[b] == kNoBlock || b == root)
+            continue;
+        u32 d = 0;
+        BlockId cur = b;
+        while (cur != root) {
+            cur = idom[cur];
+            ++d;
+        }
+        depth[b] = d;
+    }
+    return depth;
+}
+
+} // namespace
+
+PathStructure
+PathStructure::build(const ir::Program &program, const Cfg &cfg,
+                     const ProgramFacts *facts)
+{
+    PathStructure ps;
+    const u32 n = cfg.num_blocks();
+    ps.num_blocks_ = n;
+    ps.entry_ = cfg.entry();
+
+    // --- Infeasible-edge pruning from the dataflow facts. An edge is
+    // pruned when the facts prove no concrete execution traverses it:
+    // either endpoint is dataflow-unreachable, or it is the not-taken
+    // side of a decided CJmp (only when the two targets are distinct
+    // blocks — Cfg dedups same-target successors into one edge, which
+    // both decisions keep).
+    const bool have_facts = facts != nullptr && facts->analyzed;
+    ps.pruned_.resize(n);
+    ps.back_edge_.resize(n);
+    for (BlockId b = 0; b < n; ++b) {
+        const BasicBlock &block = cfg.blocks()[b];
+        ps.pruned_[b].assign(block.succs.size(), false);
+        ps.back_edge_[b].assign(block.succs.size(), false);
+        if (!have_facts)
+            continue;
+        const bool b_dead = !facts->block_reachable[b];
+        for (std::size_t s = 0; s < block.succs.size(); ++s) {
+            if (b_dead || !facts->block_reachable[block.succs[s]])
+                ps.pruned_[b][s] = true;
+        }
+        // A decided CJmp contributes only its taken edge. Cfg dedups
+        // same-target successors into one edge, which both decisions
+        // keep, so only distinct targets prune.
+        const ir::Stmt &last = program.stmts[block.last()];
+        if (last.kind != ir::StmtKind::CJmp)
+            continue;
+        const Decision d = facts->decision(block.last());
+        if (d == Decision::Unknown)
+            continue;
+        const BlockId t_true =
+            cfg.block_of(program.label_pos[last.target_true]);
+        const BlockId t_false =
+            cfg.block_of(program.label_pos[last.target_false]);
+        if (t_true == t_false)
+            continue;
+        const BlockId dead =
+            d == Decision::AlwaysTrue ? t_false : t_true;
+        for (std::size_t s = 0; s < block.succs.size(); ++s) {
+            if (block.succs[s] == dead)
+                ps.pruned_[b][s] = true;
+        }
+    }
+
+    ps.paths_in_.assign(n, 0);
+    ps.paths_out_.assign(n, 0);
+    ps.chain_of_.assign(n, kNoChain);
+    ps.chain_next_.assign(n, kNoBlock);
+
+    // --- Dominators over the full CFG (pruning is a feasibility
+    // refinement; dominance is a graph property the lint passes need
+    // on unanalyzed programs too).
+    {
+        const std::vector<BlockId> &rpo = cfg.reverse_postorder();
+        std::vector<u32> po_num(n, 0);
+        for (std::size_t i = 0; i < rpo.size(); ++i)
+            po_num[rpo[i]] = static_cast<u32>(rpo.size() - 1 - i);
+        std::vector<std::vector<BlockId>> preds(n);
+        for (BlockId b = 0; b < n; ++b)
+            preds[b] = cfg.blocks()[b].preds;
+        ps.idom_ = chk_dominators(n, rpo, po_num, preds);
+        ps.dom_depth_ = tree_depths(ps.idom_, cfg.entry());
+    }
+
+    // --- Post-dominators: dominators of the reverse graph rooted at a
+    // virtual exit (internal node id n) that joins every exit block —
+    // blocks with no successors (Halt) or whose control falls off the
+    // end (the verifier rejects the latter, but lint runs pre-verify
+    // shapes too).
+    {
+        const u32 vexit = n;
+        std::vector<std::vector<BlockId>> rsuccs(n + 1);
+        std::vector<std::vector<BlockId>> rpreds(n + 1);
+        for (BlockId b = 0; b < n; ++b) {
+            const BasicBlock &block = cfg.blocks()[b];
+            if (block.succs.empty() || block.falls_off_end) {
+                rsuccs[vexit].push_back(b);
+                rpreds[b].push_back(vexit);
+            }
+            for (BlockId s : block.succs) {
+                rsuccs[s].push_back(b);
+                rpreds[b].push_back(s);
+            }
+        }
+        // Iterative DFS postorder of the reverse graph from vexit.
+        std::vector<BlockId> postorder;
+        std::vector<u8> state(n + 1, 0); // 0 new, 1 open, 2 done.
+        std::vector<std::pair<BlockId, std::size_t>> stack;
+        stack.emplace_back(vexit, 0);
+        state[vexit] = 1;
+        while (!stack.empty()) {
+            auto &[node, next] = stack.back();
+            if (next < rsuccs[node].size()) {
+                const BlockId s = rsuccs[node][next++];
+                if (state[s] == 0) {
+                    state[s] = 1;
+                    stack.emplace_back(s, 0);
+                }
+            } else {
+                state[node] = 2;
+                postorder.push_back(node);
+                stack.pop_back();
+            }
+        }
+        std::vector<BlockId> rpo(postorder.rbegin(), postorder.rend());
+        std::vector<u32> po_num(n + 1, 0);
+        for (std::size_t i = 0; i < postorder.size(); ++i)
+            po_num[postorder[i]] = static_cast<u32>(i);
+        std::vector<BlockId> ipdom =
+            chk_dominators(n + 1, rpo, po_num, rpreds);
+        std::vector<u32> depth = tree_depths(ipdom, vexit);
+        ps.ipdom_.assign(n, kNoBlock);
+        ps.pdom_depth_.assign(n, 0);
+        for (BlockId b = 0; b < n; ++b) {
+            if (ipdom[b] == kNoBlock)
+                continue;
+            ps.ipdom_[b] = ipdom[b] == vexit ? kVirtualExit : ipdom[b];
+            ps.pdom_depth_[b] = depth[b];
+        }
+    }
+
+    // --- DAG-ification: DFS over non-pruned edges from the entry;
+    // an edge into a block on the open DFS stack is a back edge. The
+    // DFS postorder, reversed, topologically orders the remaining DAG.
+    std::vector<BlockId> topo; // Reverse postorder over the DAG.
+    {
+        std::vector<u8> state(n, 0); // 0 new, 1 on stack, 2 done.
+        std::vector<std::pair<BlockId, std::size_t>> stack;
+        std::vector<BlockId> postorder;
+        stack.emplace_back(cfg.entry(), 0);
+        state[cfg.entry()] = 1;
+        while (!stack.empty()) {
+            auto &[b, next] = stack.back();
+            const std::vector<BlockId> &succs = cfg.blocks()[b].succs;
+            if (next < succs.size()) {
+                const std::size_t s = next++;
+                if (ps.pruned_[b][s])
+                    continue;
+                const BlockId to = succs[s];
+                if (state[to] == 1) {
+                    ps.back_edge_[b][s] = true;
+                } else if (state[to] == 0) {
+                    state[to] = 1;
+                    stack.emplace_back(to, 0);
+                }
+            } else {
+                state[b] = 2;
+                postorder.push_back(b);
+                stack.pop_back();
+            }
+        }
+        topo.assign(postorder.rbegin(), postorder.rend());
+    }
+
+    const auto dag_edge = [&](BlockId b, std::size_t s) {
+        return !ps.pruned_[b][s] && !ps.back_edge_[b][s];
+    };
+
+    // --- Feasible-path counts over the DAG, saturating.
+    ps.paths_in_[cfg.entry()] = 1;
+    for (const BlockId b : topo) {
+        const std::vector<BlockId> &succs = cfg.blocks()[b].succs;
+        for (std::size_t s = 0; s < succs.size(); ++s) {
+            if (dag_edge(b, s))
+                ps.paths_in_[succs[s]] =
+                    sat_add(ps.paths_in_[succs[s]], ps.paths_in_[b]);
+        }
+    }
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const BlockId b = *it;
+        const BasicBlock &block = cfg.blocks()[b];
+        if (block.succs.empty()) {
+            ps.paths_out_[b] = 1; // Halt block: one (empty) suffix.
+            continue;
+        }
+        for (std::size_t s = 0; s < block.succs.size(); ++s) {
+            if (dag_edge(b, s))
+                ps.paths_out_[b] = sat_add(
+                    ps.paths_out_[b], ps.paths_out_[block.succs[s]]);
+        }
+    }
+
+    // --- Minimal path cover: maximum bipartite matching (Kuhn) on the
+    // DAG edge relation. match_next[u] = the unique chain successor of
+    // u, match_prev[v] = the unique chain predecessor of v; every
+    // unmatched-on-the-left block starts a chain, so the cover has
+    // |blocks| - |matching| chains — minimal by König's theorem.
+    std::vector<BlockId> match_next(n, kNoBlock);
+    std::vector<BlockId> match_prev(n, kNoBlock);
+    {
+        std::vector<u32> visited(n, 0);
+        u32 round = 0;
+        // Recursive augmenting search, iteratively: try_kuhn(u) looks
+        // for an augmenting path from u through alternating edges.
+        std::function<bool(BlockId)> try_kuhn = [&](BlockId u) -> bool {
+            const std::vector<BlockId> &succs = cfg.blocks()[u].succs;
+            for (std::size_t s = 0; s < succs.size(); ++s) {
+                if (!dag_edge(u, s))
+                    continue;
+                const BlockId v = succs[s];
+                if (visited[v] == round)
+                    continue;
+                visited[v] = round;
+                if (match_prev[v] == kNoBlock ||
+                    try_kuhn(match_prev[v])) {
+                    match_next[u] = v;
+                    match_prev[v] = u;
+                    return true;
+                }
+            }
+            return false;
+        };
+        for (const BlockId u : topo) {
+            ++round;
+            try_kuhn(u);
+        }
+    }
+    for (const BlockId b : topo) {
+        if (match_prev[b] != kNoBlock)
+            continue; // Interior of some chain.
+        CoverChain chain;
+        const u32 id = static_cast<u32>(ps.chains_.size());
+        for (BlockId cur = b; cur != kNoBlock; cur = match_next[cur]) {
+            ps.chain_of_[cur] = id;
+            ps.chain_next_[cur] = match_next[cur];
+            chain.blocks.push_back(cur);
+        }
+        ps.chains_.push_back(std::move(chain));
+    }
+
+    // --- Per-block reachable-chain bitsets over non-pruned edges,
+    // back edges included (a loop genuinely re-enters structure).
+    // Fixpoint: reverse-topo sweep resolves forward edges in one pass;
+    // repeat until back-edge contributions stabilize.
+    ps.chain_words_ = (ps.chains_.size() + 63) / 64;
+    ps.reach_chains_.assign(n, {});
+    for (const BlockId b : topo) {
+        ps.reach_chains_[b].assign(ps.chain_words_, 0);
+        const u32 c = ps.chain_of_[b];
+        ps.reach_chains_[b][c / 64] |= u64{1} << (c % 64);
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+            const BlockId b = *it;
+            const std::vector<BlockId> &succs = cfg.blocks()[b].succs;
+            for (std::size_t s = 0; s < succs.size(); ++s) {
+                if (ps.pruned_[b][s])
+                    continue;
+                const std::vector<u64> &from =
+                    ps.reach_chains_[succs[s]];
+                if (from.empty())
+                    continue;
+                std::vector<u64> &into = ps.reach_chains_[b];
+                for (std::size_t w = 0; w < ps.chain_words_; ++w) {
+                    const u64 merged = into[w] | from[w];
+                    if (merged != into[w]) {
+                        into[w] = merged;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    return ps;
+}
+
+bool
+PathStructure::dominates(BlockId a, BlockId b) const
+{
+    if (a >= num_blocks_ || b >= num_blocks_ ||
+        idom_[a] == kNoBlock || idom_[b] == kNoBlock)
+        return false;
+    while (dom_depth_[b] > dom_depth_[a])
+        b = idom_[b];
+    return a == b;
+}
+
+bool
+PathStructure::post_dominates(BlockId a, BlockId b) const
+{
+    if (b >= num_blocks_ || ipdom_[b] == kNoBlock)
+        return false;
+    if (a == kVirtualExit)
+        return true;
+    if (a >= num_blocks_ || ipdom_[a] == kNoBlock)
+        return false;
+    while (pdom_depth_[b] > pdom_depth_[a]) {
+        b = ipdom_[b];
+        assert(b != kVirtualExit && b != kNoBlock);
+    }
+    return a == b;
+}
+
+u64
+PathStructure::paths_through(BlockId b) const
+{
+    return sat_mul(paths_in_[b], paths_out_[b]);
+}
+
+} // namespace pokeemu::analysis

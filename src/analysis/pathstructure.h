@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Static path-structure analysis over an analysis::Cfg: dominator and
+ * post-dominator trees, a minimal path cover of the DAG-ified CFG, and
+ * feasible-path counts with dataflow-decided infeasible edges pruned.
+ *
+ * The paper reaches complete path coverage for ~95% of instructions at
+ * a path cap of 8192 (§6); affording that cap means spending the
+ * per-branch decisions where they buy new structure. Empc (PAPERS.md)
+ * shows the right static scaffold: decompose the CFG into a *minimal
+ * path cover* — the fewest vertex-disjoint chains that touch every
+ * block — and steer exploration toward paths that complete uncovered
+ * chains. This module computes that scaffold once per unit, like the
+ * verifier; coverage::PathCoverFirst consumes it online.
+ *
+ * Contents, all deterministic functions of (Cfg, facts):
+ *
+ *  - Dominators / post-dominators via the Cooper-Harvey-Kennedy
+ *    iterative algorithm. Post-dominators run on the reverse graph
+ *    under a virtual exit that joins every Halt block (ipdom of a
+ *    block whose sides halt separately is kVirtualExit).
+ *  - DAG-ification: back edges classified by DFS (an edge to a block
+ *    on the current DFS stack); all counts and chains below are over
+ *    the remaining acyclic graph.
+ *  - Infeasible-edge pruning: a CJmp whose condition the PR 5 dataflow
+ *    facts decide contributes only its taken edge; blocks the facts
+ *    prove dataflow-unreachable contribute nothing.
+ *  - Feasible-path counts: per block, the number of DAG paths
+ *    entry->block (`paths_from_entry`) and block->exit
+ *    (`paths_to_exit`), saturating at kPathCountCap so products never
+ *    overflow.
+ *  - Minimal path cover: vertex-disjoint chains via maximum bipartite
+ *    matching (Kuhn's augmenting paths) on the DAG's edge relation;
+ *    #chains = #reachable blocks - |matching| is minimal by König's
+ *    theorem.
+ *  - Per-block reachable-chain bitsets: which chains a path through
+ *    this block can still touch downstream (over non-pruned edges,
+ *    back edges included — loops genuinely revisit structure).
+ */
+#ifndef POKEEMU_ANALYSIS_PATHSTRUCTURE_H
+#define POKEEMU_ANALYSIS_PATHSTRUCTURE_H
+
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+
+namespace pokeemu::analysis {
+
+/** Sentinel BlockId: no immediate dominator (unreachable block). */
+constexpr BlockId kNoBlock = ~BlockId{0};
+
+/** Sentinel BlockId: the virtual exit joining all Halt blocks. */
+constexpr BlockId kVirtualExit = ~BlockId{0} - 1;
+
+/** Sentinel chain id for unreachable blocks. */
+constexpr u32 kNoChain = ~u32{0};
+
+/** Path counts saturate here; "at least this many" beyond. */
+constexpr u64 kPathCountCap = u64{1} << 62;
+
+/** One vertex-disjoint chain of the minimal path cover, in control-
+ *  flow order (consecutive entries are DAG edges). */
+struct CoverChain
+{
+    std::vector<BlockId> blocks;
+};
+
+/** See file comment. */
+class PathStructure
+{
+  public:
+    /**
+     * Analyze @p program through @p cfg (which must be
+     * Cfg::build(program), same precondition as every lint pass).
+     * @p facts may be null (no infeasible-edge pruning) or the
+     * analyze_program result for the same program; unanalyzed facts
+     * are ignored. The result references none of the arguments, so all
+     * may die after build() returns. Deterministic: depends only on
+     * the CFG shape and the decided facts.
+     */
+    static PathStructure build(const ir::Program &program,
+                               const Cfg &cfg,
+                               const ProgramFacts *facts = nullptr);
+
+    u32 num_blocks() const { return num_blocks_; }
+
+    /** Immediate dominator; entry's idom is itself, kNoBlock for
+     *  unreachable blocks. */
+    BlockId idom(BlockId b) const { return idom_[b]; }
+
+    /** Immediate post-dominator; kVirtualExit when the sides of @p b
+     *  only rejoin at program exit, kNoBlock when unreachable. */
+    BlockId ipdom(BlockId b) const { return ipdom_[b]; }
+
+    /** Does @p a dominate @p b (reflexive)? False when either is
+     *  unreachable. */
+    bool dominates(BlockId a, BlockId b) const;
+
+    /** Does @p a post-dominate @p b (reflexive)? kVirtualExit
+     *  post-dominates every reachable block. */
+    bool post_dominates(BlockId a, BlockId b) const;
+
+    /** Is succs[succ_index] of @p from a DFS back edge? */
+    bool back_edge(BlockId from, std::size_t succ_index) const
+    {
+        return back_edge_[from][succ_index];
+    }
+
+    /** Is succs[succ_index] of @p from pruned as infeasible (decided
+     *  CJmp direction or dataflow-unreachable endpoint)? */
+    bool edge_pruned(BlockId from, std::size_t succ_index) const
+    {
+        return pruned_[from][succ_index];
+    }
+
+    /** DAG paths entry -> @p b over non-pruned, non-back edges;
+     *  saturates at kPathCountCap. 0 for unreachable/pruned blocks. */
+    u64 paths_from_entry(BlockId b) const { return paths_in_[b]; }
+
+    /** DAG paths @p b -> any exit; saturates at kPathCountCap. */
+    u64 paths_to_exit(BlockId b) const { return paths_out_[b]; }
+
+    /** DAG paths through @p b (product of the two, saturating). */
+    u64 paths_through(BlockId b) const;
+
+    /** Total DAG paths entry -> exit (the unit's static path count
+    *   after pruning); saturates at kPathCountCap. */
+    u64 total_paths() const { return paths_out_[entry_]; }
+
+    const std::vector<CoverChain> &chains() const { return chains_; }
+
+    u32 num_chains() const
+    {
+        return static_cast<u32>(chains_.size());
+    }
+
+    /** Chain containing @p b; kNoChain for unreachable blocks. */
+    u32 chain_of(BlockId b) const { return chain_of_[b]; }
+
+    /** Next block in @p b's chain, or kNoBlock at a chain tail. */
+    BlockId chain_next(BlockId b) const { return chain_next_[b]; }
+
+    /**
+     * Bitset (num_chains bits, 64 per word) of chains reachable from
+     * @p b over non-pruned edges, back edges included; b's own chain
+     * is always set. Empty for unreachable blocks.
+     */
+    const std::vector<u64> &reachable_chains(BlockId b) const
+    {
+        return reach_chains_[b];
+    }
+
+    /** Words per reachable-chain bitset. */
+    std::size_t chain_words() const { return chain_words_; }
+
+  private:
+    u32 num_blocks_ = 0;
+    BlockId entry_ = 0;
+    std::vector<BlockId> idom_;
+    std::vector<BlockId> ipdom_;
+    std::vector<std::vector<bool>> back_edge_; ///< Shape of succs.
+    std::vector<std::vector<bool>> pruned_;    ///< Shape of succs.
+    std::vector<u64> paths_in_;
+    std::vector<u64> paths_out_;
+    std::vector<CoverChain> chains_;
+    std::vector<u32> chain_of_;
+    std::vector<BlockId> chain_next_;
+    std::size_t chain_words_ = 0;
+    std::vector<std::vector<u64>> reach_chains_;
+    /** Dominator-tree depth per block (entry 0), for dominates(). */
+    std::vector<u32> dom_depth_;
+    std::vector<u32> pdom_depth_;
+};
+
+} // namespace pokeemu::analysis
+
+#endif // POKEEMU_ANALYSIS_PATHSTRUCTURE_H

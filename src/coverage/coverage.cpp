@@ -1,5 +1,6 @@
 #include "coverage/coverage.h"
 
+#include <cassert>
 #include <deque>
 
 namespace pokeemu::coverage {
@@ -45,6 +46,12 @@ coverage_bucket_name(unsigned bucket)
     return "?";
 }
 
+namespace {
+
+constexpr u32 kUnreachable = ~u32{0};
+
+} // namespace
+
 CoverageMap::CoverageMap(const ir::Program &program)
     : cfg_(analysis::Cfg::build(program))
 {
@@ -82,13 +89,70 @@ CoverageMap::edge_covered(BlockId from, BlockId to) const
 }
 
 void
+CoverageMap::set_path_structure(
+    std::unique_ptr<const analysis::PathStructure> structure)
+{
+    structure_ = std::move(structure);
+    chain_dirty_units_.clear();
+    dirty_chains_.clear();
+    if (structure_ == nullptr)
+        return;
+    // A chain's dirty units are its uncovered blocks plus its
+    // uncovered chain-internal edges; seed them from the coverage
+    // accumulated so far so attaching mid-exploration stays exact.
+    chain_dirty_units_.assign(structure_->num_chains(), 0);
+    dirty_chains_.assign(structure_->chain_words(), 0);
+    for (u32 c = 0; c < structure_->num_chains(); ++c) {
+        const analysis::CoverChain &chain = structure_->chains()[c];
+        u32 units = 0;
+        for (std::size_t i = 0; i < chain.blocks.size(); ++i) {
+            if (!covered_[chain.blocks[i]])
+                ++units;
+            if (i + 1 < chain.blocks.size() &&
+                !edge_covered(chain.blocks[i], chain.blocks[i + 1]))
+                ++units;
+        }
+        chain_dirty_units_[c] = units;
+        if (units != 0)
+            dirty_chains_[c / 64] |= u64{1} << (c % 64);
+    }
+}
+
+u32
+CoverageMap::uncovered_cover_paths_through(BlockId block) const
+{
+    if (structure_ == nullptr)
+        return 0;
+    const std::vector<u64> &reach = structure_->reachable_chains(block);
+    u32 count = 0;
+    for (std::size_t w = 0; w < reach.size(); ++w)
+        count += static_cast<u32>(
+            __builtin_popcountll(reach[w] & dirty_chains_[w]));
+    return count;
+}
+
+void
 CoverageMap::cover_path(const std::vector<BlockId> &trace)
 {
+    // Mark a chain unit (block or chain-internal edge) covered and
+    // clean the chain's dirty bit when the last one falls.
+    const auto chain_unit_covered = [&](u32 chain) {
+        if (chain == analysis::kNoChain ||
+            chain >= chain_dirty_units_.size() ||
+            chain_dirty_units_[chain] == 0)
+            return;
+        if (--chain_dirty_units_[chain] == 0)
+            dirty_chains_[chain / 64] &= ~(u64{1} << (chain % 64));
+    };
+
+    std::vector<BlockId> lost_sources;
     for (std::size_t i = 0; i < trace.size(); ++i) {
         const BlockId b = trace[i];
         if (!covered_[b]) {
             covered_[b] = true;
             ++covered_blocks_;
+            if (structure_ != nullptr)
+                chain_unit_covered(structure_->chain_of(b));
         }
         if (i + 1 == trace.size())
             continue;
@@ -97,45 +161,112 @@ CoverageMap::cover_path(const std::vector<BlockId> &trace)
             if (succs[s] == trace[i + 1] && !covered_edge_[b][s]) {
                 covered_edge_[b][s] = true;
                 ++covered_edges_;
+                if (structure_ != nullptr &&
+                    structure_->chain_next(b) == trace[i + 1])
+                    chain_unit_covered(structure_->chain_of(b));
+                // Covering this edge may have removed b from the
+                // distance BFS source set (sources only shrink).
+                if (distance_valid_ &&
+                    !block_has_uncovered_out_edge(b))
+                    lost_sources.push_back(b);
                 break;
             }
         }
     }
-    distance_valid_ = false;
+    if (distance_valid_ && !lost_sources.empty())
+        repair_distance(lost_sources);
+}
+
+bool
+CoverageMap::block_has_uncovered_out_edge(BlockId block) const
+{
+    const auto &edges = covered_edge_[block];
+    for (std::size_t s = 0; s < edges.size(); ++s) {
+        if (!edges[s])
+            return true;
+    }
+    return false;
+}
+
+void
+CoverageMap::rebuild_distance() const
+{
+    // Multi-source reverse BFS from every block that still has an
+    // uncovered out-edge: distance_[b] is then the number of edges
+    // control must traverse from b before it can take one.
+    distance_.assign(cfg_.num_blocks(), kUnreachable);
+    std::deque<BlockId> queue;
+    for (BlockId b = 0; b < cfg_.num_blocks(); ++b) {
+        if (block_has_uncovered_out_edge(b)) {
+            distance_[b] = 0;
+            queue.push_back(b);
+        }
+    }
+    while (!queue.empty()) {
+        const BlockId b = queue.front();
+        queue.pop_front();
+        for (BlockId pred : cfg_.blocks()[b].preds) {
+            if (distance_[pred] == kUnreachable) {
+                distance_[pred] = distance_[b] + 1;
+                queue.push_back(pred);
+            }
+        }
+    }
+    distance_valid_ = true;
+}
+
+void
+CoverageMap::repair_distance(
+    const std::vector<BlockId> &lost_sources) const
+{
+    // Shrinking the source set can only *increase* distances, so a
+    // monotone worklist re-relaxation starting from the lost sources
+    // converges to the new BFS fixpoint: recompute a block from its
+    // successors' current estimates and, on change, requeue its
+    // predecessors. A block chasing a ghost cycle (its only support
+    // was the lost source) climbs past num_blocks - 1 — the longest
+    // possible simple path — and is snapped to unreachable.
+    std::deque<BlockId> queue(lost_sources.begin(),
+                              lost_sources.end());
+    while (!queue.empty()) {
+        const BlockId b = queue.front();
+        queue.pop_front();
+        u32 nd;
+        if (block_has_uncovered_out_edge(b)) {
+            nd = 0;
+        } else {
+            u32 best = kUnreachable;
+            for (BlockId s : cfg_.blocks()[b].succs) {
+                if (distance_[s] != kUnreachable && distance_[s] < best)
+                    best = distance_[s];
+            }
+            nd = best == kUnreachable ? kUnreachable : best + 1;
+            if (nd != kUnreachable && nd >= cfg_.num_blocks())
+                nd = kUnreachable;
+        }
+        if (nd == distance_[b])
+            continue;
+        distance_[b] = nd;
+        for (BlockId pred : cfg_.blocks()[b].preds)
+            queue.push_back(pred);
+    }
+#ifndef NDEBUG
+    // The repaired array must equal a from-scratch BFS. (This repo
+    // keeps asserts on in every build type, so ctest exercises the
+    // equivalence on every covered path; true NDEBUG consumers get
+    // the incremental path alone.)
+    const std::vector<u32> repaired = distance_;
+    rebuild_distance();
+    assert(repaired == distance_ &&
+           "incremental distance repair diverged from full BFS");
+#endif
 }
 
 u32
 CoverageMap::distance_to_uncovered(BlockId block) const
 {
-    if (!distance_valid_) {
-        // Multi-source reverse BFS from every block that still has an
-        // uncovered out-edge: distance_[b] is then the number of edges
-        // control must traverse from b before it can take one.
-        constexpr u32 kUnreachable = ~u32{0};
-        distance_.assign(cfg_.num_blocks(), kUnreachable);
-        std::deque<BlockId> queue;
-        for (BlockId b = 0; b < cfg_.num_blocks(); ++b) {
-            const auto &edges = covered_edge_[b];
-            for (std::size_t s = 0; s < edges.size(); ++s) {
-                if (!edges[s]) {
-                    distance_[b] = 0;
-                    queue.push_back(b);
-                    break;
-                }
-            }
-        }
-        while (!queue.empty()) {
-            const BlockId b = queue.front();
-            queue.pop_front();
-            for (BlockId pred : cfg_.blocks()[b].preds) {
-                if (distance_[pred] == kUnreachable) {
-                    distance_[pred] = distance_[b] + 1;
-                    queue.push_back(pred);
-                }
-            }
-        }
-        distance_valid_ = true;
-    }
+    if (!distance_valid_)
+        rebuild_distance();
     return distance_[block];
 }
 
@@ -169,12 +300,45 @@ UncoveredEdgeFirst::prefer(const CoverageMap &map,
     return std::nullopt;
 }
 
+std::optional<bool>
+PathCoverFirst::prefer(const CoverageMap &map,
+                       const BranchContext &branch) const
+{
+    // An uncovered branch edge is new structure *now* — under a tight
+    // cap, passing it up for a richer-looking far side often forfeits
+    // it for good, so the frontier's strongest rule stays primary.
+    const bool uncovered[2] = {
+        !map.edge_covered(branch.from, branch.target[0]),
+        !map.edge_covered(branch.from, branch.target[1]),
+    };
+    if (uncovered[0] != uncovered[1])
+        return uncovered[1];
+    // Both directions equally new: prefer the one lying on more
+    // still-uncovered cover chains — it can complete more of the
+    // minimal path cover downstream.
+    if (map.path_structure() != nullptr) {
+        const u32 s0 =
+            map.uncovered_cover_paths_through(branch.target[0]);
+        const u32 s1 =
+            map.uncovered_cover_paths_through(branch.target[1]);
+        if (s0 != s1)
+            return s1 > s0;
+    }
+    // Remaining ties: the UncoveredEdgeFirst distance rule.
+    const u32 d0 = map.distance_to_uncovered(branch.target[0]);
+    const u32 d1 = map.distance_to_uncovered(branch.target[1]);
+    if (d0 != d1)
+        return d1 < d0;
+    return std::nullopt;
+}
+
 const char *
 schedule_policy_name(SchedulePolicy policy)
 {
     switch (policy) {
       case SchedulePolicy::DefaultOrder: return "default";
       case SchedulePolicy::UncoveredEdgeFirst: return "frontier";
+      case SchedulePolicy::PathCoverFirst: return "pathcover";
     }
     return "?";
 }
@@ -183,9 +347,11 @@ const FrontierPolicy *
 frontier_policy(SchedulePolicy policy)
 {
     static const UncoveredEdgeFirst uncovered_first;
+    static const PathCoverFirst path_cover_first;
     switch (policy) {
       case SchedulePolicy::DefaultOrder: return nullptr;
       case SchedulePolicy::UncoveredEdgeFirst: return &uncovered_first;
+      case SchedulePolicy::PathCoverFirst: return &path_cover_first;
     }
     return nullptr;
 }

@@ -32,10 +32,12 @@
 #ifndef POKEEMU_COVERAGE_COVERAGE_H
 #define POKEEMU_COVERAGE_COVERAGE_H
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "analysis/cfg.h"
+#include "analysis/pathstructure.h"
 
 namespace pokeemu::coverage {
 
@@ -110,14 +112,46 @@ class CoverageMap
     /**
      * CFG distance (in edges) from @p block to the source of the
      * nearest uncovered edge; 0 when @p block itself has an uncovered
-     * out-edge, ~u32{0} when no uncovered edge is reachable. Cached
-     * between cover_path calls.
+     * out-edge, ~u32{0} when no uncovered edge is reachable. Built
+     * lazily by one multi-source reverse BFS, then maintained
+     * *incrementally* across cover_path calls: covering an edge can
+     * only remove BFS sources (blocks with an uncovered out-edge), so
+     * distances only grow, and a worklist re-relaxation touching the
+     * shrunk sources' fan-in repairs the array without the full
+     * rebuild the 8192-cap hot loop cannot afford. Debug builds assert
+     * the repaired array equals a from-scratch BFS.
      */
     u32 distance_to_uncovered(BlockId block) const;
+
+    /**
+     * Attach the static path-structure analysis (PathCoverFirst's
+     * scaffold) and reset the dynamic chain-coverage state to match
+     * the blocks/edges covered so far. The map takes ownership;
+     * passing null detaches.
+     */
+    void set_path_structure(
+        std::unique_ptr<const analysis::PathStructure> structure);
+
+    const analysis::PathStructure *path_structure() const
+    {
+        return structure_.get();
+    }
+
+    /**
+     * Number of still-dirty cover chains reachable from @p block
+     * (over non-pruned CFG edges, back edges included). A chain is
+     * dirty until every block on it and every chain-internal edge is
+     * covered. 0 when no structure is attached.
+     */
+    u32 uncovered_cover_paths_through(BlockId block) const;
 
     CoverageStats stats() const;
 
   private:
+    void rebuild_distance() const;
+    void repair_distance(const std::vector<BlockId> &lost_sources) const;
+    bool block_has_uncovered_out_edge(BlockId block) const;
+
     analysis::Cfg cfg_;
     std::vector<bool> covered_;              ///< Per block.
     /** covered_edge_[b][i] covers cfg blocks()[b].succs[i]. */
@@ -126,10 +160,17 @@ class CoverageMap
     u64 covered_edges_ = 0;
     u64 total_blocks_ = 0;
     u64 total_edges_ = 0;
-    /** Lazily rebuilt reverse-BFS distances (see
-     *  distance_to_uncovered). */
+    /** Reverse-BFS distances (see distance_to_uncovered). */
     mutable std::vector<u32> distance_;
     mutable bool distance_valid_ = false;
+
+    /** PathCoverFirst state; null unless set_path_structure ran. */
+    std::unique_ptr<const analysis::PathStructure> structure_;
+    /** Per chain: uncovered blocks + uncovered chain-internal edges
+     *  remaining; the chain is dirty while nonzero. */
+    std::vector<u32> chain_dirty_units_;
+    /** Bitset of dirty chains (structure_->chain_words() words). */
+    std::vector<u64> dirty_chains_;
 };
 
 /** Everything a FrontierPolicy may consult about one open branch. */
@@ -172,11 +213,36 @@ class UncoveredEdgeFirst final : public FrontierPolicy
         const override;
 };
 
+/**
+ * Empc-style cover-path scheduling over the static minimal path cover
+ * (analysis::PathStructure, attached to the CoverageMap by the
+ * explorer's owner):
+ *  1. Prefer the direction whose branch edge is still uncovered (the
+ *     frontier's strongest rule — under a tight cap, new structure
+ *     available *now* beats a richer-looking far side).
+ *  2. Tie: prefer the direction whose target lies on more
+ *     still-uncovered cover chains
+ *     (CoverageMap::uncovered_cover_paths_through).
+ *  3. Tie: the UncoveredEdgeFirst distance-to-uncovered rule.
+ * Without an attached PathStructure, behaves exactly like
+ * UncoveredEdgeFirst. Stateless: all state lives in the CoverageMap,
+ * itself a pure function of the exploration so far — scheduling stays
+ * a pure function of (unit, seed).
+ */
+class PathCoverFirst final : public FrontierPolicy
+{
+  public:
+    std::optional<bool> prefer(const CoverageMap &map,
+                               const BranchContext &branch)
+        const override;
+};
+
 /** Named policy selection for options structs (fingerprintable). */
 enum class SchedulePolicy : u8 {
-    DefaultOrder,      ///< Seeded-random direction choice (pre-coverage
-                       ///< behaviour).
-    UncoveredEdgeFirst ///< The default frontier scheduler.
+    DefaultOrder,       ///< Seeded-random direction choice
+                        ///< (pre-coverage behaviour).
+    UncoveredEdgeFirst, ///< The frontier scheduler (PR 4 default).
+    PathCoverFirst      ///< Minimal-path-cover guided scheduling.
 };
 
 const char *schedule_policy_name(SchedulePolicy policy);

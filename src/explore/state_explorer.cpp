@@ -90,6 +90,18 @@ explore_program(const ir::Program &semantics, const StateSpec &spec,
         analysis::analyze_program(semantics, cfg, df_config);
     config.facts = &facts;
 
+    // PathCoverFirst needs the static path-structure scaffold
+    // (dominators, minimal path cover, facts-pruned path counts) on
+    // the coverage map. Built from the same facts the explorer prunes
+    // with, so "pruned" and "infeasible" agree; a deterministic
+    // function of (program, options) like everything else here.
+    if (options.schedule == coverage::SchedulePolicy::PathCoverFirst) {
+        cov.set_path_structure(
+            std::make_unique<const analysis::PathStructure>(
+                analysis::PathStructure::build(semantics, cov.cfg(),
+                                               &facts)));
+    }
+
     symexec::PathExplorer explorer(semantics, pool,
                                    spec.initial_fn(pool), config);
 

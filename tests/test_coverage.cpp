@@ -488,6 +488,44 @@ TEST(PipelineCoverage, ReportsAreByteIdenticalAcrossShardCounts)
     }
 }
 
+TEST(PipelineCoverage, PathCoverReportsByteIdenticalAcrossShards)
+{
+    // The PathCoverFirst scheduler must preserve the merge contract:
+    // byte-identical reports for any shard count.
+    CampaignOptions base = capped_campaign();
+    base.pipeline.schedule = SchedulePolicy::PathCoverFirst;
+    const std::string reference = run_campaign(base).report();
+    EXPECT_NE(reference.find("IR coverage:"), std::string::npos);
+    for (const u32 shards : {2u, 4u, 8u}) {
+        CampaignOptions options = base;
+        options.shards = shards;
+        EXPECT_EQ(run_campaign(options).report(), reference)
+            << shards << " shards";
+    }
+}
+
+TEST(PipelineCoverage, PathCoverInterruptedResumeMatches)
+{
+    CampaignOptions base = capped_campaign();
+    base.pipeline.schedule = SchedulePolicy::PathCoverFirst;
+    const std::string reference = run_campaign(base).report();
+    const auto dir = scratch_dir("pathcover_resume");
+    CampaignOptions options = base;
+    options.shards = 2;
+    options.checkpoint_dir = dir.string();
+    options.explore_slice_units = 1;
+    options.max_sessions_per_shard = 1; // Interrupt after one unit.
+    const CampaignResult interrupted = run_campaign(options);
+    EXPECT_FALSE(interrupted.complete);
+
+    options.resume = true;
+    options.max_sessions_per_shard = 0;
+    const CampaignResult resumed = run_campaign(options);
+    EXPECT_TRUE(resumed.complete);
+    EXPECT_EQ(resumed.report(), reference);
+    std::filesystem::remove_all(dir);
+}
+
 TEST(PipelineCoverage, InterruptedResumeMatchesUninterrupted)
 {
     const std::string reference =

@@ -42,8 +42,8 @@ usage(const char *argv0)
                  "                        interruption; resume later)\n"
                  "  --max-instructions N  cap the campaign workload\n"
                  "  --max-paths N         per-instruction path cap\n"
-                 "  --schedule P          path-order policy: frontier\n"
-                 "                        (default) or default\n"
+                 "  --schedule P          path-order policy: pathcover,\n"
+                 "                        frontier (default) or default\n"
                  "  --opt M               IR optimizer: off (default),\n"
                  "                        on, or validated (prove each\n"
                  "                        unit's optimization with the\n"
@@ -181,7 +181,10 @@ main(int argc, char **argv)
             options.pipeline.max_paths_per_insn = n;
         } else if (arg == "--schedule") {
             const std::string policy = value();
-            if (policy == "frontier") {
+            if (policy == "pathcover") {
+                options.pipeline.schedule =
+                    coverage::SchedulePolicy::PathCoverFirst;
+            } else if (policy == "frontier") {
                 options.pipeline.schedule =
                     coverage::SchedulePolicy::UncoveredEdgeFirst;
             } else if (policy == "default") {
@@ -189,7 +192,8 @@ main(int argc, char **argv)
                     coverage::SchedulePolicy::DefaultOrder;
             } else {
                 std::fprintf(stderr,
-                             "bad --schedule (want frontier|default)\n");
+                             "bad --schedule (want pathcover|frontier|"
+                             "default)\n");
                 return 2;
             }
         } else if (arg == "--opt") {

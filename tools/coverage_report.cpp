@@ -22,6 +22,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "arch/decoder.h"
 #include "coverage/coverage.h"
@@ -42,8 +44,9 @@ usage(const char *argv0)
                  "(default 16)\n"
                  "  --max-paths-rep N         cap for rep-prefixed "
                  "instructions (default 8)\n"
-                 "  --schedule P              frontier (default) or "
-                 "default\n"
+                 "  --schedule P              pathcover, frontier "
+                 "(default) or default\n"
+                 "  --policy P                alias for --schedule\n"
                  "  --seed N                  exploration seed\n"
                  "  --fail-under-blocks PCT   fail when aggregate block "
                  "coverage < PCT\n"
@@ -102,15 +105,19 @@ main(int argc, char **argv)
                 return 2;
             }
             max_paths_rep = n;
-        } else if (arg == "--schedule") {
+        } else if (arg == "--schedule" || arg == "--policy") {
             const std::string policy = value();
-            if (policy == "frontier") {
+            if (policy == "pathcover") {
+                schedule = coverage::SchedulePolicy::PathCoverFirst;
+            } else if (policy == "frontier") {
                 schedule = coverage::SchedulePolicy::UncoveredEdgeFirst;
             } else if (policy == "default") {
                 schedule = coverage::SchedulePolicy::DefaultOrder;
             } else {
                 std::fprintf(stderr,
-                             "bad --schedule (want frontier|default)\n");
+                             "bad %s (want pathcover|frontier|"
+                             "default)\n",
+                             arg.c_str());
                 return 2;
             }
         } else if (arg == "--seed") {
@@ -151,6 +158,10 @@ main(int argc, char **argv)
     u64 truncated[coverage::kNumTruncationReasons] = {};
     u64 histogram[coverage::kNumCoverageBuckets] = {};
     u64 single_path_dark = 0;
+    // (index, truncation) of every incomplete unit, for the summary's
+    // why-incomplete listing (visible under --quiet too: cap-scaling
+    // runs care exactly about the stragglers).
+    std::vector<std::pair<int, coverage::TruncationReason>> incomplete;
 
     const auto &table = arch::insn_table();
     for (int index = 0; index < static_cast<int>(table.size());
@@ -181,6 +192,8 @@ main(int argc, char **argv)
         ++explored;
         if (st.complete)
             ++complete;
+        else
+            incomplete.emplace_back(index, st.truncation);
         ++truncated[static_cast<unsigned>(st.truncation)];
         covered_blocks += st.covered_blocks;
         total_blocks += st.total_blocks;
@@ -249,6 +262,11 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(truncated[r]));
     }
     std::printf("\n");
+    for (const auto &[index, reason] : incomplete) {
+        std::printf("incomplete: insn %d (%s) truncation %s\n", index,
+                    table[index].mnemonic,
+                    coverage::truncation_reason_name(reason));
+    }
 
     int status = 0;
     if (fail_under_blocks >= 0 && block_pct < fail_under_blocks) {
